@@ -1,0 +1,645 @@
+//! The XPath 1.0 lexer.
+//!
+//! Implements the token set of W3C XPath 1.0 §3.7 including the two
+//! disambiguation rules:
+//!
+//! 1. If there is a preceding token and it is none of `@`, `::`, `(`, `[`,
+//!    `,` or an operator, then `*` is the multiplication operator and an
+//!    NCName must be `and`, `or`, `div` or `mod` (an operator name).
+//! 2. If an NCName is followed by `(`, it is a function name or node-type
+//!    test; if followed by `::`, it is an axis name.
+//!
+//! Rule 2 is resolved in the parser (which sees the following token); the
+//! lexer resolves rule 1.
+
+use std::fmt;
+
+/// A lexed token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the token start in the input.
+    pub offset: usize,
+}
+
+/// XPath 1.0 token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Dot,
+    DotDot,
+    At,
+    Comma,
+    ColonColon,
+    /// A string literal, quotes removed.
+    Literal(String),
+    /// A number literal.
+    Number(f64),
+    /// `/`
+    Slash,
+    /// `//`
+    SlashSlash,
+    /// `|`
+    Pipe,
+    Plus,
+    Minus,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// `*` when it is the multiplication operator (rule 1).
+    Star,
+    /// `and` / `or` / `div` / `mod` when they are operators (rule 1).
+    And,
+    Or,
+    Div,
+    Mod,
+    /// A name (NCName or QName such as `ns:foo`); function / axis / node
+    /// test roles are resolved by the parser.
+    Name(String),
+    /// `*` when it is a node test (wildcard).
+    WildcardName,
+    /// `ns:*` name-test form (prefix wildcard; treated as a plain prefix
+    /// match extension).
+    PrefixWildcard(String),
+    /// `$qname`
+    Variable(String),
+}
+
+impl TokenKind {
+    /// Whether this token counts as an "operator" for disambiguation
+    /// rule 1 of XPath 1.0 §3.7.
+    fn is_operator_for_disambiguation(&self) -> bool {
+        matches!(
+            self,
+            TokenKind::Slash
+                | TokenKind::SlashSlash
+                | TokenKind::Pipe
+                | TokenKind::Plus
+                | TokenKind::Minus
+                | TokenKind::Eq
+                | TokenKind::Neq
+                | TokenKind::Lt
+                | TokenKind::Le
+                | TokenKind::Gt
+                | TokenKind::Ge
+                | TokenKind::Star
+                | TokenKind::And
+                | TokenKind::Or
+                | TokenKind::Div
+                | TokenKind::Mod
+        )
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::LBracket => f.write_str("["),
+            TokenKind::RBracket => f.write_str("]"),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::DotDot => f.write_str(".."),
+            TokenKind::At => f.write_str("@"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::ColonColon => f.write_str("::"),
+            TokenKind::Literal(s) => write!(f, "'{s}'"),
+            TokenKind::Number(n) => write!(f, "{n}"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::SlashSlash => f.write_str("//"),
+            TokenKind::Pipe => f.write_str("|"),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::Neq => f.write_str("!="),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Le => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::Ge => f.write_str(">="),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::And => f.write_str("and"),
+            TokenKind::Or => f.write_str("or"),
+            TokenKind::Div => f.write_str("div"),
+            TokenKind::Mod => f.write_str("mod"),
+            TokenKind::Name(s) => f.write_str(s),
+            TokenKind::WildcardName => f.write_str("*"),
+            TokenKind::PrefixWildcard(p) => write!(f, "{p}:*"),
+            TokenKind::Variable(v) => write!(f, "${v}"),
+        }
+    }
+}
+
+/// A lexer error: an unexpected character or unterminated literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes an XPath 1.0 expression.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut pos = 0usize;
+
+    while pos < bytes.len() {
+        let start = pos;
+        let b = bytes[pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                pos += 1;
+                continue;
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                pos += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                pos += 1;
+            }
+            b'[' => {
+                tokens.push(Token { kind: TokenKind::LBracket, offset: start });
+                pos += 1;
+            }
+            b']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, offset: start });
+                pos += 1;
+            }
+            b'@' => {
+                tokens.push(Token { kind: TokenKind::At, offset: start });
+                pos += 1;
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                pos += 1;
+            }
+            b'|' => {
+                tokens.push(Token { kind: TokenKind::Pipe, offset: start });
+                pos += 1;
+            }
+            b'+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                pos += 1;
+            }
+            b'-' => {
+                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                pos += 1;
+            }
+            b'=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                pos += 1;
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Neq, offset: start });
+                    pos += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected '=' after '!'".to_string(),
+                        offset: start,
+                    });
+                }
+            }
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    pos += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    pos += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    pos += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    pos += 1;
+                }
+            }
+            b'/' => {
+                if bytes.get(pos + 1) == Some(&b'/') {
+                    tokens.push(Token { kind: TokenKind::SlashSlash, offset: start });
+                    pos += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                    pos += 1;
+                }
+            }
+            b':' => {
+                if bytes.get(pos + 1) == Some(&b':') {
+                    tokens.push(Token { kind: TokenKind::ColonColon, offset: start });
+                    pos += 2;
+                } else {
+                    return Err(LexError {
+                        message: "unexpected ':'".to_string(),
+                        offset: start,
+                    });
+                }
+            }
+            b'.' => {
+                if bytes.get(pos + 1) == Some(&b'.') {
+                    tokens.push(Token { kind: TokenKind::DotDot, offset: start });
+                    pos += 2;
+                } else if bytes.get(pos + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    let (num, next) = lex_number(input, pos)?;
+                    tokens.push(Token { kind: TokenKind::Number(num), offset: start });
+                    pos = next;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                    pos += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let (num, next) = lex_number(input, pos)?;
+                tokens.push(Token { kind: TokenKind::Number(num), offset: start });
+                pos = next;
+            }
+            b'"' | b'\'' => {
+                let quote = b as char;
+                let rest = &input[pos + 1..];
+                match rest.find(quote) {
+                    Some(end) => {
+                        tokens.push(Token {
+                            kind: TokenKind::Literal(rest[..end].to_string()),
+                            offset: start,
+                        });
+                        pos += 1 + end + 1;
+                    }
+                    None => {
+                        return Err(LexError {
+                            message: "unterminated string literal".to_string(),
+                            offset: start,
+                        })
+                    }
+                }
+            }
+            b'$' => {
+                let name_start = pos + 1;
+                let end = scan_name(input, name_start).ok_or_else(|| LexError {
+                    message: "expected variable name after '$'".to_string(),
+                    offset: start,
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Variable(input[name_start..end].to_string()),
+                    offset: start,
+                });
+                pos = end;
+            }
+            b'*' => {
+                let kind = if must_be_operator(&tokens) {
+                    TokenKind::Star
+                } else {
+                    TokenKind::WildcardName
+                };
+                tokens.push(Token { kind, offset: start });
+                pos += 1;
+            }
+            _ => {
+                let end = scan_name(input, pos).ok_or_else(|| LexError {
+                    message: format!(
+                        "unexpected character {:?}",
+                        input[pos..].chars().next().expect("in bounds")
+                    ),
+                    offset: start,
+                })?;
+                let name = &input[pos..end];
+                // `ns:*` prefix wildcard.
+                if bytes.get(end) == Some(&b':')
+                    && bytes.get(end + 1) == Some(&b'*')
+                    && bytes.get(end + 1 + 1) != Some(&b':')
+                {
+                    tokens.push(Token {
+                        kind: TokenKind::PrefixWildcard(name.to_string()),
+                        offset: start,
+                    });
+                    pos = end + 2;
+                    continue;
+                }
+                let kind = if must_be_operator(&tokens) {
+                    match name {
+                        "and" => TokenKind::And,
+                        "or" => TokenKind::Or,
+                        "div" => TokenKind::Div,
+                        "mod" => TokenKind::Mod,
+                        other => {
+                            return Err(LexError {
+                                message: format!(
+                                    "expected an operator, found name {other:?}"
+                                ),
+                                offset: start,
+                            })
+                        }
+                    }
+                } else {
+                    TokenKind::Name(name.to_string())
+                };
+                tokens.push(Token { kind, offset: start });
+                pos = end;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Disambiguation rule 1: with a preceding token that is not `@`, `::`,
+/// `(`, `[`, `,` or an operator, `*` and the operator names are operators.
+fn must_be_operator(tokens: &[Token]) -> bool {
+    match tokens.last() {
+        None => false,
+        Some(t) => !matches!(
+            t.kind,
+            TokenKind::At
+                | TokenKind::ColonColon
+                | TokenKind::LParen
+                | TokenKind::LBracket
+                | TokenKind::Comma
+        ) && !t.kind.is_operator_for_disambiguation(),
+    }
+}
+
+/// Lexes `Digits ('.' Digits?)? | '.' Digits` starting at `pos`.
+fn lex_number(input: &str, pos: usize) -> Result<(f64, usize), LexError> {
+    let bytes = input.as_bytes();
+    let mut end = pos;
+    while end < bytes.len() && bytes[end].is_ascii_digit() {
+        end += 1;
+    }
+    if end < bytes.len() && bytes[end] == b'.' {
+        // Don't consume `..` (as in `1..`) — only a decimal point.
+        if bytes.get(end + 1) != Some(&b'.') {
+            end += 1;
+            while end < bytes.len() && bytes[end].is_ascii_digit() {
+                end += 1;
+            }
+        }
+    }
+    let text = &input[pos..end];
+    text.parse::<f64>().map(|n| (n, end)).map_err(|_| LexError {
+        message: format!("invalid number {text:?}"),
+        offset: pos,
+    })
+}
+
+/// Scans a QName (`NCName (':' NCName)?`) starting at `pos`; returns the
+/// end offset, or `None` if no name starts here.
+fn scan_name(input: &str, pos: usize) -> Option<usize> {
+    let rest = &input[pos..];
+    let mut chars = rest.char_indices().peekable();
+    match chars.peek() {
+        Some(&(_, c)) if is_name_start(c) => {
+            chars.next();
+        }
+        _ => return None,
+    }
+    let mut end = rest.len();
+    let mut colon_seen = false;
+    while let Some(&(i, c)) = chars.peek() {
+        if c == ':' {
+            // A single colon may join two NCNames into a QName; `::` stops
+            // the name (axis separator).
+            let after = rest[i + 1..].chars().next();
+            if colon_seen || !after.is_some_and(is_name_start) {
+                end = i;
+                break;
+            }
+            colon_seen = true;
+            chars.next();
+        } else if is_name_char(c) {
+            chars.next();
+        } else {
+            end = i;
+            break;
+        }
+    }
+    Some(pos + end)
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | '\u{b7}')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn simple_path() {
+        assert_eq!(
+            kinds("/child::a/b"),
+            vec![
+                TokenKind::Slash,
+                TokenKind::Name("child".into()),
+                TokenKind::ColonColon,
+                TokenKind::Name("a".into()),
+                TokenKind::Slash,
+                TokenKind::Name("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn star_disambiguation() {
+        // After `::` it's a wildcard; after a name it's multiplication.
+        assert_eq!(
+            kinds("child::* * 2"),
+            vec![
+                TokenKind::Name("child".into()),
+                TokenKind::ColonColon,
+                TokenKind::WildcardName,
+                TokenKind::Star,
+                TokenKind::Number(2.0),
+            ]
+        );
+        // At expression start it's a wildcard.
+        assert_eq!(kinds("*")[0], TokenKind::WildcardName);
+        // After `(`, `[`, `,`, an operator: wildcard.
+        assert_eq!(kinds("(*")[1], TokenKind::WildcardName);
+        assert_eq!(kinds("[*")[1], TokenKind::WildcardName);
+        assert_eq!(kinds("4 + *")[2], TokenKind::WildcardName);
+        // After `)` or a literal or number: operator.
+        assert_eq!(kinds("(a) * 2")[3], TokenKind::Star);
+        assert_eq!(kinds("5 * 2")[1], TokenKind::Star);
+    }
+
+    #[test]
+    fn operator_names_disambiguation() {
+        assert_eq!(
+            kinds("a and b or c"),
+            vec![
+                TokenKind::Name("a".into()),
+                TokenKind::And,
+                TokenKind::Name("b".into()),
+                TokenKind::Or,
+                TokenKind::Name("c".into()),
+            ]
+        );
+        // `div` as an element name at path start.
+        assert_eq!(kinds("div")[0], TokenKind::Name("div".into()));
+        // `div div div` = path-name, operator, name.
+        assert_eq!(
+            kinds("div div div"),
+            vec![
+                TokenKind::Name("div".into()),
+                TokenKind::Div,
+                TokenKind::Name("div".into()),
+            ]
+        );
+        // After `/` (an operator token), a name is a name again.
+        assert_eq!(
+            kinds("a/or")[2],
+            TokenKind::Name("or".into())
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("1.5"), vec![TokenKind::Number(1.5)]);
+        assert_eq!(kinds(".5"), vec![TokenKind::Number(0.5)]);
+        assert_eq!(kinds("5."), vec![TokenKind::Number(5.0)]);
+        assert_eq!(kinds("42"), vec![TokenKind::Number(42.0)]);
+        assert_eq!(
+            kinds("1+2"),
+            vec![TokenKind::Number(1.0), TokenKind::Plus, TokenKind::Number(2.0)]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(kinds("'abc'"), vec![TokenKind::Literal("abc".into())]);
+        assert_eq!(kinds("\"x'y\""), vec![TokenKind::Literal("x'y".into())]);
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a != b <= c >= d < e > f = g"),
+            vec![
+                TokenKind::Name("a".into()),
+                TokenKind::Neq,
+                TokenKind::Name("b".into()),
+                TokenKind::Le,
+                TokenKind::Name("c".into()),
+                TokenKind::Ge,
+                TokenKind::Name("d".into()),
+                TokenKind::Lt,
+                TokenKind::Name("e".into()),
+                TokenKind::Gt,
+                TokenKind::Name("f".into()),
+                TokenKind::Eq,
+                TokenKind::Name("g".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn dots_and_slashes() {
+        assert_eq!(
+            kinds(".//..//."),
+            vec![
+                TokenKind::Dot,
+                TokenKind::SlashSlash,
+                TokenKind::DotDot,
+                TokenKind::SlashSlash,
+                TokenKind::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn variables() {
+        assert_eq!(kinds("$x + $ns:y")[0], TokenKind::Variable("x".into()));
+        assert_eq!(kinds("$ns:y")[0], TokenKind::Variable("ns:y".into()));
+        assert!(tokenize("$ ").is_err());
+    }
+
+    #[test]
+    fn qnames_and_prefix_wildcards() {
+        assert_eq!(kinds("ns:foo")[0], TokenKind::Name("ns:foo".into()));
+        assert_eq!(kinds("ns:*")[0], TokenKind::PrefixWildcard("ns".into()));
+        // `a:b::c` lexes the QName a:b then `::`.
+        assert_eq!(
+            kinds("ancestor-or-self::node()")[0],
+            TokenKind::Name("ancestor-or-self".into())
+        );
+    }
+
+    #[test]
+    fn axis_with_double_colon() {
+        assert_eq!(
+            kinds("self::a")[..3],
+            [
+                TokenKind::Name("self".into()),
+                TokenKind::ColonColon,
+                TokenKind::Name("a".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_characters() {
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("#").is_err());
+        assert!(tokenize("a : b").is_err());
+    }
+
+    #[test]
+    fn paper_query_lexes() {
+        let q = "/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]";
+        let toks = tokenize(q).unwrap();
+        assert!(toks.len() > 15);
+        // `*` after `last()` must be multiplication, after `::` a wildcard.
+        let star_count = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Star)
+            .count();
+        assert_eq!(star_count, 1);
+        let wild_count = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::WildcardName)
+            .count();
+        assert_eq!(wild_count, 3);
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        assert_eq!(kinds(" a \n/\t b "), kinds("a/b"));
+    }
+
+    #[test]
+    fn offsets_are_recorded() {
+        let toks = tokenize("a + b").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 2);
+        assert_eq!(toks[2].offset, 4);
+    }
+}

@@ -1,0 +1,698 @@
+//! Recursive-descent parser for the full XPath 1.0 grammar.
+//!
+//! Operator precedence follows the spec exactly:
+//! `or` < `and` < `=`,`!=` < `<`,`<=`,`>`,`>=` < `+`,`-` <
+//! `*`,`div`,`mod` < unary `-` < `|` < path.
+//!
+//! Abbreviations are expanded during parsing:
+//! `//` → `/descendant-or-self::node()/`, `.` → `self::node()`,
+//! `..` → `parent::node()`, `@n` → `attribute::n`, and a step with no axis
+//! gets `child::`.
+
+use crate::ast::{ArithOp, AstExpr, AstPath, AstStep, CmpOp};
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+use minctx_xml::axes::{Axis, NodeTest};
+use std::fmt;
+
+/// A parse (or lex) error with a byte offset into the query string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath parse error: {} (at offset {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            offset: e.offset,
+        }
+    }
+}
+
+/// Parses an XPath 1.0 expression into an [`AstExpr`].
+pub fn parse_expr(input: &str) -> Result<AstExpr, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        end_offset: input.len(),
+    };
+    let e = p.parse_or()?;
+    if p.pos < p.tokens.len() {
+        return Err(p.error_here("unexpected trailing tokens"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    end_offset: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek2(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + 1).map(|t| &t.kind)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn offset_here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.offset)
+            .unwrap_or(self.end_offset)
+    }
+
+    fn error_here(&self, msg: &str) -> ParseError {
+        let found = match self.peek() {
+            Some(k) => format!("{msg}, found `{k}`"),
+            None => format!("{msg}, found end of input"),
+        };
+        ParseError {
+            message: found,
+            offset: self.offset_here(),
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error_here(&format!("expected {what}")))
+        }
+    }
+
+    // ---- expression levels -------------------------------------------
+
+    fn parse_or(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.eat(&TokenKind::Or) {
+            let right = self.parse_and()?;
+            left = AstExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.parse_equality()?;
+        while self.eat(&TokenKind::And) {
+            let right = self.parse_equality()?;
+            left = AstExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_equality(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.parse_relational()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Eq) => CmpOp::Eq,
+                Some(TokenKind::Neq) => CmpOp::Neq,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_relational()?;
+            left = AstExpr::Compare(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_relational(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.parse_additive()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Lt) => CmpOp::Lt,
+                Some(TokenKind::Le) => CmpOp::Le,
+                Some(TokenKind::Gt) => CmpOp::Gt,
+                Some(TokenKind::Ge) => CmpOp::Ge,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            left = AstExpr::Compare(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => ArithOp::Add,
+                Some(TokenKind::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = AstExpr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Star) => ArithOp::Mul,
+                Some(TokenKind::Div) => ArithOp::Div,
+                Some(TokenKind::Mod) => ArithOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = AstExpr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<AstExpr, ParseError> {
+        if self.eat(&TokenKind::Minus) {
+            let e = self.parse_unary()?;
+            Ok(AstExpr::Neg(Box::new(e)))
+        } else {
+            self.parse_union()
+        }
+    }
+
+    fn parse_union(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.parse_path_expr()?;
+        while self.eat(&TokenKind::Pipe) {
+            let right = self.parse_path_expr()?;
+            left = AstExpr::Union(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    // ---- paths --------------------------------------------------------
+
+    /// Whether the upcoming tokens start a *location path* rather than a
+    /// primary expression (XPath 1.0 §3.7 rule 2: a Name followed by `(`
+    /// is a function call unless the name is a node type).
+    fn at_location_path(&self) -> bool {
+        match self.peek() {
+            Some(
+                TokenKind::Slash
+                | TokenKind::SlashSlash
+                | TokenKind::Dot
+                | TokenKind::DotDot
+                | TokenKind::At
+                | TokenKind::WildcardName
+                | TokenKind::PrefixWildcard(_),
+            ) => true,
+            Some(TokenKind::Name(name)) => match self.peek2() {
+                Some(TokenKind::LParen) => is_node_type(name),
+                _ => true,
+            },
+            _ => false,
+        }
+    }
+
+    fn parse_path_expr(&mut self) -> Result<AstExpr, ParseError> {
+        if self.at_location_path() {
+            return Ok(AstExpr::Path(self.parse_location_path()?));
+        }
+        // FilterExpr: PrimaryExpr Predicate* ('/' | '//' RelativePath)?
+        let primary = self.parse_primary()?;
+        let mut predicates = Vec::new();
+        while self.peek() == Some(&TokenKind::LBracket) {
+            predicates.push(self.parse_predicate()?);
+        }
+        let mut steps = Vec::new();
+        loop {
+            if self.eat(&TokenKind::SlashSlash) {
+                steps.push(AstStep::simple(Axis::DescendantOrSelf, NodeTest::AnyNode));
+                steps.push(self.parse_step()?);
+            } else if self.eat(&TokenKind::Slash) {
+                steps.push(self.parse_step()?);
+            } else {
+                break;
+            }
+        }
+        if predicates.is_empty() && steps.is_empty() {
+            Ok(primary)
+        } else {
+            Ok(AstExpr::Filter {
+                primary: Box::new(primary),
+                predicates,
+                steps,
+            })
+        }
+    }
+
+    fn parse_location_path(&mut self) -> Result<AstPath, ParseError> {
+        let mut steps = Vec::new();
+        let absolute;
+        if self.eat(&TokenKind::SlashSlash) {
+            absolute = true;
+            steps.push(AstStep::simple(Axis::DescendantOrSelf, NodeTest::AnyNode));
+            steps.push(self.parse_step()?);
+        } else if self.eat(&TokenKind::Slash) {
+            absolute = true;
+            // Bare `/` is a complete absolute path; a step follows only if
+            // one can start here.
+            if self.at_step_start() {
+                steps.push(self.parse_step()?);
+            } else {
+                return Ok(AstPath {
+                    absolute,
+                    steps,
+                });
+            }
+        } else {
+            absolute = false;
+            steps.push(self.parse_step()?);
+        }
+        loop {
+            if self.eat(&TokenKind::SlashSlash) {
+                steps.push(AstStep::simple(Axis::DescendantOrSelf, NodeTest::AnyNode));
+                steps.push(self.parse_step()?);
+            } else if self.eat(&TokenKind::Slash) {
+                steps.push(self.parse_step()?);
+            } else {
+                break;
+            }
+        }
+        Ok(AstPath { absolute, steps })
+    }
+
+    fn at_step_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(
+                TokenKind::Dot
+                    | TokenKind::DotDot
+                    | TokenKind::At
+                    | TokenKind::WildcardName
+                    | TokenKind::PrefixWildcard(_)
+                    | TokenKind::Name(_)
+            )
+        )
+    }
+
+    fn parse_step(&mut self) -> Result<AstStep, ParseError> {
+        // Abbreviated steps.
+        if self.eat(&TokenKind::Dot) {
+            return Ok(AstStep::simple(Axis::SelfAxis, NodeTest::AnyNode));
+        }
+        if self.eat(&TokenKind::DotDot) {
+            return Ok(AstStep::simple(Axis::Parent, NodeTest::AnyNode));
+        }
+        // Axis specifier.
+        let axis = if self.eat(&TokenKind::At) {
+            Axis::Attribute
+        } else if let (Some(TokenKind::Name(name)), Some(TokenKind::ColonColon)) =
+            (self.peek(), self.peek2())
+        {
+            let axis = Axis::from_str_opt(name).ok_or_else(|| ParseError {
+                message: format!("unknown axis `{name}`"),
+                offset: self.offset_here(),
+            })?;
+            self.pos += 2;
+            axis
+        } else {
+            Axis::Child
+        };
+        // Node test.
+        let test = self.parse_node_test()?;
+        // Predicates.
+        let mut predicates = Vec::new();
+        while self.peek() == Some(&TokenKind::LBracket) {
+            predicates.push(self.parse_predicate()?);
+        }
+        Ok(AstStep {
+            axis,
+            test,
+            predicates,
+        })
+    }
+
+    fn parse_node_test(&mut self) -> Result<NodeTest, ParseError> {
+        match self.peek().cloned() {
+            Some(TokenKind::WildcardName) => {
+                self.pos += 1;
+                Ok(NodeTest::Wildcard)
+            }
+            Some(TokenKind::PrefixWildcard(p)) => Err(ParseError {
+                message: format!(
+                    "namespace prefix wildcard `{p}:*` is not supported \
+                     (namespaces are treated as plain names)"
+                ),
+                offset: self.offset_here(),
+            }),
+            Some(TokenKind::Name(name)) => {
+                if self.peek2() == Some(&TokenKind::LParen) && is_node_type(&name) {
+                    self.pos += 2; // name (
+                    let test = match name.as_str() {
+                        "text" => NodeTest::Text,
+                        "comment" => NodeTest::Comment,
+                        "node" => NodeTest::AnyNode,
+                        "processing-instruction" => {
+                            if let Some(TokenKind::Literal(target)) = self.peek().cloned() {
+                                self.pos += 1;
+                                NodeTest::Pi(Some(target.as_str().into()))
+                            } else {
+                                NodeTest::Pi(None)
+                            }
+                        }
+                        _ => unreachable!("is_node_type checked"),
+                    };
+                    self.expect(&TokenKind::RParen, "`)` after node type test")?;
+                    Ok(test)
+                } else {
+                    self.pos += 1;
+                    Ok(NodeTest::name(&name))
+                }
+            }
+            _ => Err(self.error_here("expected a node test")),
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<AstExpr, ParseError> {
+        self.expect(&TokenKind::LBracket, "`[`")?;
+        let e = self.parse_or()?;
+        self.expect(&TokenKind::RBracket, "`]` after predicate")?;
+        Ok(e)
+    }
+
+    // ---- primaries ------------------------------------------------------
+
+    fn parse_primary(&mut self) -> Result<AstExpr, ParseError> {
+        match self.bump() {
+            Some(TokenKind::Variable(v)) => Ok(AstExpr::Var(v)),
+            Some(TokenKind::Number(n)) => Ok(AstExpr::Number(n)),
+            Some(TokenKind::Literal(s)) => Ok(AstExpr::Literal(s)),
+            Some(TokenKind::LParen) => {
+                let e = self.parse_or()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(TokenKind::Name(name)) => {
+                // Must be a function call (location paths were diverted in
+                // parse_path_expr).
+                self.expect(&TokenKind::LParen, "`(` after function name")?;
+                let mut args = Vec::new();
+                if self.peek() != Some(&TokenKind::RParen) {
+                    loop {
+                        args.push(self.parse_or()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RParen, "`)` after arguments")?;
+                Ok(AstExpr::Call(name, args))
+            }
+            Some(other) => Err(ParseError {
+                message: format!("expected an expression, found `{other}`"),
+                offset: self.tokens[self.pos - 1].offset,
+            }),
+            None => Err(ParseError {
+                message: "expected an expression, found end of input".to_string(),
+                offset: self.end_offset,
+            }),
+        }
+    }
+}
+
+fn is_node_type(name: &str) -> bool {
+    matches!(name, "comment" | "text" | "processing-instruction" | "node")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(s: &str) -> AstExpr {
+        parse_expr(s).unwrap_or_else(|e| panic!("parse {s:?}: {e}"))
+    }
+
+    /// Parse → display → parse must be a fixed point.
+    fn round_trips(s: &str) {
+        let e1 = parse_ok(s);
+        let printed = e1.to_string();
+        let e2 = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse {printed:?}: {err}"));
+        assert_eq!(e1, e2, "round trip of {s:?} via {printed:?}");
+    }
+
+    #[test]
+    fn bare_root() {
+        let e = parse_ok("/");
+        match e {
+            AstExpr::Path(p) => {
+                assert!(p.absolute);
+                assert!(p.steps.is_empty());
+            }
+            other => panic!("expected path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abbreviations_expand() {
+        let e = parse_ok("//a/.././@b");
+        let AstExpr::Path(p) = e else { panic!() };
+        assert!(p.absolute);
+        let rendered: Vec<String> = p.steps.iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "descendant-or-self::node()",
+                "child::a",
+                "parent::node()",
+                "self::node()",
+                "attribute::b",
+            ]
+        );
+    }
+
+    #[test]
+    fn unabbreviated_axes() {
+        for axis in [
+            "self", "child", "parent", "descendant", "ancestor",
+            "descendant-or-self", "ancestor-or-self", "following", "preceding",
+            "following-sibling", "preceding-sibling", "attribute",
+        ] {
+            let q = format!("{axis}::*");
+            let AstExpr::Path(p) = parse_ok(&q) else { panic!() };
+            assert_eq!(p.steps[0].axis.as_str(), axis);
+        }
+        assert!(parse_expr("sideways::*").is_err());
+    }
+
+    #[test]
+    fn node_tests() {
+        let AstExpr::Path(p) =
+            parse_ok("child::text()/child::comment()/child::node()/child::processing-instruction('x')")
+        else {
+            panic!()
+        };
+        assert_eq!(p.steps[0].test, NodeTest::Text);
+        assert_eq!(p.steps[1].test, NodeTest::Comment);
+        assert_eq!(p.steps[2].test, NodeTest::AnyNode);
+        assert_eq!(p.steps[3].test, NodeTest::Pi(Some("x".into())));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // or < and
+        let e = parse_ok("1 or 2 and 3");
+        assert!(matches!(e, AstExpr::Or(..)));
+        // = < relational? No: equality is *lower* precedence than relational.
+        let e = parse_ok("1 = 2 < 3");
+        let AstExpr::Compare(CmpOp::Eq, _, r) = e else { panic!() };
+        assert!(matches!(*r, AstExpr::Compare(CmpOp::Lt, ..)));
+        // + < *
+        let e = parse_ok("1 + 2 * 3");
+        let AstExpr::Arith(ArithOp::Add, _, r) = e else { panic!() };
+        assert!(matches!(*r, AstExpr::Arith(ArithOp::Mul, ..)));
+        // unary minus binds tighter than *
+        let e = parse_ok("-1 * 2");
+        assert!(matches!(e, AstExpr::Arith(ArithOp::Mul, ..)));
+        // double negation
+        let e = parse_ok("--1");
+        assert!(matches!(e, AstExpr::Neg(..)));
+    }
+
+    #[test]
+    fn left_associativity() {
+        let e = parse_ok("1 - 2 - 3");
+        // ((1-2)-3)
+        let AstExpr::Arith(ArithOp::Sub, l, _) = e else { panic!() };
+        assert!(matches!(*l, AstExpr::Arith(ArithOp::Sub, ..)));
+        let e = parse_ok("8 div 4 div 2");
+        let AstExpr::Arith(ArithOp::Div, l, _) = e else { panic!() };
+        assert!(matches!(*l, AstExpr::Arith(ArithOp::Div, ..)));
+    }
+
+    #[test]
+    fn union_of_paths() {
+        let e = parse_ok("a | b | c");
+        let AstExpr::Union(l, _) = e else { panic!() };
+        assert!(matches!(*l, AstExpr::Union(..)));
+    }
+
+    #[test]
+    fn function_calls() {
+        let e = parse_ok("concat('a', 'b', 'c')");
+        let AstExpr::Call(name, args) = e else { panic!() };
+        assert_eq!(name, "concat");
+        assert_eq!(args.len(), 3);
+        let e = parse_ok("true()");
+        assert!(matches!(e, AstExpr::Call(n, a) if n == "true" && a.is_empty()));
+    }
+
+    #[test]
+    fn filter_expressions() {
+        let e = parse_ok("(//a)[1]");
+        let AstExpr::Filter {
+            predicates, steps, ..
+        } = e
+        else {
+            panic!()
+        };
+        assert_eq!(predicates.len(), 1);
+        assert!(steps.is_empty());
+
+        let e = parse_ok("id('x')/child::b");
+        let AstExpr::Filter {
+            primary, steps, ..
+        } = e
+        else {
+            panic!()
+        };
+        assert!(matches!(*primary, AstExpr::Call(..)));
+        assert_eq!(steps.len(), 1);
+
+        let e = parse_ok("id('x')//b");
+        let AstExpr::Filter { steps, .. } = e else { panic!() };
+        assert_eq!(steps.len(), 2); // descendant-or-self::node() + child::b
+    }
+
+    #[test]
+    fn predicates_nest() {
+        let e = parse_ok("a[b[c]]");
+        let AstExpr::Path(p) = e else { panic!() };
+        let AstExpr::Path(inner) = &p.steps[0].predicates[0] else {
+            panic!()
+        };
+        assert_eq!(inner.steps[0].predicates.len(), 1);
+    }
+
+    #[test]
+    fn multiple_predicates() {
+        let AstExpr::Path(p) = parse_ok("a[1][2][last()]") else { panic!() };
+        assert_eq!(p.steps[0].predicates.len(), 3);
+    }
+
+    #[test]
+    fn paper_query_e_parses() {
+        let e = parse_ok(
+            "/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]",
+        );
+        let AstExpr::Path(p) = e else { panic!() };
+        assert!(p.absolute);
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[1].predicates.len(), 1);
+        let AstExpr::Or(l, r) = &p.steps[1].predicates[0] else { panic!() };
+        assert!(matches!(**l, AstExpr::Compare(CmpOp::Gt, ..)));
+        assert!(matches!(**r, AstExpr::Compare(CmpOp::Eq, ..)));
+    }
+
+    #[test]
+    fn paper_query_q_parses() {
+        let e = parse_ok(
+            "/child::a/descendant::*[boolean(following::d[(position() != last()) and \
+             (preceding-sibling::*/preceding::* = 100)]/following::d)]",
+        );
+        let AstExpr::Path(p) = e else { panic!() };
+        assert_eq!(p.steps.len(), 2);
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = parse_expr("a[").unwrap_err();
+        assert_eq!(err.offset, 2);
+        let err = parse_expr("f(1,)").unwrap_err();
+        assert!(err.offset >= 4);
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("a b").is_err());
+        assert!(parse_expr(")").is_err());
+        assert!(parse_expr("child::").is_err());
+        assert!(parse_expr("//").is_err());
+    }
+
+    #[test]
+    fn prefix_wildcard_rejected_gracefully() {
+        let err = parse_expr("child::ns:*").unwrap_err();
+        assert!(err.message.contains("not supported"));
+    }
+
+    #[test]
+    fn round_trip_corpus() {
+        for q in [
+            "/",
+            "/child::a",
+            "//a[@id='x']/b[1]",
+            "count(//item) > 3 and not(false())",
+            "a | b | c/d",
+            "-(-3) + 4 * 5 div 6 mod 7",
+            "string(/a/b) = 'x'",
+            "(//a)[2]/following-sibling::*[position() < last()]",
+            "id('k1 k2')/..",
+            "/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]",
+            "sum(//price) div count(//price)",
+            "processing-instruction('tgt')/self::node()",
+            "../preceding::comment()[2]",
+            "'literal with \"quotes\"'",
+            "ancestor-or-self::*[2][3]",
+        ] {
+            round_trips(q);
+        }
+    }
+
+    #[test]
+    fn div_as_element_name() {
+        // `div` at the start of a path is a name, not an operator.
+        let AstExpr::Path(p) = parse_ok("div/mod") else { panic!() };
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].test, NodeTest::name("div"));
+        assert_eq!(p.steps[1].test, NodeTest::name("mod"));
+    }
+
+    #[test]
+    fn complex_mixed_expression() {
+        round_trips(
+            "boolean(/a/b[position() mod 2 = 0] | //c[contains(string(.), 'x')]) \
+             or count(//d) >= 2",
+        );
+    }
+}

@@ -1,0 +1,822 @@
+//! XPath axes: the binary relations `χ ⊆ dom × dom` of Definition 1 and
+//! their set functions.
+//!
+//! Three entry points:
+//!
+//! * [`axis_image`] — `χ(X) = {y | ∃x ∈ X : x χ y}`, in `O(|D|)`;
+//! * [`axis_preimage`] — `χ⁻¹(Y) = {x | χ({x}) ∩ Y ≠ ∅}`, in `O(|D|)`;
+//! * [`Document::axis_nodes`] — the nodes reachable from a *single* node in
+//!   axis order `<doc,χ` (forward document order for forward axes, reverse
+//!   for `ancestor(-or-self)`, `preceding(-sibling)` and `parent`), which is
+//!   what positional predicates (`position()`, `last()`) are defined over.
+//!
+//! The `O(|D|)` bounds (shown in [11] and relied upon by every theorem in
+//! the paper) are achieved with single sweeps over the pre-order arena:
+//! e.g. `descendant(X)` propagates an "ancestor in X" flag down the parent
+//! pointers, and `following(X)` is `{y | pre(y) ≥ min_{x∈X} subtree_end(x)}`.
+//!
+//! The paper's formal model has no attribute nodes; we support them as an
+//! extension.  Per the XPath 1.0 data model, attribute nodes are *excluded*
+//! from the results of all tree axes and reachable only via `attribute`.
+//! The `id` pseudo-axis of Section 4 (`id(id(π))` rewritten to `π/id/id`)
+//! is also implemented here so location-path machinery can treat it
+//! uniformly.
+
+use crate::document::{Document, NONE};
+use crate::name::Name;
+use crate::node::{NodeId, NodeKind};
+use crate::nodeset::NodeSet;
+use std::fmt;
+
+/// The XPath axes of the paper (Section 2.1) plus the `attribute` extension
+/// and the `id` pseudo-axis of Section 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    SelfAxis,
+    Child,
+    Parent,
+    Descendant,
+    Ancestor,
+    DescendantOrSelf,
+    AncestorOrSelf,
+    Following,
+    Preceding,
+    FollowingSibling,
+    PrecedingSibling,
+    /// Extension: the XPath 1.0 `attribute` axis (outside the paper's
+    /// formal fragments).
+    Attribute,
+    /// The id-"axis" of Section 4: `x χ_id y` iff
+    /// `y ∈ deref_ids(strval(x))`.
+    Id,
+}
+
+impl Axis {
+    /// All axes, in a stable order (useful for exhaustive tests).
+    pub const ALL: [Axis; 13] = [
+        Axis::SelfAxis,
+        Axis::Child,
+        Axis::Parent,
+        Axis::Descendant,
+        Axis::Ancestor,
+        Axis::DescendantOrSelf,
+        Axis::AncestorOrSelf,
+        Axis::Following,
+        Axis::Preceding,
+        Axis::FollowingSibling,
+        Axis::PrecedingSibling,
+        Axis::Attribute,
+        Axis::Id,
+    ];
+
+    /// Whether `<doc,χ` is *reverse* document order for this axis
+    /// (Section 2.1: ancestor, ancestor-or-self, parent, preceding,
+    /// preceding-sibling).
+    pub fn is_reverse(self) -> bool {
+        matches!(
+            self,
+            Axis::Parent
+                | Axis::Ancestor
+                | Axis::AncestorOrSelf
+                | Axis::Preceding
+                | Axis::PrecedingSibling
+        )
+    }
+
+    /// The axis whose relation is the inverse of this one
+    /// (`x χ y ⇔ y χ⁻¹ x`), where one exists as a plain axis.
+    pub fn inverse(self) -> Option<Axis> {
+        Some(match self {
+            Axis::SelfAxis => Axis::SelfAxis,
+            Axis::Child => Axis::Parent,
+            Axis::Parent => Axis::Child,
+            Axis::Descendant => Axis::Ancestor,
+            Axis::Ancestor => Axis::Descendant,
+            Axis::DescendantOrSelf => Axis::AncestorOrSelf,
+            Axis::AncestorOrSelf => Axis::DescendantOrSelf,
+            Axis::Following => Axis::Preceding,
+            Axis::Preceding => Axis::Following,
+            Axis::FollowingSibling => Axis::PrecedingSibling,
+            Axis::PrecedingSibling => Axis::FollowingSibling,
+            Axis::Attribute | Axis::Id => return None,
+        })
+    }
+
+    /// The unabbreviated XPath spelling of the axis.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Axis::SelfAxis => "self",
+            Axis::Child => "child",
+            Axis::Parent => "parent",
+            Axis::Descendant => "descendant",
+            Axis::Ancestor => "ancestor",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::AncestorOrSelf => "ancestor-or-self",
+            Axis::Following => "following",
+            Axis::Preceding => "preceding",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::PrecedingSibling => "preceding-sibling",
+            Axis::Attribute => "attribute",
+            Axis::Id => "id",
+        }
+    }
+
+    /// Parses an axis name.
+    pub fn from_str_opt(s: &str) -> Option<Axis> {
+        Some(match s {
+            "self" => Axis::SelfAxis,
+            "child" => Axis::Child,
+            "parent" => Axis::Parent,
+            "descendant" => Axis::Descendant,
+            "ancestor" => Axis::Ancestor,
+            "descendant-or-self" => Axis::DescendantOrSelf,
+            "ancestor-or-self" => Axis::AncestorOrSelf,
+            "following" => Axis::Following,
+            "preceding" => Axis::Preceding,
+            "following-sibling" => Axis::FollowingSibling,
+            "preceding-sibling" => Axis::PrecedingSibling,
+            "attribute" => Axis::Attribute,
+            "id" => Axis::Id,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A node test `t`: the paper's `T : (Σ ∪ {*}) → 2^dom` extended with the
+/// XPath 1.0 kind tests.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// `*` — any node of the axis's *principal type* (element for every
+    /// tree axis, attribute for the attribute axis).
+    Wildcard,
+    /// A name test — principal-type node with this label.
+    Name(Box<str>),
+    /// `text()`
+    Text,
+    /// `comment()`
+    Comment,
+    /// `processing-instruction()` / `processing-instruction('target')`
+    Pi(Option<Box<str>>),
+    /// `node()` — any node.
+    AnyNode,
+}
+
+impl NodeTest {
+    /// Convenience constructor for a name test.
+    pub fn name(s: &str) -> NodeTest {
+        NodeTest::Name(s.into())
+    }
+
+    /// Resolves the test against a document, turning string comparisons
+    /// into integer comparisons for the per-node hot path.
+    pub fn resolve(&self, doc: &Document) -> ResolvedTest {
+        match self {
+            NodeTest::Wildcard => ResolvedTest::Wildcard,
+            NodeTest::Name(s) => match doc.find_name(s) {
+                Some(n) => ResolvedTest::Name(n),
+                None => ResolvedTest::NeverMatches,
+            },
+            NodeTest::Text => ResolvedTest::Text,
+            NodeTest::Comment => ResolvedTest::Comment,
+            NodeTest::Pi(None) => ResolvedTest::PiAny,
+            NodeTest::Pi(Some(t)) => match doc.find_name(t) {
+                Some(n) => ResolvedTest::Pi(n),
+                None => ResolvedTest::NeverMatches,
+            },
+            NodeTest::AnyNode => ResolvedTest::AnyNode,
+        }
+    }
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Wildcard => f.write_str("*"),
+            NodeTest::Name(s) => f.write_str(s),
+            NodeTest::Text => f.write_str("text()"),
+            NodeTest::Comment => f.write_str("comment()"),
+            NodeTest::Pi(None) => f.write_str("processing-instruction()"),
+            NodeTest::Pi(Some(t)) => write!(f, "processing-instruction('{t}')"),
+            NodeTest::AnyNode => f.write_str("node()"),
+        }
+    }
+}
+
+/// A [`NodeTest`] resolved against a specific document (name lookups done).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedTest {
+    Wildcard,
+    Name(Name),
+    Text,
+    Comment,
+    PiAny,
+    Pi(Name),
+    AnyNode,
+    /// A name test whose name does not occur in the document at all.
+    NeverMatches,
+}
+
+impl ResolvedTest {
+    /// Whether node `n` passes this test when reached via `axis`.
+    #[inline]
+    pub fn matches(self, doc: &Document, axis: Axis, n: NodeId) -> bool {
+        let kind = doc.kind(n);
+        match self {
+            ResolvedTest::AnyNode => true,
+            ResolvedTest::NeverMatches => false,
+            ResolvedTest::Wildcard => match axis {
+                Axis::Attribute => kind.is_attribute(),
+                _ => kind.is_element(),
+            },
+            ResolvedTest::Name(nm) => match axis {
+                Axis::Attribute => matches!(kind, NodeKind::Attribute(k) if k == nm),
+                _ => matches!(kind, NodeKind::Element(k) if k == nm),
+            },
+            ResolvedTest::Text => kind.is_text(),
+            ResolvedTest::Comment => kind == NodeKind::Comment,
+            ResolvedTest::PiAny => matches!(kind, NodeKind::Pi(_)),
+            ResolvedTest::Pi(nm) => matches!(kind, NodeKind::Pi(k) if k == nm),
+        }
+    }
+}
+
+/// `χ(X)` filtered by a node test, in `O(|D|)` (Definition 1; the filter
+/// does not change the bound).  The result is in document order.
+pub fn axis_image(doc: &Document, axis: Axis, x: &NodeSet, test: &NodeTest) -> NodeSet {
+    let t = test.resolve(doc);
+    let n = doc.len();
+    let keep = |node: NodeId| t.matches(doc, axis, node);
+    match axis {
+        Axis::SelfAxis => NodeSet::from_sorted_vec(x.iter().filter(|&m| keep(m)).collect()),
+        Axis::Child => {
+            let marked = mark(n, x);
+            collect(doc, |y| {
+                let p = doc.parent[y.index()];
+                p != NONE
+                    && marked[p as usize]
+                    && !doc.kind(y).is_attribute()
+                    && keep(y)
+            })
+        }
+        Axis::Parent => {
+            let mut flag = vec![false; n];
+            for m in x.iter() {
+                let p = doc.parent[m.index()];
+                if p != NONE {
+                    flag[p as usize] = true;
+                }
+            }
+            collect(doc, |y| flag[y.index()] && keep(y))
+        }
+        Axis::Descendant | Axis::DescendantOrSelf => {
+            let marked = mark(n, x);
+            // flag[i]: some proper ancestor of i is in X.  Parents precede
+            // children in pre-order, so a single forward sweep suffices.
+            let mut flag = vec![false; n];
+            for i in 1..n {
+                let p = doc.parent[i] as usize;
+                flag[i] = marked[p] || flag[p];
+            }
+            let or_self = axis == Axis::DescendantOrSelf;
+            collect(doc, |y| {
+                let i = y.index();
+                (flag[i] || (or_self && marked[i])) && !doc.kind(y).is_attribute() && keep(y)
+            })
+        }
+        Axis::Ancestor | Axis::AncestorOrSelf => {
+            let marked = mark(n, x);
+            // flag[i]: some proper descendant of i is in X.  Children follow
+            // parents in pre-order, so a single backward sweep suffices.
+            let mut flag = vec![false; n];
+            for i in (1..n).rev() {
+                let p = doc.parent[i] as usize;
+                if marked[i] || flag[i] {
+                    flag[p] = true;
+                }
+            }
+            let or_self = axis == Axis::AncestorOrSelf;
+            collect(doc, |y| {
+                let i = y.index();
+                (flag[i] || (or_self && marked[i])) && keep(y)
+            })
+        }
+        Axis::Following => {
+            // y ∈ following(X)  ⇔  pre(y) ≥ min_{x∈X} subtree_end(x).
+            let Some(m) = x.iter().map(|v| doc.subtree_end(v)).min() else {
+                return NodeSet::new();
+            };
+            NodeSet::from_sorted_vec(
+                (m..n)
+                    .map(NodeId::from_index)
+                    .filter(|&y| !doc.kind(y).is_attribute() && keep(y))
+                    .collect(),
+            )
+        }
+        Axis::Preceding => {
+            // y ∈ preceding(X)  ⇔  subtree_end(y) ≤ max_{x∈X} pre(x).
+            let Some(m) = x.iter().map(|v| v.index()).max() else {
+                return NodeSet::new();
+            };
+            collect(doc, |y| {
+                doc.subtree_end(y) <= m && !doc.kind(y).is_attribute() && keep(y)
+            })
+        }
+        Axis::FollowingSibling => {
+            let marked = mark(n, x);
+            // seen[p]: a marked child of p has already occurred in the
+            // pre-order sweep (siblings occur in document order).
+            let mut seen = vec![false; n];
+            let mut out = Vec::new();
+            for i in 1..n {
+                let y = NodeId::from_index(i);
+                if doc.kind(y).is_attribute() {
+                    continue;
+                }
+                let p = doc.parent[i] as usize;
+                if seen[p] && keep(y) {
+                    out.push(y);
+                }
+                if marked[i] {
+                    seen[p] = true;
+                }
+            }
+            NodeSet::from_sorted_vec(out)
+        }
+        Axis::PrecedingSibling => {
+            let marked = mark(n, x);
+            let mut seen = vec![false; n];
+            let mut out = Vec::new();
+            for i in (1..n).rev() {
+                let y = NodeId::from_index(i);
+                if doc.kind(y).is_attribute() {
+                    continue;
+                }
+                let p = doc.parent[i] as usize;
+                if seen[p] && keep(y) {
+                    out.push(y);
+                }
+                if marked[i] {
+                    seen[p] = true;
+                }
+            }
+            out.reverse();
+            NodeSet::from_sorted_vec(out)
+        }
+        Axis::Attribute => {
+            let marked = mark(n, x);
+            collect(doc, |y| {
+                let p = doc.parent[y.index()];
+                doc.kind(y).is_attribute() && p != NONE && marked[p as usize] && keep(y)
+            })
+        }
+        Axis::Id => {
+            // Tokens of text content reachable from X (descendant-or-self
+            // for element/root members; own content for the rest),
+            // dereferenced through the id index.  O(|D| + text).
+            let marked = mark(n, x);
+            let mut under = vec![false; n];
+            for i in 0..n {
+                let p = doc.parent[i];
+                let from_parent = p != NONE && {
+                    let pk = doc.kind(NodeId(p));
+                    (under[p as usize] || marked[p as usize])
+                        && matches!(pk, NodeKind::Root | NodeKind::Element(_))
+                };
+                under[i] = from_parent;
+            }
+            let mut out = Vec::new();
+            for i in 0..n {
+                let y = NodeId::from_index(i);
+                let content_counts = match doc.kind(y) {
+                    NodeKind::Text => under[i] || marked[i],
+                    NodeKind::Attribute(_) | NodeKind::Comment | NodeKind::Pi(_) => marked[i],
+                    _ => false,
+                };
+                if content_counts {
+                    out.extend(doc.deref_ids(doc.content(y)).iter());
+                }
+            }
+            out.retain(|&m| keep(m));
+            NodeSet::from_unsorted(out)
+        }
+    }
+}
+
+/// `χ⁻¹(Y) = {x ∈ dom | χ({x}) ∩ Y ≠ ∅}` (Definition 1), in `O(|D|)`.
+///
+/// For the tree axes this is the image under the mirror axis; `attribute`
+/// and `id` are handled directly.
+pub fn axis_preimage(doc: &Document, axis: Axis, y: &NodeSet) -> NodeSet {
+    match axis {
+        Axis::Attribute => {
+            // x has an attribute in Y  ⇔  x is the parent of an attribute
+            // node in Y.
+            let parents: Vec<NodeId> = y
+                .iter()
+                .filter(|&a| doc.kind(a).is_attribute())
+                .filter_map(|a| doc.parent(a))
+                .collect();
+            NodeSet::from_unsorted(parents)
+        }
+        Axis::Id => doc.id_preimage(y),
+        _ => {
+            let inv = axis.inverse().expect("tree axes have inverses");
+            axis_image(doc, inv, y, &NodeTest::AnyNode)
+        }
+    }
+}
+
+#[inline]
+fn mark(n: usize, x: &NodeSet) -> Vec<bool> {
+    let mut m = vec![false; n];
+    for v in x.iter() {
+        m[v.index()] = true;
+    }
+    m
+}
+
+fn collect(doc: &Document, mut pred: impl FnMut(NodeId) -> bool) -> NodeSet {
+    NodeSet::from_sorted_vec(
+        (0..doc.len())
+            .map(NodeId::from_index)
+            .filter(|&y| pred(y))
+            .collect(),
+    )
+}
+
+impl Document {
+    /// The nodes reachable from the single node `from` via `axis`,
+    /// filtered by `test`, **in axis order** `<doc,χ` (Section 2.1):
+    /// document order for forward axes, reverse document order for reverse
+    /// axes.  This ordering is what `position()` and `last()` are defined
+    /// over, so the evaluators build their candidate lists with it.
+    pub fn axis_nodes(&self, axis: Axis, from: NodeId, test: &NodeTest) -> Vec<NodeId> {
+        let t = test.resolve(self);
+        let mut out = Vec::new();
+        self.axis_nodes_into(axis, from, t, &mut out);
+        out
+    }
+
+    /// Allocation-reusing variant of [`Document::axis_nodes`].
+    pub fn axis_nodes_into(
+        &self,
+        axis: Axis,
+        from: NodeId,
+        t: ResolvedTest,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        let keep = |n: NodeId| t.matches(self, axis, n);
+        match axis {
+            Axis::SelfAxis => {
+                if keep(from) {
+                    out.push(from);
+                }
+            }
+            Axis::Child => out.extend(self.children(from).filter(|&c| keep(c))),
+            Axis::Parent => {
+                if let Some(p) = self.parent(from) {
+                    if keep(p) {
+                        out.push(p);
+                    }
+                }
+            }
+            Axis::Descendant => {
+                out.extend(self.descendants(from).filter(|&d| keep(d)));
+            }
+            Axis::DescendantOrSelf => {
+                if keep(from) {
+                    out.push(from);
+                }
+                out.extend(self.descendants(from).filter(|&d| keep(d)));
+            }
+            Axis::Ancestor | Axis::AncestorOrSelf => {
+                if axis == Axis::AncestorOrSelf && keep(from) {
+                    out.push(from);
+                }
+                let mut cur = self.parent(from);
+                while let Some(p) = cur {
+                    if keep(p) {
+                        out.push(p);
+                    }
+                    cur = self.parent(p);
+                }
+            }
+            Axis::Following => {
+                let start = self.subtree_end(from);
+                out.extend(
+                    (start..self.len())
+                        .map(NodeId::from_index)
+                        .filter(|&y| !self.kind(y).is_attribute() && keep(y)),
+                );
+            }
+            Axis::Preceding => {
+                // Reverse document order, skipping ancestors of `from`.
+                for i in (0..from.index()).rev() {
+                    let y = NodeId::from_index(i);
+                    if self.subtree_end(y) <= from.index()
+                        && !self.kind(y).is_attribute()
+                        && keep(y)
+                    {
+                        out.push(y);
+                    }
+                }
+            }
+            Axis::FollowingSibling => {
+                let mut cur = self.next_sibling(from);
+                while let Some(s) = cur {
+                    if keep(s) {
+                        out.push(s);
+                    }
+                    cur = self.next_sibling(s);
+                }
+            }
+            Axis::PrecedingSibling => {
+                let mut cur = self.prev_sibling(from);
+                while let Some(s) = cur {
+                    if keep(s) {
+                        out.push(s);
+                    }
+                    cur = self.prev_sibling(s);
+                }
+            }
+            Axis::Attribute => out.extend(self.attributes(from).filter(|&a| keep(a))),
+            Axis::Id => {
+                let set = self.deref_ids(&self.string_value(from));
+                out.extend(set.iter().filter(|&m| keep(m)));
+            }
+        }
+    }
+
+    /// Whether the pair `(x, y)` is in the axis relation `χ` — the
+    /// membership test `x χ y` used by the predicate loops of MINCONTEXT.
+    pub fn axis_relates(&self, axis: Axis, x: NodeId, y: NodeId) -> bool {
+        match axis {
+            Axis::SelfAxis => x == y,
+            Axis::Child => self.parent(y) == Some(x) && !self.kind(y).is_attribute(),
+            Axis::Parent => self.parent(x) == Some(y),
+            Axis::Descendant => self.is_ancestor_of(x, y) && !self.kind(y).is_attribute(),
+            Axis::Ancestor => self.is_ancestor_of(y, x),
+            Axis::DescendantOrSelf => {
+                x == y || (self.is_ancestor_of(x, y) && !self.kind(y).is_attribute())
+            }
+            Axis::AncestorOrSelf => x == y || self.is_ancestor_of(y, x),
+            Axis::Following => {
+                y.index() >= self.subtree_end(x) && !self.kind(y).is_attribute()
+            }
+            Axis::Preceding => {
+                self.subtree_end(y) <= x.index() && !self.kind(y).is_attribute()
+            }
+            Axis::FollowingSibling => {
+                self.parent(x) == self.parent(y)
+                    && x < y
+                    && !self.kind(y).is_attribute()
+                    && !self.kind(x).is_attribute()
+            }
+            Axis::PrecedingSibling => {
+                self.parent(x) == self.parent(y)
+                    && y < x
+                    && !self.kind(y).is_attribute()
+                    && !self.kind(x).is_attribute()
+            }
+            Axis::Attribute => self.kind(y).is_attribute() && self.parent(y) == Some(x),
+            Axis::Id => self.deref_ids(&self.string_value(x)).contains(y),
+        }
+    }
+}
+
+/// `idxχ(x, S)`: the 1-based index of `x` in `S` with respect to `<doc,χ`
+/// (Section 2.1).  `S` must be sorted in document order.
+pub fn idx_in_axis_order(axis: Axis, x: NodeId, s: &NodeSet) -> Option<usize> {
+    let pos = s.position_of(x)?;
+    Some(if axis.is_reverse() {
+        s.len() - pos
+    } else {
+        pos + 1
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Brute-force reference: enumerate all pairs via `axis_relates`.
+    fn brute_image(doc: &Document, axis: Axis, x: &NodeSet) -> NodeSet {
+        let mut out = Vec::new();
+        for y in doc.all_nodes() {
+            if x.iter().any(|m| doc.axis_relates(axis, m, y)) {
+                out.push(y);
+            }
+        }
+        NodeSet::from_sorted_vec(out)
+    }
+
+    fn brute_preimage(doc: &Document, axis: Axis, y: &NodeSet) -> NodeSet {
+        let mut out = Vec::new();
+        for x in doc.all_nodes() {
+            if y.iter().any(|m| doc.axis_relates(axis, x, m)) {
+                out.push(x);
+            }
+        }
+        NodeSet::from_sorted_vec(out)
+    }
+
+    fn doc1() -> Document {
+        parse("<a><b><c/><d/></b><e>text</e><f><g/></f></a>").unwrap()
+    }
+
+    fn all_elements(doc: &Document) -> NodeSet {
+        doc.all_nodes().filter(|&n| doc.kind(n).is_element()).collect()
+    }
+
+    #[test]
+    fn image_matches_brute_force_on_all_axes() {
+        let doc = doc1();
+        let elems = all_elements(&doc);
+        // Try every singleton and the full element set.
+        for axis in Axis::ALL {
+            if axis == Axis::Id {
+                continue; // no ids in this doc; covered separately
+            }
+            for x in elems.iter() {
+                let xs = NodeSet::singleton(x);
+                let fast = axis_image(&doc, axis, &xs, &NodeTest::AnyNode);
+                let slow = brute_image(&doc, axis, &xs);
+                assert_eq!(fast, slow, "axis {axis} from {x}");
+            }
+            let fast = axis_image(&doc, axis, &elems, &NodeTest::AnyNode);
+            let slow = brute_image(&doc, axis, &elems);
+            assert_eq!(fast, slow, "axis {axis} from all elements");
+        }
+    }
+
+    #[test]
+    fn preimage_matches_brute_force_on_tree_axes() {
+        let doc = doc1();
+        let elems = all_elements(&doc);
+        for axis in Axis::ALL {
+            if matches!(axis, Axis::Id) {
+                continue;
+            }
+            for y in elems.iter() {
+                let ys = NodeSet::singleton(y);
+                let fast = axis_preimage(&doc, axis, &ys);
+                let slow = brute_preimage(&doc, axis, &ys);
+                // The attribute-free document makes mirror-axis preimages
+                // exact (see DESIGN.md for the attribute edge case).
+                assert_eq!(fast, slow, "axis {axis} to {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn axis_nodes_ordering_forward_and_reverse() {
+        let doc = doc1();
+        let a = doc.document_element();
+        let b = doc.first_child(a).unwrap();
+        let c = doc.first_child(b).unwrap();
+
+        // descendant: document order.
+        let desc = doc.axis_nodes(Axis::Descendant, a, &NodeTest::Wildcard);
+        let labels: Vec<_> = desc.iter().map(|&n| doc.label_str(n).unwrap()).collect();
+        assert_eq!(labels, vec!["b", "c", "d", "e", "f", "g"]);
+
+        // ancestor: reverse document order (parent first).
+        let anc = doc.axis_nodes(Axis::Ancestor, c, &NodeTest::AnyNode);
+        assert_eq!(anc[0], b);
+        assert_eq!(anc[1], a);
+        assert_eq!(anc[2], doc.root());
+
+        // preceding from <g>: reverse document order, no ancestors.
+        let g = doc
+            .descendants(a)
+            .find(|&n| doc.label_str(n) == Some("g"))
+            .unwrap();
+        let prec = doc.axis_nodes(Axis::Preceding, g, &NodeTest::Wildcard);
+        let labels: Vec<_> = prec.iter().map(|&n| doc.label_str(n).unwrap()).collect();
+        assert_eq!(labels, vec!["e", "d", "c", "b"]);
+    }
+
+    #[test]
+    fn following_excludes_descendants_and_self() {
+        let doc = doc1();
+        let a = doc.document_element();
+        let b = doc.first_child(a).unwrap();
+        let foll = doc.axis_nodes(Axis::Following, b, &NodeTest::Wildcard);
+        let labels: Vec<_> = foll.iter().map(|&n| doc.label_str(n).unwrap()).collect();
+        assert_eq!(labels, vec!["e", "f", "g"]);
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let doc = doc1();
+        let a = doc.document_element();
+        let kids: Vec<_> = doc.children(a).collect();
+        let (b, e, f) = (kids[0], kids[1], kids[2]);
+        let fs = doc.axis_nodes(Axis::FollowingSibling, b, &NodeTest::Wildcard);
+        assert_eq!(fs, vec![e, f]);
+        let ps = doc.axis_nodes(Axis::PrecedingSibling, f, &NodeTest::Wildcard);
+        assert_eq!(ps, vec![e, b]); // reverse document order
+    }
+
+    #[test]
+    fn wildcard_selects_elements_only() {
+        let doc = parse("<a>t1<b/>t2</a>").unwrap();
+        let a = doc.document_element();
+        let star = doc.axis_nodes(Axis::Child, a, &NodeTest::Wildcard);
+        assert_eq!(star.len(), 1);
+        let any = doc.axis_nodes(Axis::Child, a, &NodeTest::AnyNode);
+        assert_eq!(any.len(), 3);
+        let text = doc.axis_nodes(Axis::Child, a, &NodeTest::Text);
+        assert_eq!(text.len(), 2);
+    }
+
+    #[test]
+    fn name_test_resolution() {
+        let doc = doc1();
+        let a = doc.document_element();
+        let bs = doc.axis_nodes(Axis::Descendant, a, &NodeTest::name("b"));
+        assert_eq!(bs.len(), 1);
+        let none = doc.axis_nodes(Axis::Descendant, a, &NodeTest::name("zzz"));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn attribute_axis_and_preimage() {
+        let doc = parse(r#"<a p="1"><b q="2" r="3"/></a>"#).unwrap();
+        let a = doc.document_element();
+        let b = doc.first_child(a).unwrap();
+        let attrs_b = doc.axis_nodes(Axis::Attribute, b, &NodeTest::Wildcard);
+        assert_eq!(attrs_b.len(), 2);
+        let q_only = doc.axis_nodes(Axis::Attribute, b, &NodeTest::name("q"));
+        assert_eq!(q_only.len(), 1);
+        // Preimage: owner elements of the attribute nodes.
+        let ys = NodeSet::from_unsorted(attrs_b.clone());
+        let owners = axis_preimage(&doc, Axis::Attribute, &ys);
+        assert_eq!(owners, NodeSet::singleton(b));
+        // Attributes never appear on tree axes.
+        let desc = doc.axis_nodes(Axis::Descendant, a, &NodeTest::AnyNode);
+        assert!(desc.iter().all(|&n| !doc.kind(n).is_attribute()));
+    }
+
+    #[test]
+    fn id_axis_image_and_preimage() {
+        // b's text references id 22; c has id 22.
+        let doc = parse(r#"<a id="10"><b id="11">22</b><c id="22">x</c></a>"#).unwrap();
+        let a = doc.document_element();
+        let b = doc.first_child(a).unwrap();
+        let c = doc.last_child(a).unwrap();
+        let img = axis_image(&doc, Axis::Id, &NodeSet::singleton(b), &NodeTest::AnyNode);
+        assert_eq!(img, NodeSet::singleton(c));
+        let pre = axis_preimage(&doc, Axis::Id, &NodeSet::singleton(c));
+        assert!(pre.contains(b));
+        // Per-text-node tokenization (see DESIGN.md): the text node "22"
+        // under b contributes the token to every ancestor's preimage.
+        assert!(pre.contains(a));
+    }
+
+    #[test]
+    fn idx_in_axis_order_forward_and_reverse() {
+        let s = NodeSet::from_unsorted(vec![
+            NodeId::from_index(2),
+            NodeId::from_index(5),
+            NodeId::from_index(9),
+        ]);
+        assert_eq!(idx_in_axis_order(Axis::Child, NodeId::from_index(2), &s), Some(1));
+        assert_eq!(idx_in_axis_order(Axis::Child, NodeId::from_index(9), &s), Some(3));
+        // Reverse axis: first in reverse doc order gets index 1.
+        assert_eq!(
+            idx_in_axis_order(Axis::Ancestor, NodeId::from_index(9), &s),
+            Some(1)
+        );
+        assert_eq!(
+            idx_in_axis_order(Axis::Ancestor, NodeId::from_index(2), &s),
+            Some(3)
+        );
+        assert_eq!(idx_in_axis_order(Axis::Child, NodeId::from_index(4), &s), None);
+    }
+
+    #[test]
+    fn axis_inverse_round_trip() {
+        for axis in Axis::ALL {
+            if let Some(inv) = axis.inverse() {
+                assert_eq!(inv.inverse(), Some(axis));
+            }
+        }
+    }
+
+    #[test]
+    fn axis_parse_round_trip() {
+        for axis in Axis::ALL {
+            assert_eq!(Axis::from_str_opt(axis.as_str()), Some(axis));
+        }
+        assert_eq!(Axis::from_str_opt("sideways"), None);
+    }
+}

@@ -1,0 +1,349 @@
+//! Programmatic document construction.
+//!
+//! [`DocumentBuilder`] receives SAX-style events (`start_element`, `text`,
+//! `end_element`, …) and assembles the pre-order arena of a [`Document`].
+//! Both the XML parser and the synthetic workload generators build documents
+//! through this one code path, so every invariant (pre-order ids, subtree
+//! ranges, sibling links, id index) is enforced in a single place.
+
+use crate::document::{Document, NONE};
+use crate::error::{XmlError, XmlErrorKind};
+use crate::name::NameTable;
+use crate::node::{NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// Incremental builder for [`Document`]s.
+///
+/// # Example
+///
+/// ```
+/// use minctx_xml::DocumentBuilder;
+///
+/// let mut b = DocumentBuilder::new();
+/// b.start_element("a", &[("id", "1")]);
+/// b.text("hello");
+/// b.end_element();
+/// let doc = b.finish().unwrap();
+/// assert_eq!(doc.string_value(doc.root()), "hello");
+/// ```
+#[derive(Debug)]
+pub struct DocumentBuilder {
+    names: NameTable,
+    kinds: Vec<NodeKind>,
+    parent: Vec<u32>,
+    first_child: Vec<u32>,
+    last_child: Vec<u32>,
+    next_sibling: Vec<u32>,
+    prev_sibling: Vec<u32>,
+    subtree_end: Vec<u32>,
+    content: Vec<Box<str>>,
+    id_index: HashMap<Box<str>, NodeId>,
+    text_bytes: usize,
+    /// Stack of open elements (indices into the arena); root at bottom.
+    open: Vec<u32>,
+    /// Name of the attribute that provides element ids (`id` by default).
+    id_attribute: String,
+    /// Whether a top-level element has been completed already.
+    saw_document_element: bool,
+}
+
+impl Default for DocumentBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DocumentBuilder {
+    /// Creates a builder holding just the document root node.
+    pub fn new() -> Self {
+        let mut b = DocumentBuilder {
+            names: NameTable::new(),
+            kinds: Vec::new(),
+            parent: Vec::new(),
+            first_child: Vec::new(),
+            last_child: Vec::new(),
+            next_sibling: Vec::new(),
+            prev_sibling: Vec::new(),
+            subtree_end: Vec::new(),
+            content: Vec::new(),
+            id_index: HashMap::new(),
+            text_bytes: 0,
+            open: Vec::new(),
+            id_attribute: "id".to_string(),
+            saw_document_element: false,
+        };
+        let root = b.push_node(NodeKind::Root, "", NONE);
+        b.open.push(root);
+        b
+    }
+
+    /// Pre-allocates arena capacity for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut b = Self::new();
+        b.kinds.reserve(n);
+        b.parent.reserve(n);
+        b.first_child.reserve(n);
+        b.last_child.reserve(n);
+        b.next_sibling.reserve(n);
+        b.prev_sibling.reserve(n);
+        b.subtree_end.reserve(n);
+        b.content.reserve(n);
+        b
+    }
+
+    /// Uses `name` instead of `id` as the id-providing attribute.
+    pub fn id_attribute(&mut self, name: &str) -> &mut Self {
+        self.id_attribute = name.to_string();
+        self
+    }
+
+    /// Raw node append; returns the arena index.  Links into the sibling
+    /// chain of `parent` unless the node is an attribute.
+    fn push_node(&mut self, kind: NodeKind, content: &str, parent: u32) -> u32 {
+        let idx = u32::try_from(self.kinds.len()).expect("document larger than u32::MAX nodes");
+        self.kinds.push(kind);
+        self.parent.push(parent);
+        self.first_child.push(NONE);
+        self.last_child.push(NONE);
+        self.next_sibling.push(NONE);
+        self.prev_sibling.push(NONE);
+        self.subtree_end.push(idx + 1);
+        self.content.push(content.into());
+        self.text_bytes += content.len();
+        if parent != NONE && !kind.is_attribute() {
+            let prev = self.last_child[parent as usize];
+            if prev == NONE {
+                self.first_child[parent as usize] = idx;
+            } else {
+                self.next_sibling[prev as usize] = idx;
+                self.prev_sibling[idx as usize] = prev;
+            }
+            self.last_child[parent as usize] = idx;
+        }
+        idx
+    }
+
+    fn current_parent(&self) -> u32 {
+        *self.open.last().expect("builder always has the root open")
+    }
+
+    /// Opens an element with the given attributes.
+    pub fn start_element(&mut self, name: &str, attrs: &[(&str, &str)]) -> &mut Self {
+        let nm = self.names.intern(name);
+        let parent = self.current_parent();
+        let elem = self.push_node(NodeKind::Element(nm), "", parent);
+        for (aname, avalue) in attrs {
+            let an = self.names.intern(aname);
+            self.push_node(NodeKind::Attribute(an), avalue, elem);
+            if *aname == self.id_attribute {
+                self.id_index
+                    .entry((*avalue).into())
+                    .or_insert(NodeId(elem));
+            }
+        }
+        self.open.push(elem);
+        self
+    }
+
+    /// Closes the most recently opened element.
+    ///
+    /// # Panics
+    /// Panics if no element is open (programming error when building
+    /// synthetically; the XML parser guards against it).
+    pub fn end_element(&mut self) -> &mut Self {
+        assert!(self.open.len() > 1, "end_element with no open element");
+        let elem = self.open.pop().expect("checked non-empty");
+        let end = u32::try_from(self.kinds.len()).expect("checked at push");
+        self.subtree_end[elem as usize] = end;
+        if self.open.len() == 1 {
+            self.saw_document_element = true;
+        }
+        self
+    }
+
+    /// Appends a text node (empty text is dropped, matching the XPath data
+    /// model in which empty text nodes do not exist).
+    pub fn text(&mut self, content: &str) -> &mut Self {
+        if !content.is_empty() {
+            let parent = self.current_parent();
+            self.push_node(NodeKind::Text, content, parent);
+        }
+        self
+    }
+
+    /// Appends a comment node.
+    pub fn comment(&mut self, content: &str) -> &mut Self {
+        let parent = self.current_parent();
+        self.push_node(NodeKind::Comment, content, parent);
+        self
+    }
+
+    /// Appends a processing-instruction node.
+    pub fn processing_instruction(&mut self, target: &str, content: &str) -> &mut Self {
+        let nm = self.names.intern(target);
+        let parent = self.current_parent();
+        self.push_node(NodeKind::Pi(nm), content, parent);
+        self
+    }
+
+    /// Convenience: an element with a single text child.
+    pub fn leaf(&mut self, name: &str, attrs: &[(&str, &str)], text: &str) -> &mut Self {
+        self.start_element(name, attrs);
+        self.text(text);
+        self.end_element();
+        self
+    }
+
+    /// How many nodes have been appended so far.
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Finalizes the document.
+    ///
+    /// Fails if elements are still open or if there is no document element.
+    pub fn finish(mut self) -> Result<Document, XmlError> {
+        if self.open.len() > 1 {
+            return Err(XmlError::new(
+                XmlErrorKind::UnclosedElements(self.open.len() - 1),
+                0,
+                0,
+                0,
+            ));
+        }
+        if !self.saw_document_element {
+            return Err(XmlError::new(XmlErrorKind::NoRootElement, 0, 0, 0));
+        }
+        let end = u32::try_from(self.kinds.len()).expect("checked at push");
+        self.subtree_end[0] = end;
+        Ok(Document {
+            names: self.names,
+            kinds: self.kinds,
+            parent: self.parent,
+            first_child: self.first_child,
+            last_child: self.last_child,
+            next_sibling: self.next_sibling,
+            prev_sibling: self.prev_sibling,
+            subtree_end: self.subtree_end,
+            content: self.content,
+            id_index: self.id_index,
+            text_bytes: self.text_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::XmlErrorKind;
+
+    #[test]
+    fn build_simple_tree() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a", &[]);
+        b.leaf("b", &[], "x");
+        b.leaf("b", &[], "y");
+        b.end_element();
+        let doc = b.finish().unwrap();
+        let a = doc.document_element();
+        assert_eq!(doc.children(a).count(), 2);
+        assert_eq!(doc.string_value(a), "xy");
+    }
+
+    #[test]
+    fn subtree_end_is_correct() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a", &[]); // idx 1
+        b.start_element("b", &[]); // idx 2
+        b.text("t"); // idx 3
+        b.end_element();
+        b.leaf("c", &[], ""); // idx 4
+        b.end_element();
+        let doc = b.finish().unwrap();
+        assert_eq!(doc.subtree_end(doc.root()), 5);
+        let a = doc.document_element();
+        assert_eq!(doc.subtree_end(a), 5);
+        let bnode = doc.first_child(a).unwrap();
+        assert_eq!(doc.subtree_end(bnode), 4);
+    }
+
+    #[test]
+    fn unclosed_element_is_an_error() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a", &[]);
+        let err = b.finish().unwrap_err();
+        assert_eq!(*err.kind(), XmlErrorKind::UnclosedElements(1));
+    }
+
+    #[test]
+    fn empty_document_is_an_error() {
+        let b = DocumentBuilder::new();
+        let err = b.finish().unwrap_err();
+        assert_eq!(*err.kind(), XmlErrorKind::NoRootElement);
+    }
+
+    #[test]
+    fn empty_text_nodes_are_dropped() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a", &[]);
+        b.text("");
+        b.end_element();
+        let doc = b.finish().unwrap();
+        assert_eq!(doc.len(), 2); // root + a
+    }
+
+    #[test]
+    fn id_index_prefers_first_occurrence() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a", &[("id", "k")]);
+        b.leaf("b", &[("id", "k")], "");
+        b.end_element();
+        let doc = b.finish().unwrap();
+        assert_eq!(doc.element_by_id("k"), Some(doc.document_element()));
+    }
+
+    #[test]
+    fn custom_id_attribute() {
+        let mut b = DocumentBuilder::new();
+        b.id_attribute("key");
+        b.start_element("a", &[("key", "z"), ("id", "ignored")]);
+        b.end_element();
+        let doc = b.finish().unwrap();
+        assert_eq!(doc.element_by_id("z"), Some(doc.document_element()));
+        assert_eq!(doc.element_by_id("ignored"), None);
+    }
+
+    #[test]
+    fn comments_and_pis() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a", &[]);
+        b.comment("note");
+        b.processing_instruction("target", "data");
+        b.end_element();
+        let doc = b.finish().unwrap();
+        let a = doc.document_element();
+        let kids: Vec<_> = doc.children(a).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(doc.content(kids[0]), "note");
+        assert_eq!(doc.label_str(kids[1]), Some("target"));
+        // Comments do not contribute to string value.
+        assert_eq!(doc.string_value(a), "");
+    }
+
+    #[test]
+    fn attributes_do_not_enter_sibling_chain() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a", &[("x", "1")]);
+        b.leaf("b", &[], "");
+        b.end_element();
+        let doc = b.finish().unwrap();
+        let a = doc.document_element();
+        let kids: Vec<_> = doc.children(a).collect();
+        assert_eq!(kids.len(), 1);
+        assert_eq!(doc.label_str(kids[0]), Some("b"));
+        // But the attribute is in the subtree range right after the element.
+        let attr = NodeId::from_index(a.index() + 1);
+        assert!(doc.kind(attr).is_attribute());
+        assert_eq!(doc.parent(attr), Some(a));
+    }
+}

@@ -1,0 +1,133 @@
+//! Interned element/attribute names (the labeling alphabet Σ of the paper).
+//!
+//! Every element label and attribute name is interned into a per-document
+//! [`NameTable`]; a [`Name`] is a `u32` index into it.  Node tests then
+//! compare labels with a single integer comparison, which keeps the per-node
+//! cost of `T(t)` constant — required for the `O(|D|)` axis-step bound of
+//! Definition 1 / [11].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned name: an index into the owning document's [`NameTable`].
+///
+/// `Name`s from different documents must not be mixed; they are plain
+/// indices.  Equality of two `Name`s from the same table is equality of the
+/// underlying strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name(pub(crate) u32);
+
+impl Name {
+    /// The raw index of the interned name.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "name#{}", self.0)
+    }
+}
+
+/// An interning table for names.
+///
+/// Σ in the paper's data model: the set of XML tags appearing in the
+/// document, plus any names interned while compiling queries against it
+/// (so a query's node test `foo` resolves to a `Name` even if no `foo`
+/// element exists).
+#[derive(Debug, Default, Clone)]
+pub struct NameTable {
+    strings: Vec<Box<str>>,
+    index: HashMap<Box<str>, Name>,
+}
+
+impl NameTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning the existing [`Name`] if already present.
+    pub fn intern(&mut self, s: &str) -> Name {
+        if let Some(&n) = self.index.get(s) {
+            return n;
+        }
+        let n = Name(u32::try_from(self.strings.len()).expect("more than u32::MAX names"));
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.index.insert(boxed, n);
+        n
+    }
+
+    /// Looks up a name without interning it.
+    pub fn get(&self, s: &str) -> Option<Name> {
+        self.index.get(s).copied()
+    }
+
+    /// Returns the string for an interned name.
+    ///
+    /// # Panics
+    /// Panics if `n` was not produced by this table.
+    pub fn resolve(&self, n: Name) -> &str {
+        &self.strings[n.index()]
+    }
+
+    /// Number of distinct names interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = NameTable::new();
+        let a1 = t.intern("alpha");
+        let b = t.intern("beta");
+        let a2 = t.intern("alpha");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t = NameTable::new();
+        let n = t.intern("chapter");
+        assert_eq!(t.resolve(n), "chapter");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = NameTable::new();
+        assert!(t.get("x").is_none());
+        let n = t.intern("x");
+        assert_eq!(t.get("x"), Some(n));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = NameTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn many_names_distinct() {
+        let mut t = NameTable::new();
+        let names: Vec<Name> = (0..1000).map(|i| t.intern(&format!("n{i}"))).collect();
+        for (i, n) in names.iter().enumerate() {
+            assert_eq!(t.resolve(*n), format!("n{i}"));
+        }
+    }
+}

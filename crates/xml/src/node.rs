@@ -1,0 +1,132 @@
+//! Node identifiers and node kinds.
+//!
+//! A [`NodeId`] is the node's *pre-order (document-order) index* in its
+//! document.  This representation is load-bearing for the whole engine:
+//!
+//! * document order `<doc` (Section 2.1 of the paper) is integer comparison,
+//! * a subtree is the contiguous index range `pre(x)+1 .. subtree_end(x)`,
+//! * per-node context-value tables are dense arrays indexed by `NodeId`.
+
+use crate::name::Name;
+use std::fmt;
+
+/// A node in a [`Document`](crate::Document), identified by its pre-order
+/// index.  Ordering of `NodeId`s *is* document order (`<doc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The document root node (not the document *element*): the node `/`
+    /// selects, parent of the top-level element.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// The raw pre-order index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a `NodeId` from a raw index.
+    ///
+    /// Only meaningful for indices obtained from the same document.
+    #[inline]
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(u32::try_from(i).expect("document larger than u32::MAX nodes"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The kind of a node.
+///
+/// The paper's formal model treats all of `dom` uniformly, and in its
+/// examples `dom` contains element nodes only; we implement the XPath 1.0
+/// data model (root/element/text/comment/PI/attribute), which coincides with
+/// the paper's on its examples because the node test `*` selects only nodes
+/// of the *principal type* (elements, for all tree axes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// The unique document root ("/" in XPath); parent of the document
+    /// element.
+    Root,
+    /// An element with an interned tag name.
+    Element(Name),
+    /// A text node; its content lives in the document's content table.
+    Text,
+    /// A comment node.
+    Comment,
+    /// A processing instruction with an interned target name.
+    Pi(Name),
+    /// An attribute node (extension; reachable only via the `attribute`
+    /// axis, excluded from all tree axes per the XPath 1.0 data model).
+    Attribute(Name),
+}
+
+impl NodeKind {
+    /// Whether this node is an element.
+    #[inline]
+    pub fn is_element(self) -> bool {
+        matches!(self, NodeKind::Element(_))
+    }
+
+    /// Whether this node is a text node.
+    #[inline]
+    pub fn is_text(self) -> bool {
+        matches!(self, NodeKind::Text)
+    }
+
+    /// Whether this node is an attribute node.
+    #[inline]
+    pub fn is_attribute(self) -> bool {
+        matches!(self, NodeKind::Attribute(_))
+    }
+
+    /// The element tag / PI target / attribute name, if this kind carries
+    /// one.
+    #[inline]
+    pub fn name(self) -> Option<Name> {
+        match self {
+            NodeKind::Element(n) | NodeKind::Pi(n) | NodeKind::Attribute(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_order_is_index_order() {
+        let a = NodeId::from_index(3);
+        let b = NodeId::from_index(7);
+        assert!(a < b);
+        assert_eq!(a.index(), 3);
+    }
+
+    #[test]
+    fn root_is_zero() {
+        assert_eq!(NodeId::ROOT.index(), 0);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        let n = Name(0);
+        assert!(NodeKind::Element(n).is_element());
+        assert!(!NodeKind::Text.is_element());
+        assert!(NodeKind::Text.is_text());
+        assert!(NodeKind::Attribute(n).is_attribute());
+        assert_eq!(NodeKind::Element(n).name(), Some(n));
+        assert_eq!(NodeKind::Root.name(), None);
+        assert_eq!(NodeKind::Comment.name(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NodeId::from_index(5).to_string(), "n5");
+    }
+}

@@ -1,0 +1,302 @@
+//! Node sets: subsets of `dom` in document order.
+//!
+//! A [`NodeSet`] is a deduplicated `Vec<NodeId>` sorted ascending — i.e. in
+//! document order, since [`NodeId`] *is* the pre-order index.  All set
+//! operations preserve that invariant.  Membership is `O(log n)`; union and
+//! intersection are linear merges.
+
+use crate::node::NodeId;
+use std::fmt;
+
+/// A set of nodes, maintained sorted in document order and duplicate-free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeSet {
+    nodes: Vec<NodeId>,
+}
+
+impl NodeSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        NodeSet { nodes: Vec::new() }
+    }
+
+    /// Pre-allocates capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        NodeSet {
+            nodes: Vec::with_capacity(n),
+        }
+    }
+
+    /// A singleton set.
+    pub fn singleton(n: NodeId) -> Self {
+        NodeSet { nodes: vec![n] }
+    }
+
+    /// Builds from an arbitrary vector: sorts and deduplicates.
+    pub fn from_unsorted(mut nodes: Vec<NodeId>) -> Self {
+        nodes.sort_unstable();
+        nodes.dedup();
+        NodeSet { nodes }
+    }
+
+    /// Builds from a vector the caller guarantees is sorted ascending and
+    /// duplicate-free (checked in debug builds).
+    pub fn from_sorted_vec(nodes: Vec<NodeId>) -> Self {
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "not sorted/deduped");
+        NodeSet { nodes }
+    }
+
+    /// Number of nodes in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Membership test, `O(log n)`.
+    #[inline]
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.nodes.binary_search(&n).is_ok()
+    }
+
+    /// The position (0-based) of `n` in document order within the set.
+    pub fn position_of(&self, n: NodeId) -> Option<usize> {
+        self.nodes.binary_search(&n).ok()
+    }
+
+    /// The first node in document order (`first_<doc` of the paper).
+    #[inline]
+    pub fn first(&self) -> Option<NodeId> {
+        self.nodes.first().copied()
+    }
+
+    /// The last node in document order.
+    #[inline]
+    pub fn last(&self) -> Option<NodeId> {
+        self.nodes.last().copied()
+    }
+
+    /// Iterates in document order.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = NodeId> + ExactSizeIterator + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Read-only view of the underlying sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Inserts a node, keeping order; `O(n)` worst case, `O(1)` when
+    /// appending in document order (the common construction pattern).
+    pub fn insert(&mut self, n: NodeId) {
+        match self.nodes.last() {
+            Some(&l) if l < n => self.nodes.push(n),
+            Some(&l) if l == n => {}
+            None => self.nodes.push(n),
+            _ => {
+                if let Err(pos) = self.nodes.binary_search(&n) {
+                    self.nodes.insert(pos, n);
+                }
+            }
+        }
+    }
+
+    /// Set union (linear merge).
+    pub fn union(&self, other: &NodeSet) -> NodeSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.nodes.len() && j < other.nodes.len() {
+            let (a, b) = (self.nodes[i], other.nodes[j]);
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => {
+                    out.push(a);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.nodes[i..]);
+        out.extend_from_slice(&other.nodes[j..]);
+        NodeSet { nodes: out }
+    }
+
+    /// Set intersection (linear merge).
+    pub fn intersect(&self, other: &NodeSet) -> NodeSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.nodes.len() && j < other.nodes.len() {
+            let (a, b) = (self.nodes[i], other.nodes[j]);
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        NodeSet { nodes: out }
+    }
+
+    /// Set difference `self \ other` (linear merge).
+    pub fn difference(&self, other: &NodeSet) -> NodeSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.nodes.len() {
+            if j >= other.nodes.len() {
+                out.extend_from_slice(&self.nodes[i..]);
+                break;
+            }
+            let (a, b) = (self.nodes[i], other.nodes[j]);
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => {
+                    out.push(a);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        NodeSet { nodes: out }
+    }
+
+    /// Keeps only nodes satisfying `pred`.
+    pub fn retain(&mut self, mut pred: impl FnMut(NodeId) -> bool) {
+        self.nodes.retain(|&n| pred(n));
+    }
+
+    /// Consumes the set, returning the sorted vector.
+    pub fn into_vec(self) -> Vec<NodeId> {
+        self.nodes
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        NodeSet::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeSet {
+    type Item = NodeId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, NodeId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.nodes.iter().copied()
+    }
+}
+
+impl fmt::Display for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> NodeSet {
+        NodeSet::from_unsorted(v.iter().map(|&i| NodeId::from_index(i)).collect())
+    }
+
+    #[test]
+    fn from_unsorted_sorts_and_dedups() {
+        let s = ids(&[5, 1, 3, 1, 5]);
+        assert_eq!(s.len(), 3);
+        let v: Vec<usize> = s.iter().map(|n| n.index()).collect();
+        assert_eq!(v, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = ids(&[1, 3, 5, 7]);
+        let b = ids(&[3, 4, 5, 8]);
+        assert_eq!(a.union(&b), ids(&[1, 3, 4, 5, 7, 8]));
+        assert_eq!(a.intersect(&b), ids(&[3, 5]));
+        assert_eq!(a.difference(&b), ids(&[1, 7]));
+        assert_eq!(b.difference(&a), ids(&[4, 8]));
+    }
+
+    #[test]
+    fn union_with_empty() {
+        let a = ids(&[2, 4]);
+        let e = NodeSet::new();
+        assert_eq!(a.union(&e), a);
+        assert_eq!(e.union(&a), a);
+        assert_eq!(a.intersect(&e), e);
+        assert_eq!(a.difference(&e), a);
+        assert_eq!(e.difference(&a), e);
+    }
+
+    #[test]
+    fn contains_and_position() {
+        let s = ids(&[10, 20, 30]);
+        assert!(s.contains(NodeId::from_index(20)));
+        assert!(!s.contains(NodeId::from_index(25)));
+        assert_eq!(s.position_of(NodeId::from_index(30)), Some(2));
+        assert_eq!(s.position_of(NodeId::from_index(11)), None);
+    }
+
+    #[test]
+    fn insert_maintains_order() {
+        let mut s = NodeSet::new();
+        s.insert(NodeId::from_index(5));
+        s.insert(NodeId::from_index(2));
+        s.insert(NodeId::from_index(9));
+        s.insert(NodeId::from_index(5)); // duplicate
+        assert_eq!(s, ids(&[2, 5, 9]));
+    }
+
+    #[test]
+    fn first_and_last() {
+        let s = ids(&[4, 2, 8]);
+        assert_eq!(s.first().map(|n| n.index()), Some(2));
+        assert_eq!(s.last().map(|n| n.index()), Some(8));
+        assert_eq!(NodeSet::new().first(), None);
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut s = ids(&[1, 2, 3, 4, 5]);
+        s.retain(|n| n.index() % 2 == 1);
+        assert_eq!(s, ids(&[1, 3, 5]));
+    }
+
+    #[test]
+    fn display_formatting() {
+        let s = ids(&[1, 2]);
+        assert_eq!(s.to_string(), "{n1, n2}");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: NodeSet = (0..4).map(NodeId::from_index).collect();
+        assert_eq!(s.len(), 4);
+    }
+}

@@ -1,0 +1,677 @@
+//! A from-scratch, non-validating XML parser.
+//!
+//! Supports the XML subset needed by the engine and its workloads:
+//! elements, attributes, character data with entity and character
+//! references, CDATA sections, comments, processing instructions, an
+//! optional XML declaration, and a skipped-over DOCTYPE declaration
+//! (without internal-subset markup declarations).  Namespaces are treated
+//! as plain names with colons, matching the paper's model which omits the
+//! namespace axis.
+//!
+//! The parser drives a [`DocumentBuilder`], so it shares every structural
+//! invariant with programmatically built documents.
+
+use crate::builder::DocumentBuilder;
+use crate::document::Document;
+use crate::error::{XmlError, XmlErrorKind};
+
+/// Options controlling document construction.
+#[derive(Debug, Clone)]
+pub struct ParseOptions {
+    /// Drop text nodes consisting entirely of XML whitespace.  This matches
+    /// the paper's examples (Figure 2 is pretty-printed; its `dom` contains
+    /// no whitespace nodes).  Default: `false`.
+    pub strip_whitespace_text: bool,
+    /// Drop comment nodes.  Default: `false`.
+    pub keep_comments: bool,
+    /// Drop processing-instruction nodes.  Default: `false`.
+    pub keep_processing_instructions: bool,
+    /// Attribute name supplying element ids for `id()` (DTDs, the standard
+    /// source of ID-typed attributes, are not interpreted).  Default: `id`.
+    pub id_attribute: String,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            strip_whitespace_text: false,
+            keep_comments: true,
+            keep_processing_instructions: true,
+            id_attribute: "id".to_string(),
+        }
+    }
+}
+
+impl ParseOptions {
+    /// Options matching the paper's data model: whitespace-only text
+    /// stripped, comments and PIs kept.
+    pub fn paper_model() -> Self {
+        ParseOptions {
+            strip_whitespace_text: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Parses an XML document with default options.
+pub fn parse(input: &str) -> Result<Document, XmlError> {
+    parse_with_options(input, &ParseOptions::default())
+}
+
+/// Parses an XML document with explicit [`ParseOptions`].
+pub fn parse_with_options(input: &str, opts: &ParseOptions) -> Result<Document, XmlError> {
+    let mut p = Parser::new(input, opts);
+    p.parse_document()?;
+    p.builder.finish()
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    opts: &'a ParseOptions,
+    builder: DocumentBuilder,
+    open_names: Vec<String>,
+    text_buf: String,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str, opts: &'a ParseOptions) -> Self {
+        let mut builder = DocumentBuilder::with_capacity(input.len() / 16);
+        builder.id_attribute(&opts.id_attribute);
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            opts,
+            builder,
+            open_names: Vec::new(),
+            text_buf: String::new(),
+        }
+    }
+
+    fn err(&self, kind: XmlErrorKind) -> XmlError {
+        self.err_at(kind, self.pos)
+    }
+
+    fn err_at(&self, kind: XmlErrorKind, offset: usize) -> XmlError {
+        let mut line = 1u32;
+        let mut col = 1u32;
+        for c in self.input[..offset.min(self.input.len())].chars() {
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        XmlError::new(kind, offset, line, col)
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), XmlError> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else if self.pos >= self.input.len() {
+            Err(self.err(XmlErrorKind::UnexpectedEof))
+        } else {
+            let c = self.input[self.pos..].chars().next().expect("in bounds");
+            Err(self.err(XmlErrorKind::UnexpectedChar(c)))
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<(), XmlError> {
+        // Optional XML declaration.
+        if self.starts_with("<?xml") {
+            let close = self.input[self.pos..]
+                .find("?>")
+                .ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))?;
+            self.pos += close + 2;
+        }
+        // Misc (comments, PIs, whitespace), optional DOCTYPE, misc, element,
+        // misc.
+        let mut seen_element = false;
+        loop {
+            self.skip_whitespace();
+            if self.pos >= self.input.len() {
+                break;
+            }
+            if self.starts_with("<!--") {
+                self.parse_comment()?;
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else if self.starts_with("<?") {
+                self.parse_pi()?;
+            } else if self.peek() == Some(b'<') {
+                if seen_element {
+                    return Err(self.err(XmlErrorKind::TrailingContent));
+                }
+                self.parse_element()?;
+                seen_element = true;
+            } else {
+                return Err(self.err(XmlErrorKind::TrailingContent));
+            }
+        }
+        if !seen_element {
+            return Err(self.err(XmlErrorKind::NoRootElement));
+        }
+        Ok(())
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), XmlError> {
+        // "<!DOCTYPE" ... '>' with possible [...] internal subset (skipped,
+        // not interpreted) and quoted system/public literals.
+        self.pos += "<!DOCTYPE".len();
+        let mut depth = 0usize;
+        while let Some(b) = self.peek() {
+            match b {
+                b'[' => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                b']' => {
+                    depth = depth.saturating_sub(1);
+                    self.pos += 1;
+                }
+                b'"' | b'\'' => {
+                    let quote = b;
+                    self.pos += 1;
+                    while let Some(c) = self.peek() {
+                        self.pos += 1;
+                        if c == quote {
+                            break;
+                        }
+                    }
+                }
+                b'>' if depth == 0 => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => self.pos += 1,
+            }
+        }
+        Err(self.err(XmlErrorKind::UnexpectedEof))
+    }
+
+    fn parse_name(&mut self) -> Result<&'a str, XmlError> {
+        let start = self.pos;
+        let rest = &self.input[self.pos..];
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            Some((_, c)) if is_name_start(c) => {}
+            Some((_, c)) => return Err(self.err(XmlErrorKind::UnexpectedChar(c))),
+            None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+        }
+        let mut end = rest.len();
+        for (i, c) in chars {
+            if !is_name_char(c) {
+                end = i;
+                break;
+            }
+        }
+        self.pos = start + end;
+        Ok(&rest[..end])
+    }
+
+    fn parse_element(&mut self) -> Result<(), XmlError> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let mut attrs: Vec<(&str, String)> = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    self.start_element(name, &attrs);
+                    self.open_names.push(name.to_string());
+                    self.parse_content()?;
+                    return Ok(());
+                }
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    self.start_element(name, &attrs);
+                    self.builder.end_element();
+                    return Ok(());
+                }
+                Some(_) => {
+                    let at = self.pos;
+                    let aname = self.parse_name()?;
+                    if attrs.iter().any(|(n, _)| *n == aname) {
+                        return Err(
+                            self.err_at(XmlErrorKind::DuplicateAttribute(aname.to_string()), at)
+                        );
+                    }
+                    self.skip_whitespace();
+                    self.expect("=")?;
+                    self.skip_whitespace();
+                    let value = self.parse_attribute_value()?;
+                    attrs.push((aname, value));
+                }
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn start_element(&mut self, name: &str, attrs: &[(&str, String)]) {
+        let borrowed: Vec<(&str, &str)> =
+            attrs.iter().map(|(n, v)| (*n, v.as_str())).collect();
+        self.builder.start_element(name, &borrowed);
+    }
+
+    fn parse_attribute_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            Some(_) => {
+                let c = self.input[self.pos..].chars().next().expect("in bounds");
+                return Err(self.err(XmlErrorKind::UnexpectedChar(c)));
+            }
+            None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+        };
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(q) if q == quote => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'<') => {
+                    return Err(self.err(XmlErrorKind::Malformed(
+                        "'<' in attribute value".to_string(),
+                    )))
+                }
+                Some(b'&') => {
+                    let c = self.parse_reference()?;
+                    out.push_str(&c);
+                }
+                Some(_) => {
+                    let c = self.input[self.pos..].chars().next().expect("in bounds");
+                    // Attribute-value normalization: whitespace → space.
+                    out.push(if matches!(c, '\t' | '\n' | '\r') { ' ' } else { c });
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    /// Parses `&...;` (named entity or character reference); returns the
+    /// replacement text.
+    fn parse_reference(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        self.expect("&")?;
+        let semi = self.input[self.pos..]
+            .find(';')
+            .ok_or_else(|| self.err_at(XmlErrorKind::BadEntity("&".to_string()), start))?;
+        let body = &self.input[self.pos..self.pos + semi];
+        if body.len() > 32 {
+            return Err(self.err_at(XmlErrorKind::BadEntity(body.to_string()), start));
+        }
+        let replacement = if let Some(num) = body.strip_prefix('#') {
+            let code = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+                u32::from_str_radix(hex, 16)
+            } else {
+                num.parse::<u32>()
+            }
+            .map_err(|_| self.err_at(XmlErrorKind::BadEntity(body.to_string()), start))?;
+            match char::from_u32(code) {
+                Some(c) => c.to_string(),
+                None => {
+                    return Err(self.err_at(XmlErrorKind::BadEntity(body.to_string()), start))
+                }
+            }
+        } else {
+            match body {
+                "lt" => "<".to_string(),
+                "gt" => ">".to_string(),
+                "amp" => "&".to_string(),
+                "apos" => "'".to_string(),
+                "quot" => "\"".to_string(),
+                _ => {
+                    return Err(self.err_at(XmlErrorKind::BadEntity(body.to_string()), start))
+                }
+            }
+        };
+        self.pos += semi + 1;
+        Ok(replacement)
+    }
+
+    fn flush_text(&mut self) {
+        if self.text_buf.is_empty() {
+            return;
+        }
+        let keep = !self.opts.strip_whitespace_text
+            || self.text_buf.chars().any(|c| !c.is_ascii_whitespace());
+        if keep {
+            let text = std::mem::take(&mut self.text_buf);
+            self.builder.text(&text);
+        } else {
+            self.text_buf.clear();
+        }
+    }
+
+    fn parse_content(&mut self) -> Result<(), XmlError> {
+        loop {
+            match self.peek() {
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+                Some(b'<') => {
+                    if self.starts_with("</") {
+                        self.flush_text();
+                        self.pos += 2;
+                        let at = self.pos;
+                        let name = self.parse_name()?;
+                        self.skip_whitespace();
+                        self.expect(">")?;
+                        let open = self
+                            .open_names
+                            .pop()
+                            .ok_or_else(|| {
+                                self.err_at(XmlErrorKind::UnmatchedClose(name.to_string()), at)
+                            })?;
+                        if open != name {
+                            return Err(self.err_at(
+                                XmlErrorKind::MismatchedTag {
+                                    open,
+                                    close: name.to_string(),
+                                },
+                                at,
+                            ));
+                        }
+                        self.builder.end_element();
+                        return Ok(());
+                    } else if self.starts_with("<!--") {
+                        self.flush_text();
+                        self.parse_comment()?;
+                    } else if self.starts_with("<![CDATA[") {
+                        self.parse_cdata()?;
+                    } else if self.starts_with("<?") {
+                        self.flush_text();
+                        self.parse_pi()?;
+                    } else {
+                        self.flush_text();
+                        self.parse_element()?;
+                    }
+                }
+                Some(b'&') => {
+                    let c = self.parse_reference()?;
+                    self.text_buf.push_str(&c);
+                }
+                Some(_) => {
+                    let rest = &self.input[self.pos..];
+                    let stop = rest
+                        .find(|c| c == '<' || c == '&')
+                        .unwrap_or(rest.len());
+                    let chunk = &rest[..stop];
+                    if let Some(i) = chunk.find("]]>") {
+                        return Err(self.err_at(
+                            XmlErrorKind::Malformed("']]>' in character data".to_string()),
+                            self.pos + i,
+                        ));
+                    }
+                    self.text_buf.push_str(chunk);
+                    self.pos += stop;
+                }
+            }
+        }
+    }
+
+    fn parse_comment(&mut self) -> Result<(), XmlError> {
+        self.expect("<!--")?;
+        let rest = &self.input[self.pos..];
+        let end = rest
+            .find("-->")
+            .ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))?;
+        let body = &rest[..end];
+        if body.contains("--") {
+            return Err(self.err(XmlErrorKind::Malformed("'--' in comment".to_string())));
+        }
+        if self.opts.keep_comments && !self.open_names.is_empty() {
+            self.builder.comment(body);
+        }
+        self.pos += end + 3;
+        Ok(())
+    }
+
+    fn parse_cdata(&mut self) -> Result<(), XmlError> {
+        self.expect("<![CDATA[")?;
+        let rest = &self.input[self.pos..];
+        let end = rest
+            .find("]]>")
+            .ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))?;
+        self.text_buf.push_str(&rest[..end]);
+        self.pos += end + 3;
+        Ok(())
+    }
+
+    fn parse_pi(&mut self) -> Result<(), XmlError> {
+        self.expect("<?")?;
+        let target = self.parse_name()?;
+        if target.eq_ignore_ascii_case("xml") {
+            return Err(self.err(XmlErrorKind::Malformed(
+                "'<?xml' only allowed at document start".to_string(),
+            )));
+        }
+        let rest = &self.input[self.pos..];
+        let end = rest
+            .find("?>")
+            .ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))?;
+        let body = rest[..end].trim_start();
+        if self.opts.keep_processing_instructions && !self.open_names.is_empty() {
+            self.builder.processing_instruction(target, body);
+        }
+        self.pos += end + 2;
+        Ok(())
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.' | '\u{b7}')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    #[test]
+    fn minimal_document() {
+        let doc = parse("<a/>").unwrap();
+        assert_eq!(doc.len(), 2);
+        assert_eq!(doc.label_str(doc.document_element()), Some("a"));
+    }
+
+    #[test]
+    fn xml_declaration_and_doctype() {
+        let doc = parse("<?xml version=\"1.0\"?><!DOCTYPE a SYSTEM \"x.dtd\"><a/>").unwrap();
+        assert_eq!(doc.label_str(doc.document_element()), Some("a"));
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let doc = parse("<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> ]><a>t</a>").unwrap();
+        assert_eq!(doc.string_value(doc.root()), "t");
+    }
+
+    #[test]
+    fn entities_in_text_and_attributes() {
+        let doc = parse(r#"<a x="&lt;&amp;&gt;">&quot;&apos;&#65;&#x42;</a>"#).unwrap();
+        let a = doc.document_element();
+        assert_eq!(doc.attribute_value(a, "x"), Some("<&>"));
+        assert_eq!(doc.string_value(a), "\"'AB");
+    }
+
+    #[test]
+    fn cdata_sections() {
+        let doc = parse("<a>x<![CDATA[<not-a-tag> & raw]]>y</a>").unwrap();
+        assert_eq!(doc.string_value(doc.document_element()), "x<not-a-tag> & rawy");
+        // CDATA merges with adjacent text into one node.
+        let a = doc.document_element();
+        assert_eq!(doc.children(a).count(), 1);
+    }
+
+    #[test]
+    fn comments_and_pis_in_content() {
+        let doc = parse("<a><!--c--><?t d?><b/></a>").unwrap();
+        let a = doc.document_element();
+        let kids: Vec<_> = doc.children(a).collect();
+        assert_eq!(kids.len(), 3);
+        assert_eq!(doc.kind(kids[0]), NodeKind::Comment);
+        assert!(matches!(doc.kind(kids[1]), NodeKind::Pi(_)));
+        assert!(doc.kind(kids[2]).is_element());
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unclosed_element_rejected() {
+        let err = parse("<a><b>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::UnexpectedEof));
+    }
+
+    #[test]
+    fn trailing_content_rejected() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert_eq!(*err.kind(), XmlErrorKind::TrailingContent);
+        let err = parse("<a/>text").unwrap_err();
+        assert_eq!(*err.kind(), XmlErrorKind::TrailingContent);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let err = parse("").unwrap_err();
+        assert_eq!(*err.kind(), XmlErrorKind::NoRootElement);
+        let err = parse("   \n ").unwrap_err();
+        assert_eq!(*err.kind(), XmlErrorKind::NoRootElement);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert_eq!(
+            *err.kind(),
+            XmlErrorKind::DuplicateAttribute("x".to_string())
+        );
+    }
+
+    #[test]
+    fn bad_entities_rejected() {
+        assert!(matches!(
+            parse("<a>&nope;</a>").unwrap_err().kind(),
+            XmlErrorKind::BadEntity(_)
+        ));
+        assert!(matches!(
+            parse("<a>&#xZZ;</a>").unwrap_err().kind(),
+            XmlErrorKind::BadEntity(_)
+        ));
+        assert!(matches!(
+            parse("<a>&#1114112;</a>").unwrap_err().kind(), // > U+10FFFF
+            XmlErrorKind::BadEntity(_)
+        ));
+    }
+
+    #[test]
+    fn cdata_end_in_text_rejected() {
+        let err = parse("<a>oops ]]> here</a>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::Malformed(_)));
+    }
+
+    #[test]
+    fn double_dash_in_comment_rejected() {
+        let err = parse("<a><!-- bad -- comment --></a>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::Malformed(_)));
+    }
+
+    #[test]
+    fn lt_in_attribute_rejected() {
+        let err = parse(r#"<a x="a<b"/>"#).unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::Malformed(_)));
+    }
+
+    #[test]
+    fn attribute_value_normalization() {
+        let doc = parse("<a x=\"one\ttwo\nthree\"/>").unwrap();
+        let a = doc.document_element();
+        assert_eq!(doc.attribute_value(a, "x"), Some("one two three"));
+    }
+
+    #[test]
+    fn whitespace_stripping_option() {
+        let input = "<a>\n  <b>x</b>\n  <c/>\n</a>";
+        let noisy = parse(input).unwrap();
+        let clean = parse_with_options(input, &ParseOptions::paper_model()).unwrap();
+        assert!(noisy.len() > clean.len());
+        assert_eq!(clean.string_value(clean.root()), "x");
+        // Whitespace *inside* meaningful text survives.
+        let doc =
+            parse_with_options("<a> x </a>", &ParseOptions::paper_model()).unwrap();
+        assert_eq!(doc.string_value(doc.root()), " x ");
+    }
+
+    #[test]
+    fn error_positions_are_line_column() {
+        let err = parse("<a>\n<b></c>\n</a>").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.column() > 1);
+    }
+
+    #[test]
+    fn unicode_names_and_content() {
+        let doc = parse("<café größe=\"1\">héllo ☃</café>").unwrap();
+        let e = doc.document_element();
+        assert_eq!(doc.label_str(e), Some("café"));
+        assert_eq!(doc.attribute_value(e, "größe"), Some("1"));
+        assert_eq!(doc.string_value(e), "héllo ☃");
+    }
+
+    #[test]
+    fn colonized_names_accepted_as_plain() {
+        let doc = parse("<ns:a><ns:b/></ns:a>").unwrap();
+        assert_eq!(doc.label_str(doc.document_element()), Some("ns:a"));
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut s = String::new();
+        for i in 0..300 {
+            s.push_str(&format!("<n{i}>"));
+        }
+        for i in (0..300).rev() {
+            s.push_str(&format!("</n{i}>"));
+        }
+        let doc = parse(&s).unwrap();
+        assert_eq!(doc.element_count(), 300);
+    }
+
+    #[test]
+    fn pi_outside_root_is_allowed_but_dropped() {
+        // Prolog/epilog PIs and comments have no parent element; they are
+        // skipped (our tree keeps only content under the root element, plus
+        // the root node itself).
+        let doc = parse("<?style x?><a/><!--after-->").unwrap();
+        assert_eq!(doc.len(), 2);
+    }
+}

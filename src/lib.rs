@@ -1,0 +1,39 @@
+//! # minctx — polynomial-time XPath 1.0 evaluation
+//!
+//! A faithful, production-quality implementation of
+//! *"XPath Query Evaluation: Improving Time and Space Efficiency"*
+//! (G. Gottlob, C. Koch, R. Pichler, ICDE 2003): the **MINCONTEXT** and
+//! **OPTMINCONTEXT** algorithms, the **Extended Wadler** and **Core XPath**
+//! fragments, plus the context-value-table evaluators of the predecessor
+//! paper (VLDB 2002) and a deliberately naive exponential evaluator that
+//! models the XPath engines of the time.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`xml`] — XML document model, parser, node sets, axis algebra;
+//! * [`syntax`] — XPath 1.0 lexer, parser, normalizer, parse tree;
+//! * [`engine`] — the evaluators and the [`Engine`](engine::Engine) entry
+//!   point.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use minctx::prelude::*;
+//!
+//! let doc = minctx::xml::parse("<a><b>1</b><b>2</b><c>3</c></a>").unwrap();
+//! let engine = Engine::new(Strategy::OptMinContext);
+//! let result = engine.evaluate_str(&doc, "/child::a/child::b").unwrap();
+//! let nodes = result.into_node_set().unwrap();
+//! assert_eq!(nodes.len(), 2);
+//! ```
+
+pub use minctx_core as engine;
+pub use minctx_syntax as syntax;
+pub use minctx_xml as xml;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use minctx_core::{Engine, EvalError, Strategy, Value};
+    pub use minctx_syntax::parse_xpath;
+    pub use minctx_xml::{parse as parse_xml, Document, NodeId, NodeSet};
+}
