@@ -1,1 +1,27 @@
-fn main() {}
+//! Times the `O(|D|)` axis set functions of Definition 1 — the substrate
+//! every evaluator leans on.
+
+use minctx_bench::{time, uniform_tree};
+use minctx_xml::axes::{axis_image, axis_preimage, Axis, NodeTest};
+use minctx_xml::NodeSet;
+
+fn main() {
+    for (depth, fanout) in [(4, 4), (5, 5)] {
+        let doc = uniform_tree(depth, fanout);
+        let all: NodeSet = doc.all_nodes().collect();
+        println!(
+            "document: depth {depth}, fanout {fanout} — {} nodes",
+            doc.len()
+        );
+        for axis in Axis::ALL {
+            let img = time(5, || axis_image(&doc, axis, &all, &NodeTest::AnyNode));
+            let pre = time(5, || axis_preimage(&doc, axis, &all));
+            println!(
+                "  {:>18}  image {:>9.3} ms   preimage {:>9.3} ms",
+                axis.as_str(),
+                img.as_secs_f64() * 1e3,
+                pre.as_secs_f64() * 1e3,
+            );
+        }
+    }
+}

@@ -1,1 +1,35 @@
-fn main() {}
+//! Section 1's headline plot: running time against *query* size on the
+//! five-node document, naive vs. the polynomial strategies.
+//!
+//! Naive time doubles with every `parent::a/child::b` round trip; the
+//! polynomial strategies grow linearly in the number of steps.
+
+use minctx_bench::{exponential_doc, exponential_family, fmt_ms, time_strategy};
+use minctx_core::Strategy;
+
+fn main() {
+    let doc = exponential_doc();
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} (median ms; naive budget-capped)",
+        "i", "naive", "cvt", "mincontext", "optminctx"
+    );
+    for i in (0..=20).step_by(2) {
+        let q = exponential_family(i);
+        print!("{i:>6}");
+        for s in Strategy::ALL {
+            let budget = (s == Strategy::Naive).then_some(20_000_000);
+            print!(" {}", fmt_ms(time_strategy(&doc, s, &q, budget, 3)));
+        }
+        println!();
+    }
+    // The polynomial strategies keep going far past naive's horizon.
+    println!("\nlarge members (polynomial strategies only):");
+    for i in [40usize, 80, 160] {
+        let q = exponential_family(i);
+        print!("{i:>6} {:>10}", "—");
+        for s in &Strategy::ALL[1..] {
+            print!(" {}", fmt_ms(time_strategy(&doc, *s, &q, None, 3)));
+        }
+        println!();
+    }
+}

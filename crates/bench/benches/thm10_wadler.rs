@@ -1,1 +1,29 @@
-fn main() {}
+//! Theorem 10: the Extended Wadler fragment (position()/last() inside
+//! predicates) stays `O(|D| · |Q|)` under MINCONTEXT, while the VLDB'02
+//! context-value tables pay for every `(k, n)` pair — cubic space and
+//! time — on exactly these queries.
+
+use minctx_bench::{fmt_ms, time_strategy, wide_doc, WADLER_QUERIES};
+use minctx_core::Strategy;
+
+fn main() {
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} (median ms)",
+        "", "cvt", "mincontext", "optminctx"
+    );
+    for q in WADLER_QUERIES {
+        println!("query: {q}");
+        for n in [30usize, 60, 120] {
+            let doc = wide_doc(n);
+            print!("{:>8}", format!("|D|={}", doc.len()));
+            for s in [
+                Strategy::ContextValueTable,
+                Strategy::MinContext,
+                Strategy::OptMinContext,
+            ] {
+                print!(" {}", fmt_ms(time_strategy(&doc, s, q, None, 3)));
+            }
+            println!();
+        }
+    }
+}

@@ -1,1 +1,42 @@
-fn main() {}
+//! Theorem 13: full XPath 1.0 in polynomial time.  Runs the paper's
+//! running example E and friends under every polynomial strategy on
+//! deep *and* wide documents, with OPTMINCONTEXT's backward propagation
+//! visible on the comparison-heavy queries.
+
+use minctx_bench::{fmt_ms, time_strategy, uniform_tree, wide_doc, FULL_XPATH_QUERIES};
+use minctx_core::Strategy;
+use minctx_xml::Document;
+
+fn main() {
+    let docs: Vec<(String, Document)> = vec![
+        ("wide-100".into(), wide_doc(100)),
+        ("tree-4-4".into(), uniform_tree(4, 4)),
+        ("tree-7-2".into(), uniform_tree(7, 2)),
+    ];
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} (median ms)",
+        "", "cvt", "mincontext", "optminctx"
+    );
+    for q in FULL_XPATH_QUERIES {
+        println!("query: {q}");
+        for (name, doc) in &docs {
+            print!("{name:>10}");
+            for s in [
+                Strategy::ContextValueTable,
+                Strategy::MinContext,
+                Strategy::OptMinContext,
+            ] {
+                // Cubic tables on position-dependent queries are only
+                // feasible on the small documents; skip the big ones.
+                let skip = s == Strategy::ContextValueTable && doc.len() > 350;
+                let t = if skip {
+                    None
+                } else {
+                    time_strategy(doc, s, q, None, 3)
+                };
+                print!(" {}", fmt_ms(t));
+            }
+            println!();
+        }
+    }
+}

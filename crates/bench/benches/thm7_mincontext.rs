@@ -1,1 +1,23 @@
-fn main() {}
+//! Theorem 7: MINCONTEXT evaluates Core XPath (no positional functions)
+//! in time `O(|D| · |Q|)`.  Doubling the document should roughly double
+//! the time; the printed ns/node column should stay flat.
+
+use minctx_bench::{time_strategy, wide_doc, CORE_XPATH_QUERIES};
+use minctx_core::Strategy;
+
+fn main() {
+    for q in CORE_XPATH_QUERIES {
+        println!("query: {q}");
+        for n in [250usize, 500, 1000, 2000] {
+            let doc = wide_doc(n);
+            let t = time_strategy(&doc, Strategy::MinContext, q, None, 5)
+                .expect("core xpath always evaluates");
+            println!(
+                "  |D| = {:>5}   {:>9.3} ms   {:>8.1} ns/node",
+                doc.len(),
+                t.as_secs_f64() * 1e3,
+                t.as_secs_f64() * 1e9 / doc.len() as f64,
+            );
+        }
+    }
+}

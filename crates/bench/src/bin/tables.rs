@@ -1,1 +1,83 @@
-fn main() {}
+//! Reproduces the paper's timing tables: every strategy on every query
+//! family, across growing synthetic documents.
+//!
+//! ```text
+//! cargo run --release -p minctx-bench --bin tables [--quick]
+//! ```
+//!
+//! Output is one table per query family, rows = document size, columns =
+//! strategy, cells = median milliseconds ("—" where the naive budget
+//! tripped or a strategy was skipped as hopeless at that size).
+
+use minctx_bench::{
+    exponential_doc, exponential_family, fmt_ms, time_strategy, wide_doc, CORE_XPATH_QUERIES,
+    FULL_XPATH_QUERIES, WADLER_QUERIES,
+};
+use minctx_core::Strategy;
+use minctx_xml::Document;
+
+const NAIVE_BUDGET: u64 = 50_000_000;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sizes, runs) = if quick {
+        (vec![50, 100], 3)
+    } else {
+        (vec![50, 200, 800], 5)
+    };
+    let docs: Vec<(usize, Document)> = sizes.iter().map(|&n| (n, wide_doc(n))).collect();
+
+    banner("Exponential family (Section 1): query size grows, |D| = 5");
+    header();
+    let doc = exponential_doc();
+    for i in [4usize, 8, 12, 16, 20] {
+        let q = exponential_family(i);
+        print!("{:>8}", format!("i={i}"));
+        for s in Strategy::ALL {
+            let budget = (s == Strategy::Naive).then_some(NAIVE_BUDGET);
+            print!(" {}", fmt_ms(time_strategy(&doc, s, &q, budget, runs)));
+        }
+        println!();
+    }
+
+    for (title, queries) in [
+        ("Core XPath (Theorem 7)", CORE_XPATH_QUERIES),
+        ("Extended Wadler (Theorem 10)", WADLER_QUERIES),
+        ("Full XPath (Theorem 13)", FULL_XPATH_QUERIES),
+    ] {
+        banner(title);
+        for q in queries {
+            println!("  query: {q}");
+            header();
+            for (_, doc) in &docs {
+                print!("{:>8}", format!("|D|={}", doc.len()));
+                for s in Strategy::ALL {
+                    // The cubic tables are hopeless beyond small documents
+                    // when the query is position-dependent; skip instead of
+                    // stalling the table (that cliff is the paper's point).
+                    let skip_cvt = s == Strategy::ContextValueTable && doc.len() > 650;
+                    let budget = (s == Strategy::Naive).then_some(NAIVE_BUDGET);
+                    let t = if skip_cvt {
+                        None
+                    } else {
+                        time_strategy(doc, s, q, budget, runs)
+                    };
+                    print!(" {}", fmt_ms(t));
+                }
+                println!();
+            }
+        }
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn header() {
+    print!("{:>8}", "");
+    for s in Strategy::ALL {
+        print!(" {:>10}", s.as_str());
+    }
+    println!(" (median ms)");
+}

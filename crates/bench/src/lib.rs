@@ -1,0 +1,184 @@
+//! Shared machinery for the benchmark harnesses: synthetic document
+//! generators, the paper's query families, and a dependency-free timing
+//! loop (the workspace is `std`-only by design, so no criterion).
+//!
+//! The benches are wired as `harness = false` cargo benches; run them with
+//! `cargo bench -p minctx-bench` or individually, e.g.
+//! `cargo bench -p minctx-bench --bench exp_query_size`.  The
+//! `tables` binary (`cargo run --release -p minctx-bench --bin tables`)
+//! prints the paper-style strategy × document-size timing tables.
+
+use minctx_core::{Engine, Strategy};
+use minctx_xml::{Document, DocumentBuilder};
+use std::time::{Duration, Instant};
+
+/// A balanced tree of alternating `<even>`/`<odd>` elements, `fanout`
+/// children per node down to `depth`, leaves carrying their pre-order
+/// number as text.  `size ≈ fanout^depth` elements.
+pub fn uniform_tree(depth: usize, fanout: usize) -> Document {
+    fn rec(b: &mut DocumentBuilder, depth: usize, fanout: usize, counter: &mut usize) {
+        let v = counter.to_string();
+        *counter += 1;
+        b.start_element(if depth % 2 == 0 { "even" } else { "odd" }, &[("v", &v)]);
+        if depth == 0 {
+            b.text(&v);
+        } else {
+            for _ in 0..fanout {
+                rec(b, depth - 1, fanout, counter);
+            }
+        }
+        b.end_element();
+    }
+    let mut b = DocumentBuilder::new();
+    rec(&mut b, depth, fanout, &mut 0);
+    b.finish().expect("generated tree is well-formed")
+}
+
+/// A flat document `<r><e>0</e><e>1</e>…</r>` with `n` children — the
+/// shape the paper's Figure 2 measurements use.
+pub fn wide_doc(n: usize) -> Document {
+    let mut b = DocumentBuilder::new();
+    b.start_element("r", &[]);
+    for i in 0..n {
+        b.leaf("e", &[("v", &i.to_string())], &i.to_string());
+    }
+    b.end_element();
+    b.finish().expect("generated doc is well-formed")
+}
+
+/// The paper's Section-1 exponential query family: `//b` followed by `i`
+/// copies of `/parent::a/child::b`.
+pub fn exponential_family(i: usize) -> String {
+    let mut q = String::from("//b");
+    for _ in 0..i {
+        q.push_str("/parent::a/child::b");
+    }
+    q
+}
+
+/// The two-`<b/>` document the exponential family runs on.
+pub fn exponential_doc() -> Document {
+    minctx_xml::parse("<a><b/><b/></a>").expect("static doc")
+}
+
+/// Core XPath queries (no positional functions) — the Theorem 7 fragment.
+pub const CORE_XPATH_QUERIES: &[&str] = &[
+    "//odd",
+    "/descendant::even/child::odd",
+    "//even[odd/even]",
+    "//odd[not(following-sibling::odd)]",
+    "//even[descendant::odd and ancestor::even]",
+    "count(//even | //odd)",
+];
+
+/// Extended Wadler fragment queries (position()/last() in predicates) —
+/// the Theorem 10 fragment.
+pub const WADLER_QUERIES: &[&str] = &[
+    "//odd[position() = last()]",
+    "//even/odd[position() = 2]",
+    "//odd[position() > last() * 0.5]",
+    "//even[last()]",
+];
+
+/// Full-XPath showcase queries, including the paper's running example E.
+pub const FULL_XPATH_QUERIES: &[&str] = &[
+    "/descendant::*[position() > last()*0.5 or self::* = 100]",
+    "//even[count(odd) > 1]/odd[position() != last()]",
+    "sum(//@v) > 100",
+];
+
+/// Median-of-`runs` wall-clock time of `f`.
+pub fn time<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
+    assert!(runs > 0);
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            let r = f();
+            let elapsed = start.elapsed();
+            std::hint::black_box(r);
+            elapsed
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Times one strategy on one query (budgeted engines return `None` on
+/// budget exhaustion so tables can print `>cap`).
+///
+/// The query is compiled *once*, outside the timing loop: the tables
+/// compare evaluation algorithms, so parsing/normalization/lowering cost
+/// must not flatten the ratios.
+pub fn time_strategy(
+    doc: &Document,
+    strategy: Strategy,
+    query: &str,
+    budget: Option<u64>,
+    runs: usize,
+) -> Option<Duration> {
+    let mut engine = Engine::new(strategy);
+    if let Some(b) = budget {
+        engine = engine.with_budget(b);
+    }
+    let compiled = minctx_syntax::parse_xpath(query).ok()?;
+    // Reject once up front so the timing loop measures successes only.
+    engine.evaluate(doc, &compiled).ok()?;
+    Some(time(runs, || engine.evaluate(doc, &compiled).unwrap()))
+}
+
+/// Formats a duration in fixed-width milliseconds for table output.
+pub fn fmt_ms(d: Option<Duration>) -> String {
+    match d {
+        Some(d) => format!("{:>10.3}", d.as_secs_f64() * 1e3),
+        None => format!("{:>10}", "—"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_expected_shapes() {
+        let d = uniform_tree(2, 3);
+        // 1 + 3 + 9 = 13 elements.
+        assert_eq!(d.element_count(), 13);
+        let w = wide_doc(5);
+        assert_eq!(w.element_count(), 6);
+        assert_eq!(
+            exponential_family(2),
+            "//b/parent::a/child::b/parent::a/child::b"
+        );
+    }
+
+    #[test]
+    fn bench_queries_run_under_every_strategy() {
+        // Guard the bench query lists against rot: they must all evaluate.
+        let doc = uniform_tree(2, 2);
+        for q in CORE_XPATH_QUERIES
+            .iter()
+            .chain(WADLER_QUERIES)
+            .chain(FULL_XPATH_QUERIES)
+        {
+            for s in Strategy::ALL {
+                Engine::new(s)
+                    .evaluate_str(&doc, q)
+                    .unwrap_or_else(|e| panic!("{s} failed on {q:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn time_strategy_reports_budget_exhaustion_as_none() {
+        let doc = exponential_doc();
+        let t = time_strategy(
+            &doc,
+            Strategy::Naive,
+            &exponential_family(40),
+            Some(1_000),
+            1,
+        );
+        assert!(t.is_none());
+        assert_eq!(fmt_ms(t).trim(), "—");
+    }
+}

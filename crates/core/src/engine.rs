@@ -1,0 +1,311 @@
+//! The public entry point: [`Engine`], [`Strategy`], [`Context`], and the
+//! [`Evaluator`] trait future backends plug into.
+
+use crate::error::EvalError;
+use crate::mincontext::MinContext;
+use crate::naive::Naive;
+use crate::tables::ContextValueTables;
+use crate::value::Value;
+use minctx_syntax::{parse_xpath, Query};
+use minctx_xml::{Document, NodeId};
+use std::fmt;
+
+/// An XPath 1.0 evaluation context: the triple `(x, k, n)` of Section 2.2
+/// — context node, context position, context size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Context {
+    pub node: NodeId,
+    /// 1-based proximity position (`position()`).
+    pub position: usize,
+    /// Context size (`last()`).
+    pub size: usize,
+}
+
+impl Context {
+    /// The initial context for whole-document queries: the root node with
+    /// position and size 1.
+    pub fn document(doc: &Document) -> Context {
+        Context {
+            node: doc.root(),
+            position: 1,
+            size: 1,
+        }
+    }
+
+    /// A context at `node` with position and size 1.
+    pub fn at(node: NodeId) -> Context {
+        Context {
+            node,
+            position: 1,
+            size: 1,
+        }
+    }
+}
+
+/// Which evaluation algorithm an [`Engine`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Context-at-a-time recursion without sharing — the exponential
+    /// baseline of Section 1, modeling the XPath engines of the time.
+    Naive,
+    /// Bottom-up context-value tables over all contexts (VLDB 2002).
+    ContextValueTable,
+    /// MINCONTEXT (Section 3): polynomial time via relevant-context
+    /// restriction and set-at-a-time path evaluation.
+    MinContext,
+    /// OPTMINCONTEXT (Section 4): MINCONTEXT plus backward axis
+    /// propagation for existential predicates.
+    OptMinContext,
+}
+
+impl Strategy {
+    /// All strategies, in baseline-to-best order (handy for differential
+    /// tests and benchmark sweeps).
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Naive,
+        Strategy::ContextValueTable,
+        Strategy::MinContext,
+        Strategy::OptMinContext,
+    ];
+
+    /// A short stable name (used in bench tables and CLI flags).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Strategy::Naive => "naive",
+            Strategy::ContextValueTable => "cvt",
+            Strategy::MinContext => "mincontext",
+            Strategy::OptMinContext => "optmincontext",
+        }
+    }
+
+    /// Parses a strategy name as printed by [`Strategy::as_str`].
+    pub fn from_str_opt(s: &str) -> Option<Strategy> {
+        Some(match s {
+            "naive" => Strategy::Naive,
+            "cvt" => Strategy::ContextValueTable,
+            "mincontext" => Strategy::MinContext,
+            "optmincontext" => Strategy::OptMinContext,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `pad`, not `write_str`, so callers' width/alignment specifiers
+        // (bench tables, consumer logs) are honored.
+        f.pad(self.as_str())
+    }
+}
+
+/// An evaluation backend.  The four in-tree strategies implement it; so
+/// can out-of-tree backends (streaming, index-backed, parallel) — the
+/// [`Engine`] only needs something that maps `(document, query, context)`
+/// to a [`Value`].
+pub trait Evaluator {
+    /// The strategy this evaluator implements (for diagnostics).
+    fn strategy(&self) -> Strategy;
+
+    /// Evaluates a lowered query at a context.
+    fn evaluate(&self, doc: &Document, query: &Query, ctx: Context) -> Result<Value, EvalError>;
+}
+
+/// The query-evaluation entry point: a [`Strategy`] plus evaluation
+/// options.
+///
+/// ```
+/// use minctx_core::{Engine, Strategy};
+/// use minctx_xml::parse;
+///
+/// let doc = parse("<a><b>1</b><b>2</b></a>").unwrap();
+/// let engine = Engine::new(Strategy::MinContext);
+/// let v = engine.evaluate_str(&doc, "count(/a/b)").unwrap();
+/// assert_eq!(v.number(&doc), 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    strategy: Strategy,
+    budget: Option<u64>,
+}
+
+impl Engine {
+    /// An engine running the given strategy.
+    pub fn new(strategy: Strategy) -> Engine {
+        Engine {
+            strategy,
+            budget: None,
+        }
+    }
+
+    /// Caps the abstract work units the evaluator may spend; exceeding the
+    /// cap yields [`EvalError::BudgetExceeded`].  Only [`Strategy::Naive`]
+    /// meters its work (it is the only strategy that can blow up); the
+    /// polynomial strategies ignore the budget.
+    pub fn with_budget(mut self, budget: u64) -> Engine {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The engine's strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The configured work budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// The pluggable backend for this engine's strategy.
+    pub fn evaluator(&self) -> Box<dyn Evaluator> {
+        match self.strategy {
+            Strategy::Naive => Box::new(Naive {
+                budget: self.budget,
+            }),
+            Strategy::ContextValueTable => Box::new(ContextValueTables),
+            Strategy::MinContext => Box::new(MinContext { optimized: false }),
+            Strategy::OptMinContext => Box::new(MinContext { optimized: true }),
+        }
+    }
+
+    /// Parses, normalizes, lowers and evaluates an XPath 1.0 expression
+    /// against the whole document (initial context = document root).
+    pub fn evaluate_str(&self, doc: &Document, query: &str) -> Result<Value, EvalError> {
+        let query = parse_xpath(query)?;
+        self.evaluate(doc, &query)
+    }
+
+    /// Evaluates a lowered query against the whole document.
+    pub fn evaluate(&self, doc: &Document, query: &Query) -> Result<Value, EvalError> {
+        self.evaluate_at(doc, query, Context::document(doc))
+    }
+
+    /// Evaluates a lowered query at an explicit context.
+    ///
+    /// The context must be valid for the document: its node in range and
+    /// `1 ≤ position ≤ size ≤ |dom|` (every context arising during XPath
+    /// evaluation satisfies this) — the evaluators' dense tables and
+    /// packed memo keys rely on these bounds.
+    pub fn evaluate_at(
+        &self,
+        doc: &Document,
+        query: &Query,
+        ctx: Context,
+    ) -> Result<Value, EvalError> {
+        let reason = if ctx.node.index() >= doc.len() {
+            Some("context node is not in the document")
+        } else if ctx.position == 0 || ctx.position > ctx.size {
+            Some("context position must satisfy 1 <= position <= size")
+        } else if ctx.size > doc.len() {
+            Some("context size exceeds the document's node count")
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            return Err(EvalError::InvalidContext { reason });
+        }
+        self.evaluator().evaluate(doc, query, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minctx_xml::parse;
+
+    #[test]
+    fn strategy_name_round_trip() {
+        for s in Strategy::ALL {
+            assert_eq!(Strategy::from_str_opt(s.as_str()), Some(s));
+        }
+        assert_eq!(Strategy::from_str_opt("quantum"), None);
+    }
+
+    #[test]
+    fn engine_reports_configuration() {
+        let e = Engine::new(Strategy::Naive).with_budget(100);
+        assert_eq!(e.strategy(), Strategy::Naive);
+        assert_eq!(e.budget(), Some(100));
+        assert_eq!(e.evaluator().strategy(), Strategy::Naive);
+        assert_eq!(
+            Engine::new(Strategy::OptMinContext).evaluator().strategy(),
+            Strategy::OptMinContext
+        );
+    }
+
+    #[test]
+    fn evaluate_str_reports_parse_errors() {
+        let doc = parse("<a/>").unwrap();
+        let e = Engine::new(Strategy::MinContext);
+        assert!(matches!(
+            e.evaluate_str(&doc, "/a["),
+            Err(EvalError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn evaluate_at_rejects_invalid_contexts() {
+        let doc = parse("<a><b/></a>").unwrap();
+        let q = minctx_syntax::parse_xpath("position()").unwrap();
+        for s in Strategy::ALL {
+            let e = Engine::new(s);
+            for bad in [
+                Context {
+                    node: doc.root(),
+                    position: doc.len() + 1,
+                    size: doc.len() + 1,
+                },
+                Context {
+                    node: doc.root(),
+                    position: 0,
+                    size: 1,
+                },
+                Context {
+                    node: doc.root(),
+                    position: 2,
+                    size: 1,
+                },
+                Context {
+                    node: minctx_xml::NodeId::from_index(doc.len()),
+                    position: 1,
+                    size: 1,
+                },
+            ] {
+                assert!(
+                    matches!(
+                        e.evaluate_at(&doc, &q, bad),
+                        Err(EvalError::InvalidContext { .. })
+                    ),
+                    "strategy {s} accepted {bad:?}"
+                );
+            }
+            // A maximal valid context works.
+            let ok = Context {
+                node: doc.root(),
+                position: doc.len(),
+                size: doc.len(),
+            };
+            assert_eq!(
+                e.evaluate_at(&doc, &q, ok).unwrap(),
+                Value::Number(doc.len() as f64),
+                "strategy {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_at_respects_context() {
+        let doc = parse("<a><b><c/></b></a>").unwrap();
+        let a = doc.document_element();
+        let b = doc.first_child(a).unwrap();
+        let q = minctx_syntax::parse_xpath("c").unwrap();
+        for s in Strategy::ALL {
+            let v = Engine::new(s)
+                .evaluate_at(&doc, &q, Context::at(b))
+                .unwrap();
+            assert_eq!(v.as_node_set().unwrap().len(), 1, "strategy {s}");
+            let v = Engine::new(s).evaluate(&doc, &q).unwrap();
+            assert!(v.as_node_set().unwrap().is_empty(), "strategy {s}");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Evaluation errors.
+
+use minctx_syntax::ParseError;
+use std::fmt;
+
+/// An error produced while compiling or evaluating an XPath query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// The query string failed to lex / parse / normalize.
+    Parse(ParseError),
+    /// A value had the wrong type for the operation (cannot happen for
+    /// queries produced by the normalizer, which makes all conversions
+    /// explicit; kept for defense in depth and for [`crate::Value`]
+    /// accessors).
+    Type {
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// The evaluator exceeded its work budget (used to cap the
+    /// deliberately exponential [`Strategy::Naive`](crate::Strategy)
+    /// baseline).
+    BudgetExceeded {
+        /// The budget that was exhausted, in abstract work units.
+        budget: u64,
+    },
+    /// The document exceeds an evaluator's structural capacity (e.g. the
+    /// MINCONTEXT memo keys pack node ids into fixed-width fields).
+    DocumentTooLarge {
+        /// Node count of the offending document.
+        nodes: usize,
+        /// The evaluator's hard limit.
+        limit: usize,
+    },
+    /// A caller-supplied evaluation context is not a valid XPath context
+    /// for the document (node out of range, or `position`/`size` not
+    /// satisfying `1 ≤ position ≤ size ≤ |dom|`).
+    InvalidContext {
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Parse(e) => write!(f, "{e}"),
+            EvalError::Type { expected, got } => {
+                write!(f, "type error: expected {expected}, got {got}")
+            }
+            EvalError::BudgetExceeded { budget } => {
+                write!(f, "evaluation work budget of {budget} units exceeded")
+            }
+            EvalError::DocumentTooLarge { nodes, limit } => {
+                write!(
+                    f,
+                    "document has {nodes} nodes, above the evaluator's limit of {limit}"
+                )
+            }
+            EvalError::InvalidContext { reason } => {
+                write!(f, "invalid evaluation context: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for EvalError {
+    fn from(e: ParseError) -> Self {
+        EvalError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = EvalError::Type {
+            expected: "node-set",
+            got: "number",
+        };
+        assert_eq!(e.to_string(), "type error: expected node-set, got number");
+        let e = EvalError::BudgetExceeded { budget: 42 };
+        assert!(e.to_string().contains("42"));
+        let p: EvalError = ParseError {
+            message: "boom".into(),
+            offset: 3,
+        }
+        .into();
+        assert!(p.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,48 @@
+//! The `minctx` evaluation layer: four interchangeable XPath 1.0
+//! evaluators behind one [`Engine`].
+//!
+//! This crate implements the algorithmic content of *"XPath Query
+//! Evaluation: Improving Time and Space Efficiency"* (Gottlob, Koch,
+//! Pichler — ICDE 2003):
+//!
+//! | [`Strategy`]                    | Algorithm                               | Complexity                   |
+//! |---------------------------------|-----------------------------------------|------------------------------|
+//! | [`Strategy::Naive`]             | context-at-a-time recursion (Section 1) | exponential in query size    |
+//! | [`Strategy::ContextValueTable`] | bottom-up full tables (VLDB 2002)       | polynomial, cubic space      |
+//! | [`Strategy::MinContext`]        | relevant-context evaluation (Section 3) | polynomial, minimal contexts |
+//! | [`Strategy::OptMinContext`]     | + backward axis propagation (Section 4) | polynomial, linear predicates|
+//!
+//! All strategies share one [`Value`] domain, one conversion/comparison
+//! library ([`value`], [`funcs`]), and one lowered query representation
+//! ([`minctx_syntax::Query`]) — so they are differentially testable against
+//! each other, and new backends (streaming, index-backed, parallel) can be
+//! added by implementing [`Evaluator`] without touching the existing ones.
+//!
+//! ```
+//! use minctx_core::{Engine, Strategy};
+//! use minctx_xml::parse;
+//!
+//! let doc = parse("<a><b>1</b><b>2</b><c>3</c></a>").unwrap();
+//! for strategy in Strategy::ALL {
+//!     let v = Engine::new(strategy)
+//!         .evaluate_str(&doc, "/a/*[position() = last()]")
+//!         .unwrap();
+//!     let ns = v.into_node_set().unwrap();
+//!     assert_eq!(ns.len(), 1); // the <c>
+//! }
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod funcs;
+pub mod mincontext;
+pub mod naive;
+pub mod tables;
+pub mod value;
+
+pub use engine::{Context, Engine, Evaluator, Strategy};
+pub use error::EvalError;
+pub use mincontext::MinContext;
+pub use naive::Naive;
+pub use tables::ContextValueTables;
+pub use value::Value;

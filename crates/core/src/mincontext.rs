@@ -1,0 +1,461 @@
+//! MINCONTEXT and OPTMINCONTEXT (Sections 3 and 4 of the paper).
+//!
+//! The algorithmic content of the paper, in two layers:
+//!
+//! **MINCONTEXT** (Section 3).  Location paths are evaluated *set at a
+//! time* with deduplication (so step chains stay linear in `|D|` instead of
+//! exploding like the naive context-at-a-time loop), and every expression
+//! node `N` memoizes its value keyed on the *relevant context* `Relev(N)`
+//! computed during lowering: a predicate such as `position() != last()`
+//! (`Relev = {position, size}`) is evaluated once per distinct `(k, n)`
+//! pair *across all context nodes*, a predicate path such as `child::b`
+//! (`Relev = {node}`) once per distinct context node regardless of the
+//! positional context, and an absolute path exactly once per document.
+//! Since each node is evaluated at most once per distinct relevant context
+//! and only contexts that actually arise are ever touched (the top-down
+//! recursion is the paper's context-propagation), total work is polynomial
+//! — `O(|D|·|Q|)` on Core XPath and the Extended Wadler fragment
+//! (Theorems 7 and 10).
+//!
+//! **OPTMINCONTEXT** (Section 4, plus the backward-propagation rule of the
+//! VLDB'02 predecessor's Section 6).  On top of MINCONTEXT, predicates of
+//! the shapes
+//!
+//! ```text
+//! boolean(π)        π RelOp c        c RelOp π
+//! ```
+//!
+//! where `π` is a predicate-free relative path and `c` a constant scalar,
+//! are answered from a single *backward pass*: the node-level comparison
+//! set `T = {y | strval(y) op c}` is propagated through the inverse axes
+//! `χ⁻¹` (one `O(|D|)` [`axis_preimage`] sweep per step, including the
+//! id-"axis" of Section 4), yielding the set of context nodes for which
+//! the predicate holds.  Every subsequent predicate check is then an
+//! `O(log |D|)` membership test instead of a fresh `O(|D|)` forward walk.
+
+use crate::engine::{Context, Evaluator, Strategy};
+use crate::error::EvalError;
+use crate::funcs;
+use crate::naive::arith;
+use crate::value::{compare, node_scalar_compare, Value};
+use minctx_syntax::{ExprId, Func, Node, PathStart, Query, Relev, Step};
+use minctx_xml::axes::{axis_image, axis_preimage, Axis};
+use minctx_xml::{Document, NodeId, NodeSet};
+use std::collections::HashMap;
+
+/// The MINCONTEXT evaluator; with `optimized` set, OPTMINCONTEXT.
+#[derive(Debug, Clone, Default)]
+pub struct MinContext {
+    /// Enables the Section-4 backward-propagation optimizations.
+    pub optimized: bool,
+}
+
+impl Evaluator for MinContext {
+    fn strategy(&self) -> Strategy {
+        if self.optimized {
+            Strategy::OptMinContext
+        } else {
+            Strategy::MinContext
+        }
+    }
+
+    fn evaluate(&self, doc: &Document, query: &Query, ctx: Context) -> Result<Value, EvalError> {
+        // Memo keys pack node id / position / size into 21-bit fields; a
+        // larger document would silently alias distinct contexts, so
+        // refuse it outright (in every build profile).
+        if doc.len() >= MAX_NODES {
+            return Err(EvalError::DocumentTooLarge {
+                nodes: doc.len(),
+                limit: MAX_NODES,
+            });
+        }
+        let mut run = Run {
+            doc,
+            query,
+            opt: self.optimized,
+            memo: vec![HashMap::new(); query.len()],
+            backward: vec![None; query.len()],
+        };
+        run.eval(query.root(), ctx)
+    }
+}
+
+struct Run<'d, 'q> {
+    doc: &'d Document,
+    query: &'q Query,
+    opt: bool,
+    /// Per expression node: relevant-context key → value.
+    memo: Vec<HashMap<u64, Value>>,
+    /// OPTMINCONTEXT: per predicate node, the set of context nodes for
+    /// which the predicate holds (computed by one backward pass).
+    backward: Vec<Option<NodeSet>>,
+}
+
+/// Hard capacity of the packed memo keys: 21 bits per context component.
+/// [`MinContext::evaluate`] rejects larger documents up front.
+const MAX_NODES: usize = 1 << 21;
+
+/// Packs the *relevant* components of a context into a memo key; the
+/// irrelevant components are zeroed so contexts that agree on `Relev(N)`
+/// share an entry.  Positions and sizes are bounded by the document's
+/// node count, so the [`MAX_NODES`] guard covers all three fields.
+fn memo_key(relev: Relev, ctx: Context) -> u64 {
+    debug_assert!(ctx.node.index() < MAX_NODES && ctx.position < MAX_NODES && ctx.size < MAX_NODES);
+    let mut key = 0u64;
+    if relev.node() {
+        key |= ctx.node.index() as u64;
+    }
+    if relev.position() {
+        key |= (ctx.position as u64) << 21;
+    }
+    if relev.size() {
+        key |= (ctx.size as u64) << 42;
+    }
+    key
+}
+
+impl Run<'_, '_> {
+    fn eval(&mut self, id: ExprId, ctx: Context) -> Result<Value, EvalError> {
+        let key = memo_key(self.query.relev(id), ctx);
+        if let Some(v) = self.memo[id.index()].get(&key) {
+            return Ok(v.clone());
+        }
+        let v = self.compute(id, ctx)?;
+        self.memo[id.index()].insert(key, v.clone());
+        Ok(v)
+    }
+
+    fn compute(&mut self, id: ExprId, ctx: Context) -> Result<Value, EvalError> {
+        if self.opt {
+            if let Some(holds) = self.try_backward(id, ctx.node)? {
+                return Ok(Value::Boolean(holds));
+            }
+        }
+        Ok(match self.query.node(id) {
+            Node::Or(a, b) => {
+                Value::Boolean(self.eval(*a, ctx)?.boolean() || self.eval(*b, ctx)?.boolean())
+            }
+            Node::And(a, b) => {
+                Value::Boolean(self.eval(*a, ctx)?.boolean() && self.eval(*b, ctx)?.boolean())
+            }
+            Node::Compare(op, a, b) => {
+                let va = self.eval(*a, ctx)?;
+                let vb = self.eval(*b, ctx)?;
+                Value::Boolean(compare(self.doc, *op, &va, &vb))
+            }
+            Node::Arith(op, a, b) => {
+                let x = self.eval(*a, ctx)?.number(self.doc);
+                let y = self.eval(*b, ctx)?.number(self.doc);
+                Value::Number(arith(*op, x, y))
+            }
+            Node::Neg(a) => Value::Number(-self.eval(*a, ctx)?.number(self.doc)),
+            Node::Union(a, b) => {
+                let x = self.eval(*a, ctx)?.into_node_set()?;
+                let y = self.eval(*b, ctx)?.into_node_set()?;
+                Value::NodeSet(x.union(&y))
+            }
+            Node::Path(start, steps) => self.eval_path(start, steps, ctx)?,
+            Node::Call(Func::Position, _) => Value::Number(ctx.position as f64),
+            Node::Call(Func::Last, _) => Value::Number(ctx.size as f64),
+            Node::Call(func, args) => {
+                let vals = args
+                    .iter()
+                    .map(|&a| self.eval(a, ctx))
+                    .collect::<Result<Vec<_>, _>>()?;
+                funcs::apply(self.doc, *func, &vals, ctx.node)?
+            }
+            Node::Number(n) => Value::Number(*n),
+            Node::Literal(s) => Value::String(s.to_string()),
+        })
+    }
+
+    /// Set-at-a-time path evaluation with deduplication after every step.
+    fn eval_path(
+        &mut self,
+        start: &PathStart,
+        steps: &[Step],
+        ctx: Context,
+    ) -> Result<Value, EvalError> {
+        let mut cur: NodeSet = match start {
+            PathStart::Root => NodeSet::singleton(self.doc.root()),
+            PathStart::Context => NodeSet::singleton(ctx.node),
+            PathStart::Filter {
+                primary,
+                predicates,
+            } => {
+                let primary = self.eval(*primary, ctx)?.into_node_set()?;
+                let mut list: Vec<NodeId> = primary.into_vec();
+                for &p in predicates {
+                    list = self.filter_candidates(p, list)?;
+                }
+                // Filtering a document-ordered list keeps it sorted.
+                NodeSet::from_sorted_vec(list)
+            }
+        };
+        for step in steps {
+            if cur.is_empty() {
+                break;
+            }
+            if step.predicates.is_empty() {
+                // Predicate-free step: one O(|D|) axis sweep for the whole
+                // context set.
+                cur = axis_image(self.doc, step.axis, &cur, &step.test);
+            } else {
+                // Positional predicates need per-origin candidate lists in
+                // axis order; predicate values are memoized on Relev.
+                let mut acc = Vec::new();
+                for x in cur.iter() {
+                    let mut cands = self.doc.axis_nodes(step.axis, x, &step.test);
+                    for &p in &step.predicates {
+                        cands = self.filter_candidates(p, cands)?;
+                    }
+                    acc.extend_from_slice(&cands);
+                }
+                cur = NodeSet::from_unsorted(acc);
+            }
+        }
+        Ok(Value::NodeSet(cur))
+    }
+
+    fn filter_candidates(
+        &mut self,
+        pred: ExprId,
+        cands: Vec<NodeId>,
+    ) -> Result<Vec<NodeId>, EvalError> {
+        let size = cands.len();
+        let mut kept = Vec::with_capacity(size);
+        for (i, &y) in cands.iter().enumerate() {
+            let inner = Context {
+                node: y,
+                position: i + 1,
+                size,
+            };
+            if self.eval(pred, inner)?.boolean() {
+                kept.push(y);
+            }
+        }
+        Ok(kept)
+    }
+
+    // ---- OPTMINCONTEXT: backward propagation --------------------------
+
+    /// If `id` is a predicate of one of the backward-propagatable shapes,
+    /// answers it via the precomputed context-node set.
+    fn try_backward(&mut self, id: ExprId, ctx_node: NodeId) -> Result<Option<bool>, EvalError> {
+        if self.backward[id.index()].is_none() {
+            let Some(set) = self.build_backward(id) else {
+                return Ok(None);
+            };
+            self.backward[id.index()] = Some(set);
+        }
+        Ok(self.backward[id.index()]
+            .as_ref()
+            .map(|set| set.contains(ctx_node)))
+    }
+
+    /// Builds the backward set for `boolean(π)` / `π RelOp c` / `c RelOp π`
+    /// shapes, or `None` when the shape does not apply.
+    fn build_backward(&self, id: ExprId) -> Option<NodeSet> {
+        match self.query.node(id) {
+            Node::Call(Func::Boolean, args) => {
+                let steps = self.simple_relative_path(args[0])?;
+                // Existence: every node is a witness.
+                let all: NodeSet = self.doc.all_nodes().collect();
+                Some(self.propagate_backwards(steps, all))
+            }
+            Node::Compare(op, a, b) => {
+                // Normalize to path-on-the-left.
+                let (steps, scalar, op) = if let Some(steps) = self.simple_relative_path(*a) {
+                    (steps, self.constant_scalar(*b)?, *op)
+                } else {
+                    let steps = self.simple_relative_path(*b)?;
+                    (steps, self.constant_scalar(*a)?, op.swapped())
+                };
+                let witnesses: NodeSet = self
+                    .doc
+                    .all_nodes()
+                    .filter(|&y| node_scalar_compare(self.doc, op, y, &scalar))
+                    .collect();
+                Some(self.propagate_backwards(steps, witnesses))
+            }
+            _ => None,
+        }
+    }
+
+    /// `χ₁⁻¹(t₁ ∩ … χₖ⁻¹(tₖ ∩ T))`: one preimage sweep per step, right to
+    /// left, filtering by each step's node test first.
+    ///
+    /// Attribute nodes need care at both ends of each sweep: tree axes
+    /// never *produce* attributes (so they are dropped from the target
+    /// set, or `node()` tests would leak them through the mirror axis),
+    /// while the attribute axis produces nothing else.  `self` keeps
+    /// every node: an attribute is its own `self::node()`.
+    fn propagate_backwards(&self, steps: &[Step], targets: NodeSet) -> NodeSet {
+        let mut set = targets;
+        for step in steps.iter().rev() {
+            let test = step.test.resolve(self.doc);
+            let mut filtered = set;
+            filtered.retain(|y| {
+                let attr_ok = match step.axis {
+                    Axis::SelfAxis => true,
+                    Axis::Attribute => self.doc.kind(y).is_attribute(),
+                    _ => !self.doc.kind(y).is_attribute(),
+                };
+                attr_ok && test.matches(self.doc, step.axis, y)
+            });
+            set = axis_preimage(self.doc, step.axis, &filtered);
+        }
+        set
+    }
+
+    /// A relative, predicate-free location path over axes whose backward
+    /// propagation is *exact* — the shape the optimization handles.
+    ///
+    /// Axes whose forward image from an attribute context node is
+    /// non-empty (`parent`, `ancestor(-or-self)`, `descendant-or-self`,
+    /// `following`, `preceding`) are excluded: their mirror-axis preimages
+    /// never report attribute origins, so propagating backwards would
+    /// silently drop attribute context nodes.
+    fn simple_relative_path(&self, id: ExprId) -> Option<&[Step]> {
+        fn backward_exact(axis: Axis) -> bool {
+            matches!(
+                axis,
+                Axis::SelfAxis
+                    | Axis::Child
+                    | Axis::Descendant
+                    | Axis::FollowingSibling
+                    | Axis::PrecedingSibling
+                    | Axis::Attribute
+                    | Axis::Id
+            )
+        }
+        match self.query.node(id) {
+            Node::Path(PathStart::Context, steps)
+                if steps
+                    .iter()
+                    .all(|s| s.predicates.is_empty() && backward_exact(s.axis)) =>
+            {
+                Some(steps)
+            }
+            _ => None,
+        }
+    }
+
+    /// A constant scalar operand (number or string literal).  Booleans are
+    /// excluded: comparing a node-set against a boolean converts the *set*,
+    /// which is not an existential per-node comparison.
+    fn constant_scalar(&self, id: ExprId) -> Option<Value> {
+        match self.query.node(id) {
+            Node::Number(n) => Some(Value::Number(*n)),
+            Node::Literal(s) => Some(Value::String(s.to_string())),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minctx_syntax::parse_xpath;
+    use minctx_xml::parse;
+
+    fn eval_both(xml: &str, query: &str) -> (Value, Value) {
+        let doc = parse(xml).unwrap();
+        let q = parse_xpath(query).unwrap();
+        let ctx = Context::document(&doc);
+        let plain = MinContext { optimized: false }
+            .evaluate(&doc, &q, ctx)
+            .unwrap();
+        let opt = MinContext { optimized: true }
+            .evaluate(&doc, &q, ctx)
+            .unwrap();
+        (plain, opt)
+    }
+
+    #[test]
+    fn backward_propagation_agrees_with_forward() {
+        let xml = "<a><b><c>100</c></b><b><c>7</c></b><b/></a>";
+        for q in [
+            "/a/b[c = 100]",
+            "/a/b[c]",
+            "/a/b[not(c)]",
+            "/a/b[descendant::c = 7]",
+            "/a/b[c != 100]",
+            "/a/b[100 = c]",
+            "/a/b[c = 'x']",
+            "//*[self::c = 7]",
+        ] {
+            let (plain, opt) = eval_both(xml, q);
+            assert_eq!(plain, opt, "query {q}");
+        }
+    }
+
+    #[test]
+    fn backward_propagation_handles_attribute_nodes() {
+        // node() matches attribute nodes, but tree axes never produce
+        // them; and attribute *origins* of reverse / or-self axes are
+        // invisible to mirror-axis preimages (those fall back to forward
+        // evaluation).  Both directions once leaked here.
+        let xml = r#"<r><a y="x"/><b>x</b></r>"#;
+        for q in [
+            "//*[node() = 'x']",
+            "//*[node()]",
+            "//@*[following::b = 'x']",
+            "//@*[ancestor::r]",
+            "//@*[self::node() = 'x']",
+        ] {
+            let (plain, opt) = eval_both(xml, q);
+            assert_eq!(plain, opt, "query {q}");
+        }
+        // And pin the absolute answers so both being wrong can't pass.
+        let doc = parse(xml).unwrap();
+        let q = parse_xpath("count(//*[node() = 'x'])").unwrap();
+        let v = MinContext { optimized: true }
+            .evaluate(&doc, &q, Context::document(&doc))
+            .unwrap();
+        assert_eq!(v, Value::Number(2.0)); // <r> and <b>, not <a>
+        let q = parse_xpath("count(//@*[ancestor::r])").unwrap();
+        let v = MinContext { optimized: true }
+            .evaluate(&doc, &q, Context::document(&doc))
+            .unwrap();
+        assert_eq!(v, Value::Number(1.0)); // the y attribute
+    }
+
+    #[test]
+    fn backward_propagation_through_id_axis() {
+        let xml = r#"<a id="r"><b id="x">y</b><c id="y">100</c></a>"#;
+        // b's id-step dereferences to c, whose value is 100.
+        let (plain, opt) = eval_both(xml, "//*[id(string(.)) = 100]");
+        assert_eq!(plain, opt);
+        if let Value::NodeSet(ns) = &plain {
+            assert_eq!(ns.len(), 1);
+        } else {
+            panic!("expected node-set");
+        }
+    }
+
+    #[test]
+    fn memo_shares_position_only_predicates_across_nodes() {
+        // `position() = 2` has Relev = {position}: its memo entries are
+        // keyed by k alone, shared across every context node and size.
+        let doc = parse("<a><b><x/><x/><x/></b><c><x/><x/><x/></c></a>").unwrap();
+        let q = parse_xpath("/a/*/x[position() = 2]").unwrap();
+        let mut run = Run {
+            doc: &doc,
+            query: &q,
+            opt: false,
+            memo: vec![HashMap::new(); q.len()],
+            backward: vec![None; q.len()],
+        };
+        let v = run.eval(q.root(), Context::document(&doc)).unwrap();
+        assert_eq!(v.as_node_set().unwrap().len(), 2);
+        // Find the comparison predicate node and check its memo size: three
+        // positions arise (k = 1, 2, 3), from six candidate evaluations.
+        let pred_memo: Vec<usize> = q
+            .iter()
+            .filter(|(id, n)| matches!(n, Node::Compare(..)) && !q.relev(*id).node())
+            .map(|(id, _)| run.memo[id.index()].len())
+            .collect();
+        assert_eq!(pred_memo, vec![3]);
+    }
+}

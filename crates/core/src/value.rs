@@ -1,0 +1,428 @@
+//! XPath 1.0 values and their conversion / comparison semantics.
+//!
+//! Every evaluation strategy produces the same [`Value`] type, and all of
+//! them share the conversion functions here — so differential tests across
+//! strategies exercise the *algorithms*, not divergent copies of the XPath
+//! type system.
+
+use crate::error::EvalError;
+use minctx_syntax::{CmpOp, ValueType};
+use minctx_xml::{Document, NodeSet};
+
+/// An XPath 1.0 value: the result of evaluating any expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A set of nodes in document order.
+    NodeSet(NodeSet),
+    /// An IEEE 754 double.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// A boolean.
+    Boolean(bool),
+}
+
+impl Value {
+    /// The runtime type tag (always equal to the static
+    /// [`ValueType`] the lowering computed for the producing expression).
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::NodeSet(_) => ValueType::NodeSet,
+            Value::Number(_) => ValueType::Number,
+            Value::String(_) => ValueType::String,
+            Value::Boolean(_) => ValueType::Boolean,
+        }
+    }
+
+    /// Extracts the node-set, or a [`EvalError::Type`] for scalar values.
+    pub fn into_node_set(self) -> Result<NodeSet, EvalError> {
+        match self {
+            Value::NodeSet(ns) => Ok(ns),
+            other => Err(EvalError::Type {
+                expected: "node-set",
+                got: other.value_type().as_str(),
+            }),
+        }
+    }
+
+    /// Borrows the node-set, if this is one.
+    pub fn as_node_set(&self) -> Option<&NodeSet> {
+        match self {
+            Value::NodeSet(ns) => Some(ns),
+            _ => None,
+        }
+    }
+
+    /// `boolean()` conversion (XPath 1.0 §4.3): numbers are true unless
+    /// zero or NaN, strings unless empty, node-sets unless empty.
+    pub fn boolean(&self) -> bool {
+        match self {
+            Value::NodeSet(ns) => !ns.is_empty(),
+            Value::Number(n) => *n != 0.0 && !n.is_nan(),
+            Value::String(s) => !s.is_empty(),
+            Value::Boolean(b) => *b,
+        }
+    }
+
+    /// `number()` conversion (§4.4).  Needs the document for node-set
+    /// operands (number of the string value of the first node).
+    pub fn number(&self, doc: &Document) -> f64 {
+        match self {
+            Value::NodeSet(_) => string_to_number(&self.string(doc)),
+            Value::Number(n) => *n,
+            Value::String(s) => string_to_number(s),
+            Value::Boolean(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// `string()` conversion (§4.2).  A node-set converts to the string
+    /// value of its first node in document order (empty set → "").
+    pub fn string(&self, doc: &Document) -> String {
+        match self {
+            Value::NodeSet(ns) => ns.first().map(|n| doc.string_value(n)).unwrap_or_default(),
+            Value::Number(n) => number_to_string(*n),
+            Value::String(s) => s.clone(),
+            Value::Boolean(b) => if *b { "true" } else { "false" }.to_string(),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Boolean(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(n)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<NodeSet> for Value {
+    fn from(ns: NodeSet) -> Value {
+        Value::NodeSet(ns)
+    }
+}
+
+/// XPath 1.0 string→number: optional whitespace, optional minus, decimal
+/// digits with an optional fraction — anything else is NaN (§4.4; no `+`,
+/// no exponent notation).
+pub fn string_to_number(s: &str) -> f64 {
+    let t = s.trim_matches([' ', '\t', '\r', '\n']);
+    if t.is_empty() {
+        return f64::NAN;
+    }
+    let body = t.strip_prefix('-').unwrap_or(t);
+    let valid = !body.is_empty()
+        && body.chars().all(|c| c.is_ascii_digit() || c == '.')
+        && body.chars().filter(|&c| c == '.').count() <= 1
+        && body != ".";
+    if !valid {
+        return f64::NAN;
+    }
+    t.parse::<f64>().unwrap_or(f64::NAN)
+}
+
+/// XPath 1.0 number→string (§4.2): `NaN`, `Infinity`, integers without a
+/// decimal point, otherwise the shortest round-tripping decimal.
+pub fn number_to_string(n: f64) -> String {
+    if n.is_nan() {
+        "NaN".to_string()
+    } else if n.is_infinite() {
+        if n > 0.0 { "Infinity" } else { "-Infinity" }.to_string()
+    } else if n == 0.0 {
+        "0".to_string() // covers -0.0
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Evaluates `a op b` with the overloaded comparison semantics of XPath 1.0
+/// §3.4 — the dispatch table the paper compresses into Figure 1.
+///
+/// Node-set comparisons against numbers and strings are existential:
+/// `A op B` holds iff some member satisfies the scalar comparison (by
+/// *string* value against strings under equality, by *number* otherwise).
+/// A node-set against a **boolean** is *not* existential: §3.4 converts
+/// the whole set with `boolean()` first, so an empty set equals `false()`.
+pub fn compare(doc: &Document, op: CmpOp, a: &Value, b: &Value) -> bool {
+    use Value::NodeSet;
+    match (a, b) {
+        // §3.4: a node-set against a boolean converts the *set* with
+        // boolean() — never its members — and the relational variants then
+        // compare the two booleans as numbers.
+        (NodeSet(_), Value::Boolean(_)) | (Value::Boolean(_), NodeSet(_)) => {
+            if op.is_equality() {
+                cmp_bool(op, a.boolean(), b.boolean())
+            } else {
+                cmp_num(op, a.boolean() as u8 as f64, b.boolean() as u8 as f64)
+            }
+        }
+        (NodeSet(x), NodeSet(y)) => {
+            if op.is_equality() {
+                // ∃ x∈X, y∈Y : strval(x) op strval(y).
+                let ys: Vec<String> = y.iter().map(|n| doc.string_value(n)).collect();
+                x.iter().any(|m| {
+                    let sx = doc.string_value(m);
+                    ys.iter().any(|sy| cmp_str(op, &sx, sy))
+                })
+            } else {
+                let ys: Vec<f64> = y
+                    .iter()
+                    .map(|n| string_to_number(&doc.string_value(n)))
+                    .collect();
+                x.iter().any(|m| {
+                    let nx = string_to_number(&doc.string_value(m));
+                    ys.iter().any(|&ny| cmp_num(op, nx, ny))
+                })
+            }
+        }
+        (NodeSet(x), _) => x.iter().any(|m| cmp_node_scalar(doc, op, m, b)),
+        (_, NodeSet(y)) => {
+            let op = op.swapped();
+            y.iter().any(|m| cmp_node_scalar(doc, op, m, a))
+        }
+        _ => cmp_scalars(doc, op, a, b),
+    }
+}
+
+/// `strval(node) op scalar` — the single-node comparison the existential
+/// node-set rules quantify over.  Exposed so OPTMINCONTEXT can build its
+/// backward-propagation witness sets from exactly the same dispatch.
+///
+/// # Panics
+///
+/// Panics if `v` is a node-set or a boolean: node-sets are handled by the
+/// existential rules of [`compare`], and boolean comparisons convert the
+/// whole node-set, never its members.
+pub fn node_scalar_compare(doc: &Document, op: CmpOp, node: minctx_xml::NodeId, v: &Value) -> bool {
+    cmp_node_scalar(doc, op, node, v)
+}
+
+/// `strval(node) op scalar` with the per-type dispatch of §3.4.
+fn cmp_node_scalar(doc: &Document, op: CmpOp, node: minctx_xml::NodeId, v: &Value) -> bool {
+    match v {
+        Value::Number(n) => cmp_num(op, string_to_number(&doc.string_value(node)), *n),
+        Value::String(s) if op.is_equality() => cmp_str(op, &doc.string_value(node), s),
+        Value::String(s) => cmp_num(
+            op,
+            string_to_number(&doc.string_value(node)),
+            string_to_number(s),
+        ),
+        Value::Boolean(_) => {
+            unreachable!("boolean comparisons convert the node-set, not its members")
+        }
+        Value::NodeSet(_) => unreachable!("node-set handled by caller"),
+    }
+}
+
+fn cmp_scalars(doc: &Document, op: CmpOp, a: &Value, b: &Value) -> bool {
+    if op.is_equality() {
+        // §3.4 priority: boolean > number > string.
+        match (a, b) {
+            (Value::Boolean(_), _) | (_, Value::Boolean(_)) => {
+                cmp_bool(op, a.boolean(), b.boolean())
+            }
+            (Value::Number(_), _) | (_, Value::Number(_)) => {
+                cmp_num(op, a.number(doc), b.number(doc))
+            }
+            _ => cmp_str(op, &a.string(doc), &b.string(doc)),
+        }
+    } else {
+        // Relational scalars always go through number() — number(true)=1.
+        cmp_num(op, a.number(doc), b.number(doc))
+    }
+}
+
+fn cmp_num(op: CmpOp, a: f64, b: f64) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Neq => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+fn cmp_str(op: CmpOp, a: &str, b: &str) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Neq => a != b,
+        _ => unreachable!("relational string comparison converts to numbers"),
+    }
+}
+
+fn cmp_bool(op: CmpOp, a: bool, b: bool) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Neq => a != b,
+        // Relational comparison of booleans goes through numbers.
+        _ => cmp_num(op, a as u8 as f64, b as u8 as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minctx_xml::parse;
+
+    #[test]
+    fn string_to_number_strictness() {
+        assert_eq!(string_to_number("42"), 42.0);
+        assert_eq!(string_to_number("  -3.5 "), -3.5);
+        assert_eq!(string_to_number(".5"), 0.5);
+        assert_eq!(string_to_number("5."), 5.0);
+        assert!(string_to_number("1e3").is_nan()); // no exponents in XPath
+        assert!(string_to_number("+1").is_nan()); // no leading plus
+        assert!(string_to_number("").is_nan());
+        assert!(string_to_number("abc").is_nan());
+        assert!(string_to_number("1.2.3").is_nan());
+        assert!(string_to_number(".").is_nan());
+        assert!(string_to_number("-").is_nan());
+    }
+
+    #[test]
+    fn number_to_string_forms() {
+        assert_eq!(number_to_string(2.0), "2");
+        assert_eq!(number_to_string(-0.0), "0");
+        assert_eq!(number_to_string(0.5), "0.5");
+        assert_eq!(number_to_string(f64::NAN), "NaN");
+        assert_eq!(number_to_string(f64::INFINITY), "Infinity");
+        assert_eq!(number_to_string(f64::NEG_INFINITY), "-Infinity");
+    }
+
+    #[test]
+    fn boolean_conversion() {
+        assert!(Value::Number(1.0).boolean());
+        assert!(!Value::Number(0.0).boolean());
+        assert!(!Value::Number(f64::NAN).boolean());
+        assert!(Value::String("x".into()).boolean());
+        assert!(!Value::String(String::new()).boolean());
+        assert!(!Value::NodeSet(NodeSet::new()).boolean());
+    }
+
+    #[test]
+    fn nodeset_string_is_first_node() {
+        let doc = parse("<a><b>one</b><c>two</c></a>").unwrap();
+        let a = doc.document_element();
+        let ns: NodeSet = doc.children(a).collect();
+        let v = Value::NodeSet(ns);
+        assert_eq!(v.string(&doc), "one");
+        assert_eq!(Value::NodeSet(NodeSet::new()).string(&doc), "");
+    }
+
+    #[test]
+    fn existential_comparisons() {
+        let doc = parse("<a><b>1</b><b>5</b></a>").unwrap();
+        let a = doc.document_element();
+        let bs: NodeSet = doc.children(a).collect();
+        let v = Value::NodeSet(bs);
+        // ∃b: b = 5, ∃b: b < 2, but not ∀-style: both = and != hold.
+        assert!(compare(&doc, CmpOp::Eq, &v, &Value::Number(5.0)));
+        assert!(compare(&doc, CmpOp::Neq, &v, &Value::Number(5.0)));
+        assert!(compare(&doc, CmpOp::Lt, &v, &Value::Number(2.0)));
+        assert!(!compare(&doc, CmpOp::Gt, &v, &Value::Number(5.0)));
+        // Swapped operand order.
+        assert!(compare(&doc, CmpOp::Gt, &Value::Number(2.0), &v));
+        // String equality against a node-set is by string value.
+        assert!(compare(&doc, CmpOp::Eq, &v, &Value::String("1".into())));
+        assert!(!compare(&doc, CmpOp::Eq, &v, &Value::String("7".into())));
+    }
+
+    #[test]
+    fn scalar_comparison_priorities() {
+        let doc = parse("<a/>").unwrap();
+        // boolean beats number for equality.
+        assert!(compare(
+            &doc,
+            CmpOp::Eq,
+            &Value::Boolean(true),
+            &Value::Number(7.0)
+        ));
+        // number beats string.
+        assert!(compare(
+            &doc,
+            CmpOp::Eq,
+            &Value::Number(7.0),
+            &Value::String("7".into())
+        ));
+        // relational always numeric.
+        assert!(compare(
+            &doc,
+            CmpOp::Lt,
+            &Value::String("3".into()),
+            &Value::String("21".into())
+        ));
+    }
+
+    #[test]
+    fn nodeset_boolean_comparisons_convert_the_set() {
+        // §3.4: `A op bool` converts A with boolean(), it is NOT the
+        // existential per-member rule — an empty set equals false().
+        let doc = parse("<a><b>0</b></a>").unwrap();
+        let empty = Value::NodeSet(NodeSet::new());
+        assert!(compare(&doc, CmpOp::Eq, &empty, &Value::Boolean(false)));
+        assert!(!compare(&doc, CmpOp::Eq, &empty, &Value::Boolean(true)));
+        assert!(compare(&doc, CmpOp::Neq, &empty, &Value::Boolean(true)));
+        // Relational: boolean(set) compared as a number; empty → 0 < 1.
+        assert!(compare(&doc, CmpOp::Lt, &empty, &Value::Boolean(true)));
+        let bs: NodeSet = doc.children(doc.document_element()).collect();
+        let nonempty = Value::NodeSet(bs);
+        // boolean(nonempty) = true even though number(strval) = 0.
+        assert!(compare(&doc, CmpOp::Eq, &nonempty, &Value::Boolean(true)));
+        assert!(!compare(&doc, CmpOp::Lt, &nonempty, &Value::Boolean(true)));
+        assert!(compare(&doc, CmpOp::Ge, &Value::Boolean(true), &nonempty));
+    }
+
+    #[test]
+    fn scalar_boolean_relational_goes_through_numbers() {
+        // `2 > true()` is number(2) > number(true) = 2 > 1, NOT a
+        // boolean-vs-boolean comparison.
+        let doc = parse("<a/>").unwrap();
+        assert!(compare(
+            &doc,
+            CmpOp::Gt,
+            &Value::Number(2.0),
+            &Value::Boolean(true)
+        ));
+        assert!(!compare(
+            &doc,
+            CmpOp::Lt,
+            &Value::Number(0.5),
+            &Value::Boolean(false)
+        ));
+        assert!(compare(
+            &doc,
+            CmpOp::Gt,
+            &Value::Number(0.5),
+            &Value::Boolean(false)
+        ));
+    }
+
+    #[test]
+    fn into_node_set_type_error() {
+        assert!(Value::NodeSet(NodeSet::new()).into_node_set().is_ok());
+        let err = Value::Number(1.0).into_node_set().unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::Type {
+                expected: "node-set",
+                got: "number"
+            }
+        );
+    }
+}

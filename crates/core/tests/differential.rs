@@ -1,0 +1,262 @@
+//! The cross-strategy differential oracle.
+//!
+//! Every query in the corpus is evaluated under all four strategies on
+//! every document, and the resulting [`Value`]s must be identical.  The
+//! strategies share the value/conversion library but nothing of their
+//! evaluation order — naive is top-down context-at-a-time, the tables are
+//! bottom-up over all contexts, MINCONTEXT is top-down set-at-a-time with
+//! memoization, OPTMINCONTEXT adds backward axis propagation — so
+//! agreement here is strong evidence of semantic correctness, and every
+//! future optimization PR inherits this suite as its safety net.
+
+use minctx_bench::uniform_tree;
+use minctx_core::{Engine, Strategy, Value};
+use minctx_xml::{parse, Document};
+
+/// Corpus documents: hand-written shapes plus generated trees.
+fn documents() -> Vec<(String, Document)> {
+    let mut docs = vec![
+        (
+            "books".to_string(),
+            parse(concat!(
+                r#"<library xml:lang="en">"#,
+                r#"<book id="b1" year="1994"><title>TCP/IP</title><price>65.95</price></book>"#,
+                r#"<book id="b2" year="2000"><title>Data on the Web</title><price>39.95</price></book>"#,
+                r#"<book id="b3" year="2000" ref="b1"><title>XML</title><price>100</price></book>"#,
+                r#"<!-- catalogue -->"#,
+                r#"<?render fast?>"#,
+                r#"<magazine id="m1"><title>XML</title><price>8</price></magazine>"#,
+                r#"</library>"#,
+            ))
+            .unwrap(),
+        ),
+        (
+            "numbers".to_string(),
+            parse(
+                "<t><n>1</n><n>2</n><n>3</n><n>100</n><m>2.5</m><m>-4</m>\
+                 <mixed>7seven</mixed><empty/></t>",
+            )
+            .unwrap(),
+        ),
+        (
+            "idchain".to_string(),
+            parse(
+                r#"<g id="g"><p id="p1">p2 p3</p><p id="p2">p3</p><p id="p3">done</p></g>"#,
+            )
+            .unwrap(),
+        ),
+    ];
+    // A generated three-level tree (40 elements) — the same generator the
+    // benches use, so the oracle covers the benchmarked document shape.
+    docs.push(("tree-3-3".to_string(), uniform_tree(3, 3)));
+    docs
+}
+
+/// The query corpus: ≥40 queries spanning axes, predicates, positional
+/// functions, arithmetic, unions, strings, and `id()`.
+const QUERIES: &[&str] = &[
+    // Plain paths and axes.
+    "/",
+    "/*",
+    "/child::*/child::*",
+    "//title",
+    "//*",
+    "/descendant-or-self::node()",
+    "//price/text()",
+    "//comment()",
+    "//processing-instruction()",
+    "//book/attribute::year",
+    "//@id",
+    "//book/..",
+    "//title/parent::*/child::price",
+    "//price/ancestor::*",
+    "//book[1]/following-sibling::*",
+    "//magazine/preceding-sibling::*",
+    "//book[2]/following::node()",
+    "//magazine/preceding::price",
+    "//odd/even",
+    "//even[odd]",
+    // Predicates, position(), last().
+    "//book[1]",
+    "//book[last()]",
+    "//book[position() = 2]",
+    "//book[position() != last()]",
+    "//*[position() = 2]",
+    "//book[price > 40]",
+    "//book[title = 'XML']",
+    "//book[@year = 2000][2]",
+    "//book[@year = 2000 and price > 50]",
+    "//book[not(@ref)]",
+    "//*[count(*) > 1]",
+    "//*[position() > last() * 0.5]",
+    "/descendant::*[position() > last()*0.5 or self::* = 100]",
+    "//even[position() mod 2 = 1]",
+    "//n[. > 1][position() < 3]",
+    // Positional predicates over reverse axes count in reverse document
+    // order — a classic divergence spot between evaluators.
+    "//magazine/preceding-sibling::*[1]",
+    "//price/ancestor::*[2]",
+    "//magazine/preceding::node()[3]",
+    "//book[last() - 1]",
+    // Filters on primaries.
+    "(//book)[2]",
+    "(//title | //price)[last()]",
+    "id('b1 b3')[2]",
+    // Unions.
+    "//title | //price",
+    "//book | //magazine | //book",
+    "//n | //m",
+    // id().
+    "id('b2')",
+    "id('p1')",
+    "id(//book[3]/@ref)",
+    "//p[id(.)]",
+    // Scalars: numbers, strings, booleans.
+    "count(//book)",
+    "count(//book[price < 50]) + count(//magazine)",
+    "sum(//n)",
+    "sum(//m) * 2",
+    "1 div 0",
+    "-3 mod 2",
+    "string(//book[1]/title)",
+    "concat(name(//book[1]), '-', //book[1]/@id)",
+    "normalize-space(string(//mixed))",
+    "substring(string(//title[1]), 2, 3)",
+    "string-length(string(//book[2]/title))",
+    "translate(string(//title[3]), 'XML', 'xml')",
+    "starts-with(string(//book[1]/@id), 'b')",
+    "contains(string(/), 'Web')",
+    "boolean(//book)",
+    "boolean(//nosuch)",
+    "not(//magazine)",
+    "//book = //magazine",
+    "//n < //m",
+    // Node-set vs boolean converts the whole set (§3.4), so an *empty*
+    // set equals false() — not the existential member rule.
+    "//nosuch = false()",
+    "count(//book[nosuch = false()])",
+    "//book != true()",
+    "//nosuch < true()",
+    // Attribute nodes as predicate targets and as context nodes: these
+    // pinned down real divergences (backward propagation leaking
+    // attributes through node() tests; attribute origins of reverse and
+    // or-self axes; descendant-or-self of an attribute context).
+    "//*[node() = 'XML']",
+    "//*[node()]",
+    "//book/@year/descendant-or-self::node()",
+    "//@id/ancestor-or-self::node()",
+    "//@*[following::magazine]",
+    "//@*[ancestor::library]",
+    "//@id[self::node() = 'b2']",
+    "number(//empty)",
+    "floor(sum(//m)) + ceiling(1.2) + round(2.5)",
+    "string(number('x'))",
+    "lang('en')",
+    "local-name(//*[last()])",
+];
+
+fn engines() -> Vec<Engine> {
+    Strategy::ALL.iter().map(|&s| Engine::new(s)).collect()
+}
+
+/// Value equality where NaN equals NaN (differential runs must agree on
+/// NaN-producing queries too).
+fn values_agree(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => x == y || (x.is_nan() && y.is_nan()),
+        _ => a == b,
+    }
+}
+
+#[test]
+fn corpus_has_at_least_forty_queries() {
+    assert!(
+        QUERIES.len() >= 40,
+        "differential corpus shrank to {}",
+        QUERIES.len()
+    );
+}
+
+#[test]
+fn all_strategies_agree_on_the_corpus() {
+    let docs = documents();
+    let engines = engines();
+    for (doc_name, doc) in &docs {
+        for q in QUERIES {
+            let baseline = engines[0]
+                .evaluate_str(doc, q)
+                .unwrap_or_else(|e| panic!("{doc_name}: naive failed on {q:?}: {e}"));
+            for engine in &engines[1..] {
+                let v = engine.evaluate_str(doc, q).unwrap_or_else(|e| {
+                    panic!("{doc_name}: {} failed on {q:?}: {e}", engine.strategy())
+                });
+                assert!(
+                    values_agree(&baseline, &v),
+                    "{doc_name}: {} disagrees with naive on {q:?}:\n  naive: {baseline:?}\n  {}: {v:?}",
+                    engine.strategy(),
+                    engine.strategy(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn strategies_agree_at_non_root_contexts() {
+    use minctx_core::Context;
+    let docs = documents();
+    let queries = [
+        "n",
+        ".",
+        "..",
+        "self::node()",
+        "following-sibling::*[1]",
+        "count(preceding-sibling::*)",
+        "string(.)",
+        "position() + last()",
+    ];
+    for (doc_name, doc) in &docs {
+        for q in queries {
+            let query = minctx_syntax::parse_xpath(q).unwrap();
+            // Every element of the document becomes a context node.
+            for node in doc.all_nodes().filter(|&n| doc.kind(n).is_element()) {
+                let ctx = Context::at(node);
+                let mut results = Strategy::ALL.iter().map(|&s| {
+                    Engine::new(s)
+                        .evaluate_at(doc, &query, ctx)
+                        .unwrap_or_else(|e| panic!("{doc_name}: {s} failed on {q:?}: {e}"))
+                });
+                let first = results.next().unwrap();
+                for v in results {
+                    assert!(
+                        values_agree(&first, &v),
+                        "{doc_name}: node {node} query {q:?}: {first:?} vs {v:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn known_answers_spot_check() {
+    // The oracle should not be vacuously agreeing on empty results:
+    // pin a few absolute answers on the books document.
+    let (_, doc) = &documents()[0];
+    for engine in engines() {
+        let v = engine.evaluate_str(doc, "count(//book)").unwrap();
+        assert_eq!(v, Value::Number(3.0), "{}", engine.strategy());
+        let v = engine
+            .evaluate_str(doc, "string(//book[last()]/title)")
+            .unwrap();
+        assert_eq!(v, Value::String("XML".into()), "{}", engine.strategy());
+        let v = engine
+            .evaluate_str(doc, "id(//book[3]/@ref)/title")
+            .unwrap()
+            .into_node_set()
+            .unwrap();
+        assert_eq!(v.len(), 1, "{}", engine.strategy());
+        let v = engine.evaluate_str(doc, "//book[price > 40]").unwrap();
+        assert_eq!(v.into_node_set().unwrap().len(), 2, "{}", engine.strategy());
+    }
+}

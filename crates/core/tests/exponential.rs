@@ -1,0 +1,90 @@
+//! The Section-1 exponential query family, reproduced as a guarded test.
+//!
+//! The paper opens with the observation that contemporary XPath engines
+//! took time exponential in the size of queries as simple as
+//!
+//! ```text
+//! //b,  //b/parent::a/child::b,  //b/parent::a/child::b/parent::a/child::b, …
+//! ```
+//!
+//! on the two-line document `<a><b/><b/></a>`: each `parent::a/child::b`
+//! round trip doubles the number of (duplicated) context nodes a
+//! context-at-a-time implementation walks.  Our [`Strategy::Naive`]
+//! evaluator reproduces that behavior behind a work budget, while the
+//! polynomial strategies answer the same queries in time linear in the
+//! number of steps.
+
+use minctx_core::{Engine, EvalError, Strategy};
+use minctx_xml::parse;
+
+/// `//b` followed by `i` copies of `/parent::a/child::b`.
+fn family(i: usize) -> String {
+    let mut q = String::from("//b");
+    for _ in 0..i {
+        q.push_str("/parent::a/child::b");
+    }
+    q
+}
+
+const BUDGET: u64 = 200_000;
+
+#[test]
+fn naive_agrees_on_small_members_of_the_family() {
+    let doc = parse("<a><b/><b/></a>").unwrap();
+    for i in 0..6 {
+        for s in Strategy::ALL {
+            let v = Engine::new(s)
+                .with_budget(BUDGET)
+                .evaluate_str(&doc, &family(i))
+                .unwrap();
+            assert_eq!(v.into_node_set().unwrap().len(), 2, "{s} at i={i}");
+        }
+    }
+}
+
+#[test]
+fn naive_work_doubles_per_round_trip() {
+    // Find the first family member the budget cannot cover; it must be far
+    // below the sizes the polynomial strategies handle, and the failure
+    // must be the budget guard, not a wrong answer.
+    let doc = parse("<a><b/><b/></a>").unwrap();
+    let naive = Engine::new(Strategy::Naive).with_budget(BUDGET);
+    let blew_up_at = (0..64).find(|&i| {
+        matches!(
+            naive.evaluate_str(&doc, &family(i)),
+            Err(EvalError::BudgetExceeded { .. })
+        )
+    });
+    let i = blew_up_at.expect("naive never exceeded its budget — lost its exponential blow-up?");
+    // 2^i contexts ≈ budget ⇒ i ≈ log2(200_000) ≈ 17; allow slack for
+    // constant factors but insist the blow-up is exponential-fast.
+    assert!(
+        (8..=24).contains(&i),
+        "naive budget blow-up at unexpected query size i={i}"
+    );
+}
+
+#[test]
+fn polynomial_strategies_sail_through_much_larger_members() {
+    let doc = parse("<a><b/><b/></a>").unwrap();
+    // 60 round trips = 121 steps; naive would need ~2^60 work units.
+    let q = family(60);
+    for s in [
+        Strategy::ContextValueTable,
+        Strategy::MinContext,
+        Strategy::OptMinContext,
+    ] {
+        let v = Engine::new(s).evaluate_str(&doc, &q).unwrap();
+        assert_eq!(v.into_node_set().unwrap().len(), 2, "{s}");
+    }
+}
+
+#[test]
+fn budget_error_reports_the_configured_budget() {
+    let doc = parse("<a><b/><b/></a>").unwrap();
+    let err = Engine::new(Strategy::Naive)
+        .with_budget(1_000)
+        .evaluate_str(&doc, &family(30))
+        .unwrap_err();
+    assert_eq!(err, EvalError::BudgetExceeded { budget: 1_000 });
+}

@@ -261,7 +261,14 @@ mod tests {
 
     #[test]
     fn cmp_op_swapped_is_involutive_on_strict() {
-        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.swapped().swapped(), op);
         }
         assert_eq!(CmpOp::Lt.swapped(), CmpOp::Gt);
@@ -278,10 +285,7 @@ mod tests {
         assert_eq!(e.to_string(), "(last() * 0.5)");
         assert_eq!(AstExpr::Number(3.0).to_string(), "3");
         assert_eq!(AstExpr::Literal("hi".into()).to_string(), "'hi'");
-        assert_eq!(
-            AstExpr::Literal("it's".into()).to_string(),
-            "\"it's\""
-        );
+        assert_eq!(AstExpr::Literal("it's".into()).to_string(), "\"it's\"");
     }
 
     #[test]

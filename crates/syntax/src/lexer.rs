@@ -165,48 +165,81 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 continue;
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 pos += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 pos += 1;
             }
             b'[' => {
-                tokens.push(Token { kind: TokenKind::LBracket, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    offset: start,
+                });
                 pos += 1;
             }
             b']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    offset: start,
+                });
                 pos += 1;
             }
             b'@' => {
-                tokens.push(Token { kind: TokenKind::At, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::At,
+                    offset: start,
+                });
                 pos += 1;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 pos += 1;
             }
             b'|' => {
-                tokens.push(Token { kind: TokenKind::Pipe, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Pipe,
+                    offset: start,
+                });
                 pos += 1;
             }
             b'+' => {
-                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: start,
+                });
                 pos += 1;
             }
             b'-' => {
-                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: start,
+                });
                 pos += 1;
             }
             b'=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
                 pos += 1;
             }
             b'!' => {
                 if bytes.get(pos + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Neq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Neq,
+                        offset: start,
+                    });
                     pos += 2;
                 } else {
                     return Err(LexError {
@@ -217,34 +250,55 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             }
             b'<' => {
                 if bytes.get(pos + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
                     pos += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
                     pos += 1;
                 }
             }
             b'>' => {
                 if bytes.get(pos + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
                     pos += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     pos += 1;
                 }
             }
             b'/' => {
                 if bytes.get(pos + 1) == Some(&b'/') {
-                    tokens.push(Token { kind: TokenKind::SlashSlash, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::SlashSlash,
+                        offset: start,
+                    });
                     pos += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Slash,
+                        offset: start,
+                    });
                     pos += 1;
                 }
             }
             b':' => {
                 if bytes.get(pos + 1) == Some(&b':') {
-                    tokens.push(Token { kind: TokenKind::ColonColon, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::ColonColon,
+                        offset: start,
+                    });
                     pos += 2;
                 } else {
                     return Err(LexError {
@@ -255,20 +309,32 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             }
             b'.' => {
                 if bytes.get(pos + 1) == Some(&b'.') {
-                    tokens.push(Token { kind: TokenKind::DotDot, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::DotDot,
+                        offset: start,
+                    });
                     pos += 2;
                 } else if bytes.get(pos + 1).is_some_and(|c| c.is_ascii_digit()) {
                     let (num, next) = lex_number(input, pos)?;
-                    tokens.push(Token { kind: TokenKind::Number(num), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Number(num),
+                        offset: start,
+                    });
                     pos = next;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Dot,
+                        offset: start,
+                    });
                     pos += 1;
                 }
             }
             b'0'..=b'9' => {
                 let (num, next) = lex_number(input, pos)?;
-                tokens.push(Token { kind: TokenKind::Number(num), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Number(num),
+                    offset: start,
+                });
                 pos = next;
             }
             b'"' | b'\'' => {
@@ -308,7 +374,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 } else {
                     TokenKind::WildcardName
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 pos += 1;
             }
             _ => {
@@ -340,9 +409,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                         "mod" => TokenKind::Mod,
                         other => {
                             return Err(LexError {
-                                message: format!(
-                                    "expected an operator, found name {other:?}"
-                                ),
+                                message: format!("expected an operator, found name {other:?}"),
                                 offset: start,
                             })
                         }
@@ -350,7 +417,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 } else {
                     TokenKind::Name(name.to_string())
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 pos = end;
             }
         }
@@ -363,14 +433,16 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
 fn must_be_operator(tokens: &[Token]) -> bool {
     match tokens.last() {
         None => false,
-        Some(t) => !matches!(
-            t.kind,
-            TokenKind::At
-                | TokenKind::ColonColon
-                | TokenKind::LParen
-                | TokenKind::LBracket
-                | TokenKind::Comma
-        ) && !t.kind.is_operator_for_disambiguation(),
+        Some(t) => {
+            !matches!(
+                t.kind,
+                TokenKind::At
+                    | TokenKind::ColonColon
+                    | TokenKind::LParen
+                    | TokenKind::LBracket
+                    | TokenKind::Comma
+            ) && !t.kind.is_operator_for_disambiguation()
+        }
     }
 }
 
@@ -514,10 +586,7 @@ mod tests {
             ]
         );
         // After `/` (an operator token), a name is a name again.
-        assert_eq!(
-            kinds("a/or")[2],
-            TokenKind::Name("or".into())
-        );
+        assert_eq!(kinds("a/or")[2], TokenKind::Name("or".into()));
     }
 
     #[test]
@@ -528,7 +597,11 @@ mod tests {
         assert_eq!(kinds("42"), vec![TokenKind::Number(42.0)]);
         assert_eq!(
             kinds("1+2"),
-            vec![TokenKind::Number(1.0), TokenKind::Plus, TokenKind::Number(2.0)]
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Plus,
+                TokenKind::Number(2.0)
+            ]
         );
     }
 
@@ -618,10 +691,7 @@ mod tests {
         let toks = tokenize(q).unwrap();
         assert!(toks.len() > 15);
         // `*` after `last()` must be multiplication, after `::` a wildcard.
-        let star_count = toks
-            .iter()
-            .filter(|t| t.kind == TokenKind::Star)
-            .count();
+        let star_count = toks.iter().filter(|t| t.kind == TokenKind::Star).count();
         assert_eq!(star_count, 1);
         let wild_count = toks
             .iter()

@@ -53,10 +53,7 @@ pub fn parse_xpath(input: &str) -> Result<Query, ParseError> {
 /// Like [`parse_xpath`], with variable bindings substituted during
 /// normalization (the paper assumes "each variable is replaced by the
 /// (constant) value of the input variable binding", Section 2.2).
-pub fn parse_xpath_with_bindings(
-    input: &str,
-    bindings: &Bindings,
-) -> Result<Query, ParseError> {
+pub fn parse_xpath_with_bindings(input: &str, bindings: &Bindings) -> Result<Query, ParseError> {
     let ast = parse_expr(input)?;
     let normalized = normalize(ast, bindings)?;
     Ok(query::lower(&normalized))

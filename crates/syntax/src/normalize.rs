@@ -27,7 +27,7 @@
 //! 7. checks function names and arities, and rejects type errors XPath 1.0
 //!    defines as static errors (`count` of a non-node-set, etc.).
 
-use crate::ast::{ArithOp, AstExpr, AstPath, AstStep, CmpOp};
+use crate::ast::{AstExpr, AstPath, AstStep, CmpOp};
 use crate::parser::ParseError;
 use minctx_xml::axes::{Axis, NodeTest};
 use std::collections::HashMap;
@@ -165,14 +165,12 @@ fn substitute(expr: AstExpr, b: &Bindings) -> Result<AstExpr, ParseError> {
             Some(Constant::Boolean(false)) => AstExpr::Call("false".into(), vec![]),
             None => return Err(err(format!("unbound variable ${name}"))),
         },
-        AstExpr::Or(a, c) => AstExpr::Or(
-            Box::new(substitute(*a, b)?),
-            Box::new(substitute(*c, b)?),
-        ),
-        AstExpr::And(a, c) => AstExpr::And(
-            Box::new(substitute(*a, b)?),
-            Box::new(substitute(*c, b)?),
-        ),
+        AstExpr::Or(a, c) => {
+            AstExpr::Or(Box::new(substitute(*a, b)?), Box::new(substitute(*c, b)?))
+        }
+        AstExpr::And(a, c) => {
+            AstExpr::And(Box::new(substitute(*a, b)?), Box::new(substitute(*c, b)?))
+        }
         AstExpr::Compare(op, a, c) => AstExpr::Compare(
             op,
             Box::new(substitute(*a, b)?),
@@ -184,10 +182,9 @@ fn substitute(expr: AstExpr, b: &Bindings) -> Result<AstExpr, ParseError> {
             Box::new(substitute(*c, b)?),
         ),
         AstExpr::Neg(a) => AstExpr::Neg(Box::new(substitute(*a, b)?)),
-        AstExpr::Union(a, c) => AstExpr::Union(
-            Box::new(substitute(*a, b)?),
-            Box::new(substitute(*c, b)?),
-        ),
+        AstExpr::Union(a, c) => {
+            AstExpr::Union(Box::new(substitute(*a, b)?), Box::new(substitute(*c, b)?))
+        }
         AstExpr::Path(p) => AstExpr::Path(substitute_path(p, b)?),
         AstExpr::Filter {
             primary,
@@ -285,13 +282,13 @@ fn norm_expr(expr: AstExpr) -> Result<AstExpr, ParseError> {
             require_nset(&primary, "filter expression")?;
             let predicates = predicates
                 .into_iter()
-                .map(|p| norm_predicate(p))
+                .map(norm_predicate)
                 .collect::<Result<Vec<_>, _>>()?;
             let steps = steps
                 .into_iter()
                 .map(norm_step)
                 .collect::<Result<Vec<_>, _>>()?;
-            simplify_filter(primary, predicates, steps)
+            simplify_filter(primary, predicates, steps)?
         }
         AstExpr::Call(name, args) => norm_call(name, args)?,
         AstExpr::Var(v) => return Err(err(format!("unbound variable ${v}"))),
@@ -357,11 +354,7 @@ fn lift_union_in_boolean(e: AstExpr) -> AstExpr {
 }
 
 /// Rule 6b: distributes scalar comparisons over union operands.
-fn lift_union_in_comparison(
-    op: CmpOp,
-    a: AstExpr,
-    b: AstExpr,
-) -> Result<AstExpr, ParseError> {
+fn lift_union_in_comparison(op: CmpOp, a: AstExpr, b: AstExpr) -> Result<AstExpr, ParseError> {
     let ta = static_type(&a)?;
     let tb = static_type(&b)?;
     // Only when exactly one side is a union and the other side is scalar;
@@ -565,14 +558,8 @@ mod tests {
     #[test]
     fn number_predicates_become_positional() {
         assert_eq!(norm_str("a[3]"), "child::a[(position() = 3)]");
-        assert_eq!(
-            norm_str("a[last()]"),
-            "child::a[(position() = last())]"
-        );
-        assert_eq!(
-            norm_str("a[1+1]"),
-            "child::a[(position() = (1 + 1))]"
-        );
+        assert_eq!(norm_str("a[last()]"), "child::a[(position() = last())]");
+        assert_eq!(norm_str("a[1+1]"), "child::a[(position() = (1 + 1))]");
     }
 
     #[test]
@@ -583,18 +570,12 @@ mod tests {
 
     #[test]
     fn boolean_predicates_stay() {
-        assert_eq!(
-            norm_str("a[b = 1]"),
-            "child::a[(child::b = 1)]"
-        );
+        assert_eq!(norm_str("a[b = 1]"), "child::a[(child::b = 1)]");
     }
 
     #[test]
     fn and_or_arguments_become_boolean() {
-        assert_eq!(
-            norm_str("a and 1"),
-            "(boolean(child::a) and boolean(1))"
-        );
+        assert_eq!(norm_str("a and 1"), "(boolean(child::a) and boolean(1))");
         assert_eq!(norm_str("true() or b"), "(true() or boolean(child::b))");
     }
 
@@ -638,10 +619,7 @@ mod tests {
     #[test]
     fn id_of_path_becomes_id_step() {
         assert_eq!(norm_str("id(/a)"), "/child::a/id::node()");
-        assert_eq!(
-            norm_str("id(id(/a))"),
-            "/child::a/id::node()/id::node()"
-        );
+        assert_eq!(norm_str("id(id(/a))"), "/child::a/id::node()/id::node()");
     }
 
     #[test]
@@ -649,10 +627,7 @@ mod tests {
         assert_eq!(norm_str("id('x')"), "id('x')");
         assert_eq!(norm_str("id(5)"), "id(string(5))");
         // Nested: id over id over a string.
-        assert_eq!(
-            norm_str("id(id('x'))"),
-            "(id('x'))/id::node()"
-        );
+        assert_eq!(norm_str("id(id('x'))"), "(id('x'))/id::node()");
     }
 
     #[test]
@@ -739,9 +714,7 @@ mod tests {
 
     #[test]
     fn paper_query_e_normalizes() {
-        let s = norm_str(
-            "/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]",
-        );
+        let s = norm_str("/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]");
         assert_eq!(
             s,
             "/descendant::*/descendant::*[((position() > (last() * 0.5)) or (self::* = 100))]"

@@ -23,7 +23,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XPath parse error: {} (at offset {})", self.message, self.offset)
+        write!(
+            f,
+            "XPath parse error: {} (at offset {})",
+            self.message, self.offset
+        )
     }
 }
 
@@ -282,10 +286,7 @@ impl Parser {
             if self.at_step_start() {
                 steps.push(self.parse_step()?);
             } else {
-                return Ok(AstPath {
-                    absolute,
-                    steps,
-                });
+                return Ok(AstPath { absolute, steps });
             }
         } else {
             absolute = false;
@@ -459,8 +460,7 @@ mod tests {
     fn round_trips(s: &str) {
         let e1 = parse_ok(s);
         let printed = e1.to_string();
-        let e2 = parse_expr(&printed)
-            .unwrap_or_else(|err| panic!("reparse {printed:?}: {err}"));
+        let e2 = parse_expr(&printed).unwrap_or_else(|err| panic!("reparse {printed:?}: {err}"));
         assert_eq!(e1, e2, "round trip of {s:?} via {printed:?}");
     }
 
@@ -497,12 +497,23 @@ mod tests {
     #[test]
     fn unabbreviated_axes() {
         for axis in [
-            "self", "child", "parent", "descendant", "ancestor",
-            "descendant-or-self", "ancestor-or-self", "following", "preceding",
-            "following-sibling", "preceding-sibling", "attribute",
+            "self",
+            "child",
+            "parent",
+            "descendant",
+            "ancestor",
+            "descendant-or-self",
+            "ancestor-or-self",
+            "following",
+            "preceding",
+            "following-sibling",
+            "preceding-sibling",
+            "attribute",
         ] {
             let q = format!("{axis}::*");
-            let AstExpr::Path(p) = parse_ok(&q) else { panic!() };
+            let AstExpr::Path(p) = parse_ok(&q) else {
+                panic!()
+            };
             assert_eq!(p.steps[0].axis.as_str(), axis);
         }
         assert!(parse_expr("sideways::*").is_err());
@@ -510,9 +521,9 @@ mod tests {
 
     #[test]
     fn node_tests() {
-        let AstExpr::Path(p) =
-            parse_ok("child::text()/child::comment()/child::node()/child::processing-instruction('x')")
-        else {
+        let AstExpr::Path(p) = parse_ok(
+            "child::text()/child::comment()/child::node()/child::processing-instruction('x')",
+        ) else {
             panic!()
         };
         assert_eq!(p.steps[0].test, NodeTest::Text);
@@ -528,11 +539,15 @@ mod tests {
         assert!(matches!(e, AstExpr::Or(..)));
         // = < relational? No: equality is *lower* precedence than relational.
         let e = parse_ok("1 = 2 < 3");
-        let AstExpr::Compare(CmpOp::Eq, _, r) = e else { panic!() };
+        let AstExpr::Compare(CmpOp::Eq, _, r) = e else {
+            panic!()
+        };
         assert!(matches!(*r, AstExpr::Compare(CmpOp::Lt, ..)));
         // + < *
         let e = parse_ok("1 + 2 * 3");
-        let AstExpr::Arith(ArithOp::Add, _, r) = e else { panic!() };
+        let AstExpr::Arith(ArithOp::Add, _, r) = e else {
+            panic!()
+        };
         assert!(matches!(*r, AstExpr::Arith(ArithOp::Mul, ..)));
         // unary minus binds tighter than *
         let e = parse_ok("-1 * 2");
@@ -546,10 +561,14 @@ mod tests {
     fn left_associativity() {
         let e = parse_ok("1 - 2 - 3");
         // ((1-2)-3)
-        let AstExpr::Arith(ArithOp::Sub, l, _) = e else { panic!() };
+        let AstExpr::Arith(ArithOp::Sub, l, _) = e else {
+            panic!()
+        };
         assert!(matches!(*l, AstExpr::Arith(ArithOp::Sub, ..)));
         let e = parse_ok("8 div 4 div 2");
-        let AstExpr::Arith(ArithOp::Div, l, _) = e else { panic!() };
+        let AstExpr::Arith(ArithOp::Div, l, _) = e else {
+            panic!()
+        };
         assert!(matches!(*l, AstExpr::Arith(ArithOp::Div, ..)));
     }
 
@@ -563,7 +582,9 @@ mod tests {
     #[test]
     fn function_calls() {
         let e = parse_ok("concat('a', 'b', 'c')");
-        let AstExpr::Call(name, args) = e else { panic!() };
+        let AstExpr::Call(name, args) = e else {
+            panic!()
+        };
         assert_eq!(name, "concat");
         assert_eq!(args.len(), 3);
         let e = parse_ok("true()");
@@ -583,17 +604,16 @@ mod tests {
         assert!(steps.is_empty());
 
         let e = parse_ok("id('x')/child::b");
-        let AstExpr::Filter {
-            primary, steps, ..
-        } = e
-        else {
+        let AstExpr::Filter { primary, steps, .. } = e else {
             panic!()
         };
         assert!(matches!(*primary, AstExpr::Call(..)));
         assert_eq!(steps.len(), 1);
 
         let e = parse_ok("id('x')//b");
-        let AstExpr::Filter { steps, .. } = e else { panic!() };
+        let AstExpr::Filter { steps, .. } = e else {
+            panic!()
+        };
         assert_eq!(steps.len(), 2); // descendant-or-self::node() + child::b
     }
 
@@ -609,20 +629,22 @@ mod tests {
 
     #[test]
     fn multiple_predicates() {
-        let AstExpr::Path(p) = parse_ok("a[1][2][last()]") else { panic!() };
+        let AstExpr::Path(p) = parse_ok("a[1][2][last()]") else {
+            panic!()
+        };
         assert_eq!(p.steps[0].predicates.len(), 3);
     }
 
     #[test]
     fn paper_query_e_parses() {
-        let e = parse_ok(
-            "/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]",
-        );
+        let e = parse_ok("/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]");
         let AstExpr::Path(p) = e else { panic!() };
         assert!(p.absolute);
         assert_eq!(p.steps.len(), 2);
         assert_eq!(p.steps[1].predicates.len(), 1);
-        let AstExpr::Or(l, r) = &p.steps[1].predicates[0] else { panic!() };
+        let AstExpr::Or(l, r) = &p.steps[1].predicates[0] else {
+            panic!()
+        };
         assert!(matches!(**l, AstExpr::Compare(CmpOp::Gt, ..)));
         assert!(matches!(**r, AstExpr::Compare(CmpOp::Eq, ..)));
     }
@@ -682,7 +704,9 @@ mod tests {
     #[test]
     fn div_as_element_name() {
         // `div` at the start of a path is a name, not an operator.
-        let AstExpr::Path(p) = parse_ok("div/mod") else { panic!() };
+        let AstExpr::Path(p) = parse_ok("div/mod") else {
+            panic!()
+        };
         assert_eq!(p.steps.len(), 2);
         assert_eq!(p.steps[0].test, NodeTest::name("div"));
         assert_eq!(p.steps[1].test, NodeTest::name("mod"));

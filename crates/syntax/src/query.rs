@@ -1,0 +1,759 @@
+//! Lowering of the normalized AST into the evaluation-ready [`Query`] arena.
+//!
+//! Every evaluator in `minctx-core` works over this representation:
+//!
+//! * [`Query`] is an arena of [`Node`]s indexed by [`ExprId`].  Children are
+//!   lowered *before* their parents, so a single forward sweep over the ids
+//!   visits the parse tree bottom-up — exactly the order in which the
+//!   context-value-table evaluator fills its tables.
+//! * Each node carries a static [`ValueType`] (every XPath 1.0 expression
+//!   has one — Section 2.2 of the paper assumes all conversions explicit,
+//!   which [`normalize`](crate::normalize) guarantees).
+//! * Each node carries its *relevant context* [`Relev`] (Section 3.1): the
+//!   subset of the context triple `(x, k, n)` — context node, position,
+//!   size — that the node's value actually depends on.  MINCONTEXT keys its
+//!   memo tables on exactly these components, which is what removes the
+//!   redundant dimensions from the context-value tables of the VLDB 2002
+//!   predecessor algorithm.
+//!
+//! Location paths are *not* flattened into the arena: a [`Node::Path`] owns
+//! its [`Step`] list directly (mirroring the paper's treatment of paths as
+//! single parse-tree nodes with axis annotations), but every predicate is an
+//! ordinary arena expression with its own `ExprId`, `ValueType` and `Relev`.
+
+use crate::ast::{ArithOp, AstExpr, AstPath, AstStep, CmpOp};
+use minctx_xml::axes::{Axis, NodeTest};
+use std::fmt;
+
+/// Index of an expression node in a [`Query`] arena.
+///
+/// Ids are assigned in lowering order: every child id is strictly smaller
+/// than its parent's id, and the root has the largest id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(u32);
+
+impl ExprId {
+    /// The raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ExprId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The static result type of an expression (Section 2.2: number, string,
+/// boolean, or node-set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    NodeSet,
+    Number,
+    String,
+    Boolean,
+}
+
+impl ValueType {
+    /// Human-readable name (used in error messages).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ValueType::NodeSet => "node-set",
+            ValueType::Number => "number",
+            ValueType::String => "string",
+            ValueType::Boolean => "boolean",
+        }
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The relevant context `Relev(N)` of a parse-tree node (Section 3.1): which
+/// of the three context components — context *node* `x`, context *position*
+/// `k`, context *size* `n` — the node's value depends on.
+///
+/// The paper's key observation is that full context-value tables range over
+/// all triples `(x, k, n)` even when a subexpression ignores most of the
+/// triple; restricting each table to `Relev(N)` is what makes MINCONTEXT's
+/// space (and time) bounds minimal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Relev(u8);
+
+impl Relev {
+    /// Depends on nothing: constant over all contexts.
+    pub const NONE: Relev = Relev(0);
+    /// Depends on the context node `x`.
+    pub const NODE: Relev = Relev(1);
+    /// Depends on the context position `k` (`position()`).
+    pub const POSITION: Relev = Relev(2);
+    /// Depends on the context size `n` (`last()`).
+    pub const SIZE: Relev = Relev(4);
+
+    /// Set union of two relevance sets.
+    #[inline]
+    pub fn union(self, other: Relev) -> Relev {
+        Relev(self.0 | other.0)
+    }
+
+    /// Whether every component of `other` is also relevant here.
+    #[inline]
+    pub fn contains(self, other: Relev) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the context node is relevant.
+    #[inline]
+    pub fn node(self) -> bool {
+        self.contains(Relev::NODE)
+    }
+
+    /// Whether the context position is relevant.
+    #[inline]
+    pub fn position(self) -> bool {
+        self.contains(Relev::POSITION)
+    }
+
+    /// Whether the context size is relevant.
+    #[inline]
+    pub fn size(self) -> bool {
+        self.contains(Relev::SIZE)
+    }
+
+    /// Whether the node is context-independent (`Relev(N) = ∅`).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of relevant components (0–3); the dimensionality of the
+    /// minimal context-value table for the node.
+    pub fn arity(self) -> usize {
+        self.0.count_ones() as usize
+    }
+}
+
+impl fmt::Debug for Relev {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Relev {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (bit, name) in [
+            (Relev::NODE, "node"),
+            (Relev::POSITION, "position"),
+            (Relev::SIZE, "size"),
+        ] {
+            if self.contains(bit) {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The XPath 1.0 core function library, resolved from names during lowering
+/// (the normalizer has already validated names, arities and argument types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Func {
+    // Context functions (Section 2.2's `position` and `last`).
+    Position,
+    Last,
+    // Node-set functions.
+    Count,
+    Id,
+    LocalName,
+    NamespaceUri,
+    Name,
+    Sum,
+    // String functions.
+    String,
+    Concat,
+    StartsWith,
+    Contains,
+    SubstringBefore,
+    SubstringAfter,
+    Substring,
+    StringLength,
+    NormalizeSpace,
+    Translate,
+    // Boolean functions.
+    Boolean,
+    Not,
+    True,
+    False,
+    Lang,
+    // Number functions.
+    Number,
+    Floor,
+    Ceiling,
+    Round,
+}
+
+impl Func {
+    /// Resolves an XPath function name.
+    pub fn from_name(name: &str) -> Option<Func> {
+        Some(match name {
+            "position" => Func::Position,
+            "last" => Func::Last,
+            "count" => Func::Count,
+            "id" => Func::Id,
+            "local-name" => Func::LocalName,
+            "namespace-uri" => Func::NamespaceUri,
+            "name" => Func::Name,
+            "sum" => Func::Sum,
+            "string" => Func::String,
+            "concat" => Func::Concat,
+            "starts-with" => Func::StartsWith,
+            "contains" => Func::Contains,
+            "substring-before" => Func::SubstringBefore,
+            "substring-after" => Func::SubstringAfter,
+            "substring" => Func::Substring,
+            "string-length" => Func::StringLength,
+            "normalize-space" => Func::NormalizeSpace,
+            "translate" => Func::Translate,
+            "boolean" => Func::Boolean,
+            "not" => Func::Not,
+            "true" => Func::True,
+            "false" => Func::False,
+            "lang" => Func::Lang,
+            "number" => Func::Number,
+            "floor" => Func::Floor,
+            "ceiling" => Func::Ceiling,
+            "round" => Func::Round,
+            _ => return None,
+        })
+    }
+
+    /// The XPath spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Func::Position => "position",
+            Func::Last => "last",
+            Func::Count => "count",
+            Func::Id => "id",
+            Func::LocalName => "local-name",
+            Func::NamespaceUri => "namespace-uri",
+            Func::Name => "name",
+            Func::Sum => "sum",
+            Func::String => "string",
+            Func::Concat => "concat",
+            Func::StartsWith => "starts-with",
+            Func::Contains => "contains",
+            Func::SubstringBefore => "substring-before",
+            Func::SubstringAfter => "substring-after",
+            Func::Substring => "substring",
+            Func::StringLength => "string-length",
+            Func::NormalizeSpace => "normalize-space",
+            Func::Translate => "translate",
+            Func::Boolean => "boolean",
+            Func::Not => "not",
+            Func::True => "true",
+            Func::False => "false",
+            Func::Lang => "lang",
+            Func::Number => "number",
+            Func::Floor => "floor",
+            Func::Ceiling => "ceiling",
+            Func::Round => "round",
+        }
+    }
+
+    /// Static result type.
+    pub fn result_type(self) -> ValueType {
+        match self {
+            Func::Position
+            | Func::Last
+            | Func::Count
+            | Func::Sum
+            | Func::Number
+            | Func::Floor
+            | Func::Ceiling
+            | Func::Round
+            | Func::StringLength => ValueType::Number,
+            Func::Id => ValueType::NodeSet,
+            Func::LocalName
+            | Func::NamespaceUri
+            | Func::Name
+            | Func::String
+            | Func::Concat
+            | Func::SubstringBefore
+            | Func::SubstringAfter
+            | Func::Substring
+            | Func::NormalizeSpace
+            | Func::Translate => ValueType::String,
+            Func::StartsWith
+            | Func::Contains
+            | Func::Boolean
+            | Func::Not
+            | Func::True
+            | Func::False
+            | Func::Lang => ValueType::Boolean,
+        }
+    }
+
+    /// The context components the function itself consumes (beyond its
+    /// arguments): `position()` reads `k`, `last()` reads `n`, and `lang()`
+    /// inspects the ancestry of the context node.
+    pub fn own_relev(self) -> Relev {
+        match self {
+            Func::Position => Relev::POSITION,
+            Func::Last => Relev::SIZE,
+            Func::Lang => Relev::NODE,
+            _ => Relev::NONE,
+        }
+    }
+}
+
+impl fmt::Display for Func {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a location path starts evaluating.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathStart {
+    /// An absolute path (`/…`): starts at the document root, independent of
+    /// the context.
+    Root,
+    /// A relative path: starts at the context node.
+    Context,
+    /// A filter expression `primary[p₁]…[pₖ]/steps…`: starts from the value
+    /// of `primary` (a node-set), filtered by the predicates with proximity
+    /// positions taken in document order.
+    Filter {
+        primary: ExprId,
+        predicates: Vec<ExprId>,
+    },
+}
+
+/// One location step `axis::test[pred]…[pred]` of a lowered path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    pub axis: Axis,
+    pub test: NodeTest,
+    /// Predicates, in application order; each is a boolean-typed arena
+    /// expression (the normalizer rewrote number predicates into
+    /// `position() = e` and everything else into `boolean(e)`).
+    pub predicates: Vec<ExprId>,
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}", self.axis, self.test)?;
+        for p in &self.predicates {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// One expression node of the lowered query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// `e1 or e2` (operands boolean after normalization).
+    Or(ExprId, ExprId),
+    /// `e1 and e2`.
+    And(ExprId, ExprId),
+    /// `e1 op e2` with XPath's overloaded comparison semantics (Figure 1
+    /// dispatches on the operand types at evaluation time).
+    Compare(CmpOp, ExprId, ExprId),
+    /// `e1 op e2` over numbers.
+    Arith(ArithOp, ExprId, ExprId),
+    /// `- e`.
+    Neg(ExprId),
+    /// `e1 | e2` over node-sets.
+    Union(ExprId, ExprId),
+    /// A location path.
+    Path(PathStart, Vec<Step>),
+    /// A core-library function call.
+    Call(Func, Vec<ExprId>),
+    /// A number literal.
+    Number(f64),
+    /// A string literal.
+    Literal(Box<str>),
+}
+
+/// A lowered, evaluation-ready XPath query: the arena parse tree with
+/// relevant-context annotations.
+///
+/// Obtain one with [`parse_xpath`](crate::parse_xpath) or [`lower`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    nodes: Vec<Node>,
+    types: Vec<ValueType>,
+    relev: Vec<Relev>,
+    root: ExprId,
+}
+
+impl Query {
+    /// The root expression.
+    #[inline]
+    pub fn root(&self) -> ExprId {
+        self.root
+    }
+
+    /// Number of arena nodes (the paper's `|Q|` up to the step count, which
+    /// lives inside [`Node::Path`] nodes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena is empty (never, for a lowered query).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node behind an id.
+    #[inline]
+    pub fn node(&self, id: ExprId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The static result type of a node.
+    #[inline]
+    pub fn value_type(&self, id: ExprId) -> ValueType {
+        self.types[id.index()]
+    }
+
+    /// The relevant-context set `Relev(N)` of a node (Section 3.1).
+    #[inline]
+    pub fn relev(&self, id: ExprId) -> Relev {
+        self.relev[id.index()]
+    }
+
+    /// Iterates `(id, node)` in lowering order — children strictly before
+    /// parents, root last.  A single pass is a bottom-up traversal.
+    pub fn iter(&self) -> impl Iterator<Item = (ExprId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ExprId(i as u32), n))
+    }
+
+    /// Whether the root expression is syntactically a location path.
+    pub fn root_is_path(&self) -> bool {
+        matches!(self.node(self.root), Node::Path(..))
+    }
+
+    /// The total number of location steps across all paths in the query
+    /// (together with [`Query::len`] this bounds the paper's `|Q|`).
+    pub fn step_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Path(_, steps) => Some(steps.len()),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+/// Lowers a normalized AST into a [`Query`].
+///
+/// # Panics
+///
+/// Panics on ASTs that did not go through [`normalize`](crate::normalize)
+/// (unbound variables, unknown function names): lowering is infallible on
+/// normalized input.
+pub fn lower(expr: &AstExpr) -> Query {
+    let mut lw = Lowerer {
+        nodes: Vec::new(),
+        types: Vec::new(),
+        relev: Vec::new(),
+    };
+    let root = lw.lower_expr(expr);
+    Query {
+        nodes: lw.nodes,
+        types: lw.types,
+        relev: lw.relev,
+        root,
+    }
+}
+
+struct Lowerer {
+    nodes: Vec<Node>,
+    types: Vec<ValueType>,
+    relev: Vec<Relev>,
+}
+
+impl Lowerer {
+    fn push(&mut self, node: Node, ty: ValueType, relev: Relev) -> ExprId {
+        let id = ExprId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.types.push(ty);
+        self.relev.push(relev);
+        id
+    }
+
+    fn relev_of(&self, id: ExprId) -> Relev {
+        self.relev[id.index()]
+    }
+
+    fn lower_expr(&mut self, expr: &AstExpr) -> ExprId {
+        match expr {
+            AstExpr::Or(a, b) => {
+                let (a, b) = (self.lower_expr(a), self.lower_expr(b));
+                let r = self.relev_of(a).union(self.relev_of(b));
+                self.push(Node::Or(a, b), ValueType::Boolean, r)
+            }
+            AstExpr::And(a, b) => {
+                let (a, b) = (self.lower_expr(a), self.lower_expr(b));
+                let r = self.relev_of(a).union(self.relev_of(b));
+                self.push(Node::And(a, b), ValueType::Boolean, r)
+            }
+            AstExpr::Compare(op, a, b) => {
+                let (a, b) = (self.lower_expr(a), self.lower_expr(b));
+                let r = self.relev_of(a).union(self.relev_of(b));
+                self.push(Node::Compare(*op, a, b), ValueType::Boolean, r)
+            }
+            AstExpr::Arith(op, a, b) => {
+                let (a, b) = (self.lower_expr(a), self.lower_expr(b));
+                let r = self.relev_of(a).union(self.relev_of(b));
+                self.push(Node::Arith(*op, a, b), ValueType::Number, r)
+            }
+            AstExpr::Neg(a) => {
+                let a = self.lower_expr(a);
+                let r = self.relev_of(a);
+                self.push(Node::Neg(a), ValueType::Number, r)
+            }
+            AstExpr::Union(a, b) => {
+                let (a, b) = (self.lower_expr(a), self.lower_expr(b));
+                let r = self.relev_of(a).union(self.relev_of(b));
+                self.push(Node::Union(a, b), ValueType::NodeSet, r)
+            }
+            AstExpr::Path(p) => self.lower_path(p),
+            AstExpr::Filter {
+                primary,
+                predicates,
+                steps,
+            } => {
+                let primary = self.lower_expr(primary);
+                // Filter predicates and step predicates get their own inner
+                // contexts; only the primary's relevance escapes.
+                let r = self.relev_of(primary);
+                let predicates = predicates.iter().map(|p| self.lower_expr(p)).collect();
+                let steps = steps.iter().map(|s| self.lower_step(s)).collect();
+                self.push(
+                    Node::Path(
+                        PathStart::Filter {
+                            primary,
+                            predicates,
+                        },
+                        steps,
+                    ),
+                    ValueType::NodeSet,
+                    r,
+                )
+            }
+            AstExpr::Call(name, args) => {
+                let func = Func::from_name(name)
+                    .unwrap_or_else(|| panic!("unknown function {name}() reached lowering"));
+                let args: Vec<ExprId> = args.iter().map(|a| self.lower_expr(a)).collect();
+                let mut r = func.own_relev();
+                for &a in &args {
+                    r = r.union(self.relev_of(a));
+                }
+                self.push(Node::Call(func, args), func.result_type(), r)
+            }
+            AstExpr::Var(v) => panic!("unbound variable ${v} reached lowering"),
+            AstExpr::Number(n) => self.push(Node::Number(*n), ValueType::Number, Relev::NONE),
+            AstExpr::Literal(s) => self.push(
+                Node::Literal(s.as_str().into()),
+                ValueType::String,
+                Relev::NONE,
+            ),
+        }
+    }
+
+    fn lower_path(&mut self, p: &AstPath) -> ExprId {
+        let steps: Vec<Step> = p.steps.iter().map(|s| self.lower_step(s)).collect();
+        let (start, relev) = if p.absolute {
+            // Absolute paths ignore the context entirely — this is what lets
+            // the evaluators share one result per document.
+            (PathStart::Root, Relev::NONE)
+        } else {
+            (PathStart::Context, Relev::NODE)
+        };
+        self.push(Node::Path(start, steps), ValueType::NodeSet, relev)
+    }
+
+    fn lower_step(&mut self, s: &AstStep) -> Step {
+        Step {
+            axis: s.axis,
+            test: s.test.clone(),
+            predicates: s.predicates.iter().map(|p| self.lower_expr(p)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_xpath;
+
+    #[test]
+    fn lowering_assigns_children_before_parents() {
+        let q = parse_xpath("a[b = 1] | c").unwrap();
+        // Root is the union and has the largest id.
+        assert_eq!(q.root().index(), q.len() - 1);
+        for (id, node) in q.iter() {
+            let check = |c: ExprId| assert!(c < id, "child {c} not before parent {id}");
+            match node {
+                Node::Or(a, b)
+                | Node::And(a, b)
+                | Node::Compare(_, a, b)
+                | Node::Arith(_, a, b)
+                | Node::Union(a, b) => {
+                    check(*a);
+                    check(*b);
+                }
+                Node::Neg(a) => check(*a),
+                Node::Call(_, args) => args.iter().copied().for_each(check),
+                Node::Path(start, steps) => {
+                    if let PathStart::Filter {
+                        primary,
+                        predicates,
+                    } = start
+                    {
+                        check(*primary);
+                        predicates.iter().copied().for_each(check);
+                    }
+                    for st in steps {
+                        st.predicates.iter().copied().for_each(check);
+                    }
+                }
+                Node::Number(_) | Node::Literal(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn root_is_path_for_paths_only() {
+        assert!(parse_xpath("/a/b").unwrap().root_is_path());
+        assert!(parse_xpath("a").unwrap().root_is_path());
+        assert!(!parse_xpath("1 + 2").unwrap().root_is_path());
+        assert!(!parse_xpath("a | b").unwrap().root_is_path());
+        // A filter expression lowers to a Path with a Filter start.
+        assert!(parse_xpath("id('x')[1]").unwrap().root_is_path());
+    }
+
+    #[test]
+    fn relev_of_context_functions() {
+        let q = parse_xpath("a[position() = last()]").unwrap();
+        let mut saw_pos = false;
+        let mut saw_last = false;
+        let mut saw_cmp = false;
+        for (id, node) in q.iter() {
+            match node {
+                Node::Call(Func::Position, _) => {
+                    assert_eq!(q.relev(id), Relev::POSITION);
+                    saw_pos = true;
+                }
+                Node::Call(Func::Last, _) => {
+                    assert_eq!(q.relev(id), Relev::SIZE);
+                    saw_last = true;
+                }
+                Node::Compare(..) => {
+                    assert_eq!(q.relev(id), Relev::POSITION.union(Relev::SIZE));
+                    assert!(!q.relev(id).node());
+                    saw_cmp = true;
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_pos && saw_last && saw_cmp);
+    }
+
+    #[test]
+    fn relev_of_paths() {
+        // Absolute path: context-independent even with predicates.
+        let q = parse_xpath("/a[b]").unwrap();
+        assert_eq!(q.relev(q.root()), Relev::NONE);
+        // Relative path: depends on the context node only.
+        let q = parse_xpath("a[position() = 2]").unwrap();
+        assert_eq!(q.relev(q.root()), Relev::NODE);
+    }
+
+    #[test]
+    fn relev_arity_and_display() {
+        let all = Relev::NODE.union(Relev::POSITION).union(Relev::SIZE);
+        assert_eq!(all.arity(), 3);
+        assert_eq!(all.to_string(), "{node, position, size}");
+        assert_eq!(Relev::NONE.to_string(), "{}");
+        assert_eq!(Relev::SIZE.to_string(), "{size}");
+        assert!(all.contains(Relev::POSITION));
+        assert!(!Relev::NODE.contains(Relev::SIZE));
+    }
+
+    #[test]
+    fn value_types_are_static() {
+        let q = parse_xpath("count(a) + 1").unwrap();
+        assert_eq!(q.value_type(q.root()), ValueType::Number);
+        let q = parse_xpath("'s'").unwrap();
+        assert_eq!(q.value_type(q.root()), ValueType::String);
+        let q = parse_xpath("a = b").unwrap();
+        assert_eq!(q.value_type(q.root()), ValueType::Boolean);
+        let q = parse_xpath("a | b").unwrap();
+        assert_eq!(q.value_type(q.root()), ValueType::NodeSet);
+    }
+
+    #[test]
+    fn func_round_trip() {
+        for name in [
+            "position",
+            "last",
+            "count",
+            "id",
+            "local-name",
+            "namespace-uri",
+            "name",
+            "sum",
+            "string",
+            "concat",
+            "starts-with",
+            "contains",
+            "substring-before",
+            "substring-after",
+            "substring",
+            "string-length",
+            "normalize-space",
+            "translate",
+            "boolean",
+            "not",
+            "true",
+            "false",
+            "lang",
+            "number",
+            "floor",
+            "ceiling",
+            "round",
+        ] {
+            let f = Func::from_name(name).unwrap();
+            assert_eq!(f.as_str(), name);
+        }
+        assert_eq!(Func::from_name("nosuch"), None);
+    }
+
+    #[test]
+    fn step_count_counts_all_paths() {
+        let q = parse_xpath("/a/b[c/d]").unwrap();
+        // Outer path has 2 steps; the predicate path has 2 more.
+        assert_eq!(q.step_count(), 4);
+    }
+}

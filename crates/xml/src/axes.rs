@@ -258,10 +258,7 @@ pub fn axis_image(doc: &Document, axis: Axis, x: &NodeSet, test: &NodeTest) -> N
             let marked = mark(n, x);
             collect(doc, |y| {
                 let p = doc.parent[y.index()];
-                p != NONE
-                    && marked[p as usize]
-                    && !doc.kind(y).is_attribute()
-                    && keep(y)
+                p != NONE && marked[p as usize] && !doc.kind(y).is_attribute() && keep(y)
             })
         }
         Axis::Parent => {
@@ -286,7 +283,9 @@ pub fn axis_image(doc: &Document, axis: Axis, x: &NodeSet, test: &NodeTest) -> N
             let or_self = axis == Axis::DescendantOrSelf;
             collect(doc, |y| {
                 let i = y.index();
-                (flag[i] || (or_self && marked[i])) && !doc.kind(y).is_attribute() && keep(y)
+                // Attributes never appear as *descendants*, but an
+                // attribute member of X is its own descendant-or-self.
+                ((flag[i] && !doc.kind(y).is_attribute()) || (or_self && marked[i])) && keep(y)
             })
         }
         Axis::Ancestor | Axis::AncestorOrSelf => {
@@ -333,7 +332,7 @@ pub fn axis_image(doc: &Document, axis: Axis, x: &NodeSet, test: &NodeTest) -> N
             // pre-order sweep (siblings occur in document order).
             let mut seen = vec![false; n];
             let mut out = Vec::new();
-            for i in 1..n {
+            for (i, &m) in marked.iter().enumerate().skip(1) {
                 let y = NodeId::from_index(i);
                 if doc.kind(y).is_attribute() {
                     continue;
@@ -342,7 +341,7 @@ pub fn axis_image(doc: &Document, axis: Axis, x: &NodeSet, test: &NodeTest) -> N
                 if seen[p] && keep(y) {
                     out.push(y);
                 }
-                if marked[i] {
+                if m {
                     seen[p] = true;
                 }
             }
@@ -567,12 +566,8 @@ impl Document {
                 x == y || (self.is_ancestor_of(x, y) && !self.kind(y).is_attribute())
             }
             Axis::AncestorOrSelf => x == y || self.is_ancestor_of(y, x),
-            Axis::Following => {
-                y.index() >= self.subtree_end(x) && !self.kind(y).is_attribute()
-            }
-            Axis::Preceding => {
-                self.subtree_end(y) <= x.index() && !self.kind(y).is_attribute()
-            }
+            Axis::Following => y.index() >= self.subtree_end(x) && !self.kind(y).is_attribute(),
+            Axis::Preceding => self.subtree_end(y) <= x.index() && !self.kind(y).is_attribute(),
             Axis::FollowingSibling => {
                 self.parent(x) == self.parent(y)
                     && x < y
@@ -633,7 +628,9 @@ mod tests {
     }
 
     fn all_elements(doc: &Document) -> NodeSet {
-        doc.all_nodes().filter(|&n| doc.kind(n).is_element()).collect()
+        doc.all_nodes()
+            .filter(|&n| doc.kind(n).is_element())
+            .collect()
     }
 
     #[test]
@@ -789,8 +786,14 @@ mod tests {
             NodeId::from_index(5),
             NodeId::from_index(9),
         ]);
-        assert_eq!(idx_in_axis_order(Axis::Child, NodeId::from_index(2), &s), Some(1));
-        assert_eq!(idx_in_axis_order(Axis::Child, NodeId::from_index(9), &s), Some(3));
+        assert_eq!(
+            idx_in_axis_order(Axis::Child, NodeId::from_index(2), &s),
+            Some(1)
+        );
+        assert_eq!(
+            idx_in_axis_order(Axis::Child, NodeId::from_index(9), &s),
+            Some(3)
+        );
         // Reverse axis: first in reverse doc order gets index 1.
         assert_eq!(
             idx_in_axis_order(Axis::Ancestor, NodeId::from_index(9), &s),
@@ -800,7 +803,10 @@ mod tests {
             idx_in_axis_order(Axis::Ancestor, NodeId::from_index(2), &s),
             Some(3)
         );
-        assert_eq!(idx_in_axis_order(Axis::Child, NodeId::from_index(4), &s), None);
+        assert_eq!(
+            idx_in_axis_order(Axis::Child, NodeId::from_index(4), &s),
+            None
+        );
     }
 
     #[test]

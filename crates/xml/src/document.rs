@@ -188,9 +188,8 @@ impl Document {
     /// The value of the attribute named `name` on element `n`.
     pub fn attribute_value(&self, n: NodeId, name: &str) -> Option<&str> {
         let nm = self.names.get(name)?;
-        self.attributes(n).find_map(|a| {
-            (self.label(a) == Some(nm)).then(|| self.content(a))
-        })
+        self.attributes(n)
+            .find_map(|a| (self.label(a) == Some(nm)).then(|| self.content(a)))
     }
 
     /// Iterates every node in document order (pre-order), attributes
@@ -301,7 +300,8 @@ impl Document {
         NodeSet::from_sorted_vec(
             hit.iter()
                 .enumerate()
-                .filter_map(|(i, &h)| h.then(|| NodeId::from_index(i)))
+                .filter(|&(_, &h)| h)
+                .map(|(i, _)| NodeId::from_index(i))
                 .collect(),
         )
     }
@@ -337,10 +337,18 @@ impl Document {
                     out.push_str(&format!("#comment {:?}", self.content(n)));
                 }
                 NodeKind::Pi(nm) => {
-                    out.push_str(&format!("#pi {} {:?}", self.names.resolve(nm), self.content(n)));
+                    out.push_str(&format!(
+                        "#pi {} {:?}",
+                        self.names.resolve(nm),
+                        self.content(n)
+                    ));
                 }
                 NodeKind::Attribute(nm) => {
-                    out.push_str(&format!("@{}={:?}", self.names.resolve(nm), self.content(n)));
+                    out.push_str(&format!(
+                        "@{}={:?}",
+                        self.names.resolve(nm),
+                        self.content(n)
+                    ));
                 }
             }
             out.push('\n');
@@ -445,7 +453,10 @@ mod tests {
         assert_eq!(set.len(), 2);
         let a = doc.document_element();
         assert!(set.contains(a));
-        assert_eq!(doc.element_by_id("11").map(|n| doc.label_str(n)), Some(Some("b")));
+        assert_eq!(
+            doc.element_by_id("11").map(|n| doc.label_str(n)),
+            Some(Some("b"))
+        );
     }
 
     #[test]

@@ -95,7 +95,11 @@ impl XmlError {
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at line {}, column {}", self.kind, self.line, self.column)
+        write!(
+            f,
+            "{} at line {}, column {}",
+            self.kind, self.line, self.column
+        )
     }
 }
 

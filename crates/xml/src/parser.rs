@@ -269,8 +269,7 @@ impl<'a> Parser<'a> {
     }
 
     fn start_element(&mut self, name: &str, attrs: &[(&str, String)]) {
-        let borrowed: Vec<(&str, &str)> =
-            attrs.iter().map(|(n, v)| (*n, v.as_str())).collect();
+        let borrowed: Vec<(&str, &str)> = attrs.iter().map(|(n, v)| (*n, v.as_str())).collect();
         self.builder.start_element(name, &borrowed);
     }
 
@@ -303,7 +302,11 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     let c = self.input[self.pos..].chars().next().expect("in bounds");
                     // Attribute-value normalization: whitespace → space.
-                    out.push(if matches!(c, '\t' | '\n' | '\r') { ' ' } else { c });
+                    out.push(if matches!(c, '\t' | '\n' | '\r') {
+                        ' '
+                    } else {
+                        c
+                    });
                     self.pos += c.len_utf8();
                 }
                 None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
@@ -332,9 +335,7 @@ impl<'a> Parser<'a> {
             .map_err(|_| self.err_at(XmlErrorKind::BadEntity(body.to_string()), start))?;
             match char::from_u32(code) {
                 Some(c) => c.to_string(),
-                None => {
-                    return Err(self.err_at(XmlErrorKind::BadEntity(body.to_string()), start))
-                }
+                None => return Err(self.err_at(XmlErrorKind::BadEntity(body.to_string()), start)),
             }
         } else {
             match body {
@@ -343,9 +344,7 @@ impl<'a> Parser<'a> {
                 "amp" => "&".to_string(),
                 "apos" => "'".to_string(),
                 "quot" => "\"".to_string(),
-                _ => {
-                    return Err(self.err_at(XmlErrorKind::BadEntity(body.to_string()), start))
-                }
+                _ => return Err(self.err_at(XmlErrorKind::BadEntity(body.to_string()), start)),
             }
         };
         self.pos += semi + 1;
@@ -378,12 +377,9 @@ impl<'a> Parser<'a> {
                         let name = self.parse_name()?;
                         self.skip_whitespace();
                         self.expect(">")?;
-                        let open = self
-                            .open_names
-                            .pop()
-                            .ok_or_else(|| {
-                                self.err_at(XmlErrorKind::UnmatchedClose(name.to_string()), at)
-                            })?;
+                        let open = self.open_names.pop().ok_or_else(|| {
+                            self.err_at(XmlErrorKind::UnmatchedClose(name.to_string()), at)
+                        })?;
                         if open != name {
                             return Err(self.err_at(
                                 XmlErrorKind::MismatchedTag {
@@ -414,9 +410,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(_) => {
                     let rest = &self.input[self.pos..];
-                    let stop = rest
-                        .find(|c| c == '<' || c == '&')
-                        .unwrap_or(rest.len());
+                    let stop = rest.find(['<', '&']).unwrap_or(rest.len());
                     let chunk = &rest[..stop];
                     if let Some(i) = chunk.find("]]>") {
                         return Err(self.err_at(
@@ -523,7 +517,10 @@ mod tests {
     #[test]
     fn cdata_sections() {
         let doc = parse("<a>x<![CDATA[<not-a-tag> & raw]]>y</a>").unwrap();
-        assert_eq!(doc.string_value(doc.document_element()), "x<not-a-tag> & rawy");
+        assert_eq!(
+            doc.string_value(doc.document_element()),
+            "x<not-a-tag> & rawy"
+        );
         // CDATA merges with adjacent text into one node.
         let a = doc.document_element();
         assert_eq!(doc.children(a).count(), 1);
@@ -626,8 +623,7 @@ mod tests {
         assert!(noisy.len() > clean.len());
         assert_eq!(clean.string_value(clean.root()), "x");
         // Whitespace *inside* meaningful text survives.
-        let doc =
-            parse_with_options("<a> x </a>", &ParseOptions::paper_model()).unwrap();
+        let doc = parse_with_options("<a> x </a>", &ParseOptions::paper_model()).unwrap();
         assert_eq!(doc.string_value(doc.root()), " x ");
     }
 

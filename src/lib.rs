@@ -1,19 +1,44 @@
 //! # minctx — polynomial-time XPath 1.0 evaluation
 //!
-//! A faithful, production-quality implementation of
-//! *"XPath Query Evaluation: Improving Time and Space Efficiency"*
-//! (G. Gottlob, C. Koch, R. Pichler, ICDE 2003): the **MINCONTEXT** and
-//! **OPTMINCONTEXT** algorithms, the **Extended Wadler** and **Core XPath**
-//! fragments, plus the context-value-table evaluators of the predecessor
-//! paper (VLDB 2002) and a deliberately naive exponential evaluator that
-//! models the XPath engines of the time.
+//! A faithful, production-quality implementation of *"XPath Query
+//! Evaluation: Improving Time and Space Efficiency"* (G. Gottlob, C. Koch,
+//! R. Pichler, ICDE 2003): the **MINCONTEXT** and **OPTMINCONTEXT**
+//! algorithms, the **Extended Wadler** and **Core XPath** fragments, plus
+//! the context-value-table evaluator of the predecessor paper (VLDB 2002)
+//! and a deliberately naive exponential evaluator that models the XPath
+//! engines of the time.
 //!
-//! This facade crate re-exports the workspace's public API:
+//! ## Architecture
 //!
-//! * [`xml`] — XML document model, parser, node sets, axis algebra;
-//! * [`syntax`] — XPath 1.0 lexer, parser, normalizer, parse tree;
-//! * [`engine`] — the evaluators and the [`Engine`](engine::Engine) entry
-//!   point.
+//! The workspace is layered; this facade crate re-exports all of it:
+//!
+//! * [`xml`] — the data substrate: an arena [`Document`](xml::Document)
+//!   whose [`NodeId`](xml::NodeId)s are pre-order indices (document order
+//!   is integer comparison, subtrees are contiguous ranges), a from-scratch
+//!   XML parser, [`NodeSet`](xml::NodeSet)s, and the `O(|D|)` axis algebra
+//!   of Definition 1 ([`axis_image`](xml::axes::axis_image) /
+//!   [`axis_preimage`](xml::axes::axis_preimage)).
+//! * [`syntax`] — the query pipeline: lexer → parser → normalizer (the
+//!   paper's Section 2.2 core form: explicit conversions, positional
+//!   rewriting, the `id()`→id-axis rewriting of Section 4, union lifting)
+//!   → [`Query`](syntax::Query) lowering with the relevant-context sets
+//!   `Relev(N)` of Section 3.1.
+//! * [`engine`] — four interchangeable evaluators behind
+//!   [`Engine`](engine::Engine), selected by a
+//!   [`Strategy`](engine::Strategy) and extensible through the
+//!   [`Evaluator`](engine::Evaluator) trait:
+//!
+//! | Strategy            | Algorithm                                | Behavior                        |
+//! |---------------------|------------------------------------------|---------------------------------|
+//! | `Naive`             | context-at-a-time recursion (Section 1)  | exponential in query size       |
+//! | `ContextValueTable` | bottom-up full tables (VLDB 2002)        | polynomial, cubic space         |
+//! | `MinContext`        | relevant-context evaluation (Section 3)  | `O(|D|·|Q|)` on Core XPath      |
+//! | `OptMinContext`     | + backward axis propagation (Section 4)  | `O(|D|)` existential predicates |
+//!
+//! All strategies produce the same [`Value`](engine::Value) domain and are
+//! continuously cross-checked by a differential corpus (see
+//! `crates/core/tests/differential.rs`), so optimization work on any one
+//! backend is oracle-tested against the other three.
 //!
 //! ## Quickstart
 //!
@@ -26,6 +51,43 @@
 //! let nodes = result.into_node_set().unwrap();
 //! assert_eq!(nodes.len(), 2);
 //! ```
+//!
+//! Scalar results and the other strategies work the same way:
+//!
+//! ```
+//! use minctx::prelude::*;
+//!
+//! let doc = minctx::xml::parse("<a><b>5</b><b>7</b></a>").unwrap();
+//! for strategy in Strategy::ALL {
+//!     let v = Engine::new(strategy).evaluate_str(&doc, "sum(/a/b)").unwrap();
+//!     assert_eq!(v.number(&doc), 12.0);
+//! }
+//! ```
+//!
+//! The naive baseline meters its work so the Section-1 blow-up is
+//! observable without being suffered:
+//!
+//! ```
+//! use minctx::prelude::*;
+//!
+//! let doc = minctx::xml::parse("<a><b/><b/></a>").unwrap();
+//! let naive = Engine::new(Strategy::Naive).with_budget(10_000);
+//! let q = "//b".to_string() + &"/parent::a/child::b".repeat(30);
+//! assert!(matches!(
+//!     naive.evaluate_str(&doc, &q),
+//!     Err(EvalError::BudgetExceeded { .. })
+//! ));
+//! // The same query is instant under MINCONTEXT.
+//! let v = Engine::new(Strategy::MinContext).evaluate_str(&doc, &q).unwrap();
+//! assert_eq!(v.into_node_set().unwrap().len(), 2);
+//! ```
+//!
+//! ## Benchmarks
+//!
+//! `cargo run --release -p minctx-bench --bin tables` prints the paper's
+//! strategy × document-size timing tables; `cargo bench -p minctx-bench`
+//! runs the per-theorem harnesses (`thm7_mincontext`, `thm10_wadler`,
+//! `thm13_corexpath`, `exp_query_size`, `axes`).
 
 pub use minctx_core as engine;
 pub use minctx_syntax as syntax;
@@ -33,7 +95,7 @@ pub use minctx_xml as xml;
 
 /// The most common imports, bundled.
 pub mod prelude {
-    pub use minctx_core::{Engine, EvalError, Strategy, Value};
+    pub use minctx_core::{Context, Engine, EvalError, Evaluator, Strategy, Value};
     pub use minctx_syntax::parse_xpath;
     pub use minctx_xml::{parse as parse_xml, Document, NodeId, NodeSet};
 }
