@@ -1,27 +1,48 @@
 //! Times the `O(|D|)` axis set functions of Definition 1 — the substrate
-//! every evaluator leans on.
+//! every evaluator leans on — on uniform trees and XMark-style corpora up
+//! to a few hundred thousand nodes.
 
-use minctx_bench::{time, uniform_tree};
+use minctx_bench::{time, uniform_tree, xmark_doc, XmarkConfig};
 use minctx_xml::axes::{axis_image, axis_preimage, Axis, NodeTest};
-use minctx_xml::NodeSet;
+use minctx_xml::{Document, NodeSet};
+
+fn sweep(title: &str, doc: &Document) {
+    let all: NodeSet = doc.all_nodes().collect();
+    println!("document: {title} — {} nodes", doc.len());
+    for axis in Axis::ALL {
+        let img = time(5, || axis_image(doc, axis, &all, &NodeTest::AnyNode));
+        let pre = time(5, || axis_preimage(doc, axis, &all));
+        println!(
+            "  {:>18}  image {:>9.3} ms   preimage {:>9.3} ms",
+            axis.as_str(),
+            img.as_secs_f64() * 1e3,
+            pre.as_secs_f64() * 1e3,
+        );
+    }
+    // Name-test fast path: postings-backed once the label index landed.
+    let root = NodeSet::singleton(doc.root());
+    let item = NodeTest::name("item");
+    let desc = time(5, || axis_image(doc, Axis::Descendant, &root, &item));
+    let child = time(5, || axis_image(doc, Axis::Child, &all, &item));
+    println!(
+        "  {:>18}  descendant::item {:>9.3} ms   child::item {:>9.3} ms",
+        "name tests",
+        desc.as_secs_f64() * 1e3,
+        child.as_secs_f64() * 1e3,
+    );
+}
 
 fn main() {
     for (depth, fanout) in [(4, 4), (5, 5)] {
-        let doc = uniform_tree(depth, fanout);
-        let all: NodeSet = doc.all_nodes().collect();
-        println!(
-            "document: depth {depth}, fanout {fanout} — {} nodes",
-            doc.len()
+        sweep(
+            &format!("uniform depth {depth}, fanout {fanout}"),
+            &uniform_tree(depth, fanout),
         );
-        for axis in Axis::ALL {
-            let img = time(5, || axis_image(&doc, axis, &all, &NodeTest::AnyNode));
-            let pre = time(5, || axis_preimage(&doc, axis, &all));
-            println!(
-                "  {:>18}  image {:>9.3} ms   preimage {:>9.3} ms",
-                axis.as_str(),
-                img.as_secs_f64() * 1e3,
-                pre.as_secs_f64() * 1e3,
-            );
-        }
+    }
+    for elements in [100_000usize, 300_000] {
+        sweep(
+            &format!("xmark {elements} elements"),
+            &xmark_doc(&XmarkConfig::sized(elements)),
+        );
     }
 }

@@ -1,25 +1,53 @@
-//! Reproduces the paper's timing tables: every strategy on every query
-//! family, across growing synthetic documents.
+//! Reproduces the paper's timing tables, plus the axis-kernel regression
+//! snapshot used to guard the postings-index fast paths.
 //!
 //! ```text
 //! cargo run --release -p minctx-bench --bin tables [--quick]
+//! cargo run --release -p minctx-bench --bin tables -- --json BENCH_baseline.json
 //! ```
 //!
-//! Output is one table per query family, rows = document size, columns =
-//! strategy, cells = median milliseconds ("—" where the naive budget
-//! tripped or a strategy was skipped as hopeless at that size).
+//! Default mode prints one table per query family (rows = document size,
+//! columns = strategy, cells = median milliseconds, "—" where the naive
+//! budget tripped or a strategy was skipped as hopeless at that size),
+//! followed by the axis-step section on an XMark-style corpus.
+//!
+//! `--json PATH` runs *only* the axis-step snapshot (10⁵-element corpus;
+//! 2·10⁴ with `--quick`) and writes machine-diffable JSON to `PATH` —
+//! `BENCH_baseline.json` at the repo root is one such committed snapshot;
+//! regenerate and diff against it before landing axis-kernel changes.
 
 use minctx_bench::{
-    exponential_doc, exponential_family, fmt_ms, time_strategy, wide_doc, CORE_XPATH_QUERIES,
-    FULL_XPATH_QUERIES, WADLER_QUERIES,
+    exponential_doc, exponential_family, fmt_ms, time, time_strategy, wide_doc, xmark_doc,
+    XmarkConfig, CORE_XPATH_QUERIES, FULL_XPATH_QUERIES, WADLER_QUERIES,
 };
 use minctx_core::Strategy;
-use minctx_xml::Document;
+use minctx_xml::axes::{axis_image, Axis, NodeTest};
+use minctx_xml::{Document, NodeSet};
 
 const NAIVE_BUDGET: u64 = 50_000_000;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json requires a path").clone());
+
+    let snapshot_elements = if quick { 20_000 } else { 100_000 };
+    let snapshot_runs = if quick { 3 } else { 5 };
+
+    if let Some(path) = json_path {
+        let cfg = XmarkConfig::sized(snapshot_elements);
+        let doc = xmark_doc(&cfg);
+        let entries = axis_snapshot(&doc, snapshot_runs);
+        print_snapshot(&doc, &entries);
+        std::fs::write(&path, snapshot_json(&cfg, &doc, &entries))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\nwrote {path}");
+        return;
+    }
+
     let (sizes, runs) = if quick {
         (vec![50, 100], 3)
     } else {
@@ -68,6 +96,115 @@ fn main() {
             }
         }
     }
+
+    banner("Axis-step kernels (XMark-style corpus)");
+    let cfg = XmarkConfig::sized(snapshot_elements);
+    let doc = xmark_doc(&cfg);
+    let entries = axis_snapshot(&doc, snapshot_runs);
+    print_snapshot(&doc, &entries);
+}
+
+/// Times the name-test axis kernels and a handful of serving-shaped engine
+/// queries on one document.  Keys are stable across revisions so JSON
+/// snapshots diff cleanly.
+fn axis_snapshot(doc: &Document, runs: usize) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = Vec::new();
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let root = NodeSet::singleton(doc.root());
+    let elems: NodeSet = doc
+        .all_nodes()
+        .filter(|&n| doc.kind(n).is_element())
+        .collect();
+    let item = NodeTest::name("item");
+    let parlist_set = axis_image(doc, Axis::Descendant, &root, &NodeTest::name("parlist"));
+
+    out.push((
+        "axis/descendant::item/from-root".into(),
+        ms(time(runs, || {
+            axis_image(doc, Axis::Descendant, &root, &item)
+        })),
+    ));
+    out.push((
+        "axis/descendant::item/from-parlist".into(),
+        ms(time(runs, || {
+            axis_image(doc, Axis::Descendant, &parlist_set, &item)
+        })),
+    ));
+    out.push((
+        "axis/child::item/from-all-elements".into(),
+        ms(time(runs, || axis_image(doc, Axis::Child, &elems, &item))),
+    ));
+    out.push((
+        "axis/attribute::id/from-all-elements".into(),
+        ms(time(runs, || {
+            axis_image(doc, Axis::Attribute, &elems, &NodeTest::name("id"))
+        })),
+    ));
+    out.push((
+        "axis/following::item/from-parlist".into(),
+        ms(time(runs, || {
+            axis_image(doc, Axis::Following, &parlist_set, &item)
+        })),
+    ));
+    // Control: a kind test over everything — no postings fast path exists,
+    // so this row should stay flat across kernel revisions.
+    out.push((
+        "axis/descendant::node()/from-root".into(),
+        ms(time(runs, || {
+            axis_image(doc, Axis::Descendant, &root, &NodeTest::AnyNode)
+        })),
+    ));
+
+    for q in [
+        "//item",
+        "/site/item",
+        "//parlist/listitem",
+        "count(//item)",
+        "//item[@id]",
+    ] {
+        let t = time_strategy(doc, Strategy::MinContext, q, None, runs)
+            .unwrap_or_else(|| panic!("query {q} failed on the snapshot corpus"));
+        out.push((format!("query/{q}"), ms(t)));
+    }
+    out
+}
+
+fn print_snapshot(doc: &Document, entries: &[(String, f64)]) {
+    println!(
+        "corpus: {} nodes ({} elements)",
+        doc.len(),
+        doc.element_count()
+    );
+    for (key, ms) in entries {
+        println!("  {key:<42} {ms:>10.4} ms");
+    }
+}
+
+fn snapshot_json(cfg: &XmarkConfig, doc: &Document, entries: &[(String, f64)]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"config\": {{\"elements\": {}, \"max_fanout\": {}, \"labels\": {}, \
+         \"id_density_pct\": {}, \"text_density_pct\": {}, \"seed\": {}}},\n",
+        cfg.elements,
+        cfg.max_fanout,
+        cfg.labels,
+        cfg.id_density_pct,
+        cfg.text_density_pct,
+        cfg.seed
+    ));
+    s.push_str(&format!(
+        "  \"doc\": {{\"nodes\": {}, \"elements\": {}}},\n",
+        doc.len(),
+        doc.element_count()
+    ));
+    s.push_str("  \"timings_ms\": {\n");
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v:.4}"))
+        .collect();
+    s.push_str(&rows.join(",\n"));
+    s.push_str("\n  }\n}\n");
+    s
 }
 
 fn banner(title: &str) {

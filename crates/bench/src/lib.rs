@@ -46,6 +46,143 @@ pub fn wide_doc(n: usize) -> Document {
     b.finish().expect("generated doc is well-formed")
 }
 
+/// Configuration for the XMark-style synthetic document generator
+/// ([`xmark_doc`]): an irregular auction-site-shaped tree with a small
+/// label alphabet, attribute ids and leaf text, deterministic in `seed`.
+#[derive(Debug, Clone)]
+pub struct XmarkConfig {
+    /// Number of *element* nodes to generate (total node count lands at
+    /// roughly 2–2.5× this once attributes and text nodes are counted).
+    pub elements: usize,
+    /// Maximum children per element; actual fan-out is uniform in
+    /// `0..=max_fanout`.
+    pub max_fanout: usize,
+    /// Size of the label alphabet (drawn from an XMark-ish name pool,
+    /// synthesized as `tagN` beyond the pool).
+    pub labels: usize,
+    /// Percentage (0–100) of elements carrying a unique `id` attribute.
+    pub id_density_pct: u8,
+    /// Percentage (0–100) of leaf elements carrying a text child.
+    pub text_density_pct: u8,
+    /// RNG seed; equal configs generate identical documents.
+    pub seed: u64,
+}
+
+impl XmarkConfig {
+    /// A config with representative defaults at the given element count.
+    pub fn sized(elements: usize) -> XmarkConfig {
+        XmarkConfig {
+            elements,
+            max_fanout: 8,
+            labels: 12,
+            id_density_pct: 20,
+            text_density_pct: 60,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// XMark-flavoured label pool; index 0 (`item`) is the label the axis-step
+/// benchmarks single out, so it always exists.
+const XMARK_LABELS: &[&str] = &[
+    "item",
+    "person",
+    "category",
+    "open_auction",
+    "closed_auction",
+    "bid",
+    "seller",
+    "description",
+    "parlist",
+    "listitem",
+    "keyword",
+    "annotation",
+    "quantity",
+    "location",
+    "interest",
+    "watch",
+];
+
+#[inline]
+fn xorshift(state: &mut u64) -> u64 {
+    // xorshift64*: good enough spread for workload shaping, zero deps.
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+#[inline]
+fn pct(state: &mut u64, p: u8) -> bool {
+    xorshift(state) % 100 < p as u64
+}
+
+/// Generates an XMark-style document (see [`XmarkConfig`]).  Shape is an
+/// irregular tree: depth-capped, fan-out uniform in `0..=max_fanout`,
+/// every element labeled from the alphabet, ids and text sprinkled at the
+/// configured densities.  Deterministic: a config generates one document.
+pub fn xmark_doc(cfg: &XmarkConfig) -> Document {
+    assert!(cfg.labels > 0, "label alphabet must be non-empty");
+    const MAX_DEPTH: usize = 14;
+    fn label(i: usize) -> String {
+        match XMARK_LABELS.get(i) {
+            Some(s) => (*s).to_string(),
+            None => format!("tag{i}"),
+        }
+    }
+    fn subtree(
+        b: &mut DocumentBuilder,
+        cfg: &XmarkConfig,
+        rng: &mut u64,
+        remaining: &mut usize,
+        depth: usize,
+        next_id: &mut usize,
+    ) {
+        if *remaining == 0 {
+            return;
+        }
+        *remaining -= 1;
+        let lbl = label(xorshift(rng) as usize % cfg.labels);
+        let id_value;
+        let mut attrs: Vec<(&str, &str)> = Vec::new();
+        if pct(rng, cfg.id_density_pct) {
+            id_value = format!("id{}", *next_id);
+            *next_id += 1;
+            attrs.push(("id", &id_value));
+        }
+        let v_value = (xorshift(rng) % 1_000).to_string();
+        attrs.push(("v", &v_value));
+        b.start_element(&lbl, &attrs);
+        let kids = if depth >= MAX_DEPTH {
+            0
+        } else {
+            xorshift(rng) as usize % (cfg.max_fanout + 1)
+        };
+        if kids == 0 {
+            if pct(rng, cfg.text_density_pct) {
+                b.text(&v_value);
+            }
+        } else {
+            for _ in 0..kids {
+                subtree(b, cfg, rng, remaining, depth + 1, next_id);
+            }
+        }
+        b.end_element();
+    }
+    let mut b = DocumentBuilder::with_capacity(cfg.elements * 2);
+    let mut rng = cfg.seed | 1;
+    let mut next_id = 0usize;
+    b.start_element("site", &[]);
+    let mut remaining = cfg.elements.saturating_sub(1);
+    while remaining > 0 {
+        subtree(&mut b, cfg, &mut rng, &mut remaining, 1, &mut next_id);
+    }
+    b.end_element();
+    b.finish().expect("generated xmark document is well-formed")
+}
+
 /// The paper's Section-1 exponential query family: `//b` followed by `i`
 /// copies of `/parent::a/child::b`.
 pub fn exponential_family(i: usize) -> String {
@@ -149,6 +286,24 @@ mod tests {
             exponential_family(2),
             "//b/parent::a/child::b/parent::a/child::b"
         );
+    }
+
+    #[test]
+    fn xmark_generator_is_deterministic_and_sized() {
+        let cfg = XmarkConfig::sized(2_000);
+        let a = xmark_doc(&cfg);
+        let b = xmark_doc(&cfg);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.element_count(), 2_000);
+        assert_eq!(a.debug_tree(), b.debug_tree());
+        // Ids are indexed and dense enough to be useful.
+        assert!(a.element_by_id("id0").is_some());
+        // A different seed generates a different document.
+        let c = xmark_doc(&XmarkConfig {
+            seed: 1,
+            ..cfg.clone()
+        });
+        assert_ne!(a.debug_tree(), c.debug_tree());
     }
 
     #[test]

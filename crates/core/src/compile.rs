@@ -1,0 +1,121 @@
+//! Per-document query compilation: [`CompiledQuery`].
+//!
+//! A [`Query`](minctx_syntax::Query) is document-independent; its node
+//! tests are strings.  Every axis call used to re-resolve them against the
+//! document's name table — per step, per context node, per evaluation.  A
+//! `CompiledQuery` binds a query to one document, resolving every
+//! [`NodeTest`](minctx_xml::NodeTest) to a [`ResolvedTest`] (an integer
+//! comparison) exactly once.  The [`Engine`](crate::Engine) caches
+//! compiled queries per `(query stamp, document stamp)`, so the production
+//! serving pattern — one document, a fixed query set, many evaluations —
+//! performs **zero** name resolution after the first call (verified by a
+//! test against [`NameTable::lookup_count`](minctx_xml::NameTable)).
+
+use minctx_syntax::{ExprId, Node, Query};
+use minctx_xml::{Document, ResolvedTest};
+
+/// A [`Query`] bound to a specific [`Document`]: every node test of every
+/// location path resolved to a [`ResolvedTest`].
+///
+/// Obtain one from [`Engine::compile`](crate::Engine::compile) (cached) or
+/// [`CompiledQuery::new`] (direct).  A compiled query may be used with any
+/// document whose [`stamp`](Document::stamp) matches — i.e. the document
+/// it was compiled against or a clone of it.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    query: Query,
+    /// Per arena node: the resolved tests of that node's steps (empty for
+    /// non-path nodes), in step order.
+    tests: Vec<Box<[ResolvedTest]>>,
+    query_stamp: u64,
+    doc_stamp: u64,
+}
+
+impl CompiledQuery {
+    /// Resolves every node test of `query` against `doc`.
+    pub fn new(doc: &Document, query: &Query) -> CompiledQuery {
+        let tests = query
+            .iter()
+            .map(|(_, node)| match node {
+                Node::Path(_, steps) => steps
+                    .iter()
+                    .map(|s| s.test.resolve(doc))
+                    .collect::<Box<[ResolvedTest]>>(),
+                _ => Box::default(),
+            })
+            .collect();
+        CompiledQuery {
+            query: query.clone(),
+            tests,
+            query_stamp: query.stamp(),
+            doc_stamp: doc.stamp(),
+        }
+    }
+
+    /// The underlying lowered query.
+    #[inline]
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The resolved tests of the path node `id`, in step order (empty for
+    /// non-path nodes).
+    #[inline]
+    pub fn step_tests(&self, id: ExprId) -> &[ResolvedTest] {
+        &self.tests[id.index()]
+    }
+
+    /// The resolved test of step `step` of path node `id`.
+    #[inline]
+    pub fn step_test(&self, id: ExprId, step: usize) -> ResolvedTest {
+        self.tests[id.index()][step]
+    }
+
+    /// The stamp of the query this was compiled from.
+    #[inline]
+    pub fn query_stamp(&self) -> u64 {
+        self.query_stamp
+    }
+
+    /// The stamp of the document this was compiled against.
+    #[inline]
+    pub fn doc_stamp(&self) -> u64 {
+        self.doc_stamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minctx_syntax::parse_xpath;
+    use minctx_xml::parse;
+
+    #[test]
+    fn resolves_every_path_step() {
+        let doc = parse("<a><b/><c/></a>").unwrap();
+        let q = parse_xpath("/a/b[c]").unwrap();
+        let cq = CompiledQuery::new(&doc, &q);
+        let mut path_nodes = 0;
+        for (id, node) in q.iter() {
+            match node {
+                Node::Path(_, steps) => {
+                    assert_eq!(cq.step_tests(id).len(), steps.len());
+                    path_nodes += 1;
+                }
+                _ => assert!(cq.step_tests(id).is_empty()),
+            }
+        }
+        assert!(path_nodes >= 2); // outer path + predicate path
+        assert_eq!(cq.doc_stamp(), doc.stamp());
+        assert_eq!(cq.query_stamp(), q.stamp());
+    }
+
+    #[test]
+    fn unknown_names_resolve_to_never_matches() {
+        let doc = parse("<a/>").unwrap();
+        let q = parse_xpath("/zzz").unwrap();
+        let cq = CompiledQuery::new(&doc, &q);
+        let root = q.root();
+        assert_eq!(cq.step_test(root, 0), ResolvedTest::NeverMatches);
+    }
+}

@@ -1,14 +1,28 @@
 //! The public entry point: [`Engine`], [`Strategy`], [`Context`], and the
 //! [`Evaluator`] trait future backends plug into.
+//!
+//! The engine owns two pieces of cross-evaluation state aimed at the
+//! serving scenario (one document, a fixed query set, many evaluations):
+//!
+//! * a **compiled-query cache** keyed on `(query stamp, document stamp)`,
+//!   so node tests are resolved against the document's name table exactly
+//!   once per `(Query, Document)` pair — repeated [`Engine::evaluate`]
+//!   calls do zero name resolution;
+//! * a reusable [`Scratch`] arena threaded into the evaluators, so the
+//!   axis kernels' mark/flag sweeps perform no per-call `O(|D|)`
+//!   allocations in steady state.
 
+use crate::compile::CompiledQuery;
 use crate::error::EvalError;
 use crate::mincontext::MinContext;
 use crate::naive::Naive;
 use crate::tables::ContextValueTables;
 use crate::value::Value;
 use minctx_syntax::{parse_xpath, Query};
-use minctx_xml::{Document, NodeId};
+use minctx_xml::{Document, NodeId, Scratch};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// An XPath 1.0 evaluation context: the triple `(x, k, n)` of Section 2.2
 /// — context node, context position, context size.
@@ -100,18 +114,33 @@ impl fmt::Display for Strategy {
 
 /// An evaluation backend.  The four in-tree strategies implement it; so
 /// can out-of-tree backends (streaming, index-backed, parallel) — the
-/// [`Engine`] only needs something that maps `(document, query, context)`
-/// to a [`Value`].
+/// [`Engine`] only needs something that maps `(document, compiled query,
+/// context)` to a [`Value`].
+///
+/// Backends receive the query pre-compiled (node tests resolved, see
+/// [`CompiledQuery`]) and a caller-owned [`Scratch`] for the axis
+/// kernels' working memory.
 pub trait Evaluator {
     /// The strategy this evaluator implements (for diagnostics).
     fn strategy(&self) -> Strategy;
 
-    /// Evaluates a lowered query at a context.
-    fn evaluate(&self, doc: &Document, query: &Query, ctx: Context) -> Result<Value, EvalError>;
+    /// Evaluates a compiled query at a context.
+    fn evaluate(
+        &self,
+        doc: &Document,
+        query: &CompiledQuery,
+        ctx: Context,
+        scratch: &mut Scratch,
+    ) -> Result<Value, EvalError>;
 }
 
+/// Compiled-query cache entries beyond this are assumed to be churn (e.g.
+/// ad-hoc `evaluate_str` strings, each lowered afresh) and the cache is
+/// reset rather than grown without bound.
+const CACHE_CAP: usize = 256;
+
 /// The query-evaluation entry point: a [`Strategy`] plus evaluation
-/// options.
+/// options, a compiled-query cache, and reusable evaluation scratch.
 ///
 /// ```
 /// use minctx_core::{Engine, Strategy};
@@ -122,10 +151,42 @@ pub trait Evaluator {
 /// let v = engine.evaluate_str(&doc, "count(/a/b)").unwrap();
 /// assert_eq!(v.number(&doc), 2.0);
 /// ```
-#[derive(Debug, Clone)]
 pub struct Engine {
     strategy: Strategy,
     budget: Option<u64>,
+    /// `(query stamp, document stamp)` → compiled query.
+    cache: Mutex<HashMap<(u64, u64), Arc<CompiledQuery>>>,
+    /// Reusable axis-kernel working memory for this engine's evaluations.
+    /// Pool of scratch arenas: evaluations pop one and return it, so
+    /// concurrent evaluations on a shared engine never serialize on the
+    /// working memory (the lock is held only for the pop/push).
+    scratch_pool: Mutex<Vec<Scratch>>,
+}
+
+/// Scratch arenas retained in the pool; beyond this, returning scratches
+/// are dropped (bounds idle memory after a concurrency burst).
+const SCRATCH_POOL_CAP: usize = 16;
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("strategy", &self.strategy)
+            .field("budget", &self.budget)
+            .field("cached_queries", &self.cached_queries())
+            .finish()
+    }
+}
+
+impl Clone for Engine {
+    fn clone(&self) -> Self {
+        Engine {
+            strategy: self.strategy,
+            budget: self.budget,
+            // Compiled queries are immutable and Arc-shared: cheap to keep.
+            cache: Mutex::new(self.cache.lock().expect("engine cache poisoned").clone()),
+            scratch_pool: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl Engine {
@@ -134,6 +195,8 @@ impl Engine {
         Engine {
             strategy,
             budget: None,
+            cache: Mutex::new(HashMap::new()),
+            scratch_pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -168,11 +231,42 @@ impl Engine {
         }
     }
 
+    /// Compiles `query` against `doc` — resolving every node test once —
+    /// or returns the cached compilation for this `(query, document)`
+    /// pair.
+    pub fn compile(&self, doc: &Document, query: &Query) -> Arc<CompiledQuery> {
+        let key = (query.stamp(), doc.stamp());
+        let mut cache = self.cache.lock().expect("engine cache poisoned");
+        if let Some(cq) = cache.get(&key) {
+            return Arc::clone(cq);
+        }
+        if cache.len() >= CACHE_CAP {
+            cache.clear();
+        }
+        let cq = Arc::new(CompiledQuery::new(doc, query));
+        cache.insert(key, Arc::clone(&cq));
+        cq
+    }
+
+    /// Number of compiled queries currently cached (diagnostics and
+    /// cache-behavior tests).
+    pub fn cached_queries(&self) -> usize {
+        self.cache.lock().expect("engine cache poisoned").len()
+    }
+
     /// Parses, normalizes, lowers and evaluates an XPath 1.0 expression
     /// against the whole document (initial context = document root).
+    ///
+    /// Each call lowers a fresh [`Query`] whose stamp can never recur, so
+    /// the compilation is deliberately *not* cached — ad-hoc strings would
+    /// only fill the cache with dead entries and evict the genuinely hot
+    /// compiled queries.  Callers evaluating the same expression
+    /// repeatedly should parse once with [`minctx_syntax::parse_xpath`]
+    /// and reuse the query (or compile it with [`Engine::compile`]).
     pub fn evaluate_str(&self, doc: &Document, query: &str) -> Result<Value, EvalError> {
         let query = parse_xpath(query)?;
-        self.evaluate(doc, &query)
+        let compiled = CompiledQuery::new(doc, &query);
+        self.evaluate_compiled(doc, &compiled, Context::document(doc))
     }
 
     /// Evaluates a lowered query against the whole document.
@@ -192,7 +286,22 @@ impl Engine {
         query: &Query,
         ctx: Context,
     ) -> Result<Value, EvalError> {
-        let reason = if ctx.node.index() >= doc.len() {
+        let compiled = self.compile(doc, query);
+        self.evaluate_compiled(doc, &compiled, ctx)
+    }
+
+    /// Evaluates an already-compiled query at an explicit context; the
+    /// no-per-call-work entry point for serving loops that hold on to the
+    /// [`CompiledQuery`] themselves.
+    pub fn evaluate_compiled(
+        &self,
+        doc: &Document,
+        compiled: &CompiledQuery,
+        ctx: Context,
+    ) -> Result<Value, EvalError> {
+        let reason = if compiled.doc_stamp() != doc.stamp() {
+            Some("query was compiled against a different document")
+        } else if ctx.node.index() >= doc.len() {
             Some("context node is not in the document")
         } else if ctx.position == 0 || ctx.position > ctx.size {
             Some("context position must satisfy 1 <= position <= size")
@@ -204,7 +313,21 @@ impl Engine {
         if let Some(reason) = reason {
             return Err(EvalError::InvalidContext { reason });
         }
-        self.evaluator().evaluate(doc, query, ctx)
+        let mut scratch = self
+            .scratch_pool
+            .lock()
+            .expect("engine scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        let result = self.evaluator().evaluate(doc, compiled, ctx, &mut scratch);
+        let mut pool = self
+            .scratch_pool
+            .lock()
+            .expect("engine scratch pool poisoned");
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
+        }
+        result
     }
 }
 
@@ -291,6 +414,65 @@ mod tests {
                 "strategy {s}"
             );
         }
+    }
+
+    #[test]
+    fn compiled_queries_are_cached_per_query_and_document() {
+        let doc = parse("<a><b/><b/></a>").unwrap();
+        let doc2 = parse("<a><b/></a>").unwrap();
+        let q = minctx_syntax::parse_xpath("/a/b").unwrap();
+        let e = Engine::new(Strategy::MinContext);
+        let c1 = e.compile(&doc, &q);
+        let c2 = e.compile(&doc, &q);
+        // Same (query, document): the same Arc, not a recompilation.
+        assert!(Arc::ptr_eq(&c1, &c2));
+        assert_eq!(e.cached_queries(), 1);
+        // Different document: a separate entry.
+        let c3 = e.compile(&doc2, &q);
+        assert!(!Arc::ptr_eq(&c1, &c3));
+        assert_eq!(e.cached_queries(), 2);
+        // A clone of the document hits the original entry.
+        let c4 = e.compile(&doc.clone(), &q);
+        assert!(Arc::ptr_eq(&c1, &c4));
+        assert_eq!(e.cached_queries(), 2);
+    }
+
+    #[test]
+    fn repeated_evaluation_does_no_name_resolution() {
+        // The acceptance check for the compiled-query cache: after the
+        // first evaluation of a query, re-evaluating it performs zero
+        // lookups against the document's name table.
+        let doc = parse(r#"<a><b i="1">x</b><c><b i="2">y</b></c></a>"#).unwrap();
+        let q = minctx_syntax::parse_xpath("//b[@i]/ancestor::c | /a/child::b").unwrap();
+        for s in Strategy::ALL {
+            let e = Engine::new(s);
+            let first = e.evaluate(&doc, &q).unwrap();
+            let resolved_at = doc.names().lookup_count();
+            for _ in 0..3 {
+                assert_eq!(e.evaluate(&doc, &q).unwrap(), first, "strategy {s}");
+            }
+            assert_eq!(
+                doc.names().lookup_count(),
+                resolved_at,
+                "strategy {s} resolved names during cached evaluation"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_query_rejects_foreign_documents() {
+        let doc = parse("<a/>").unwrap();
+        let other = parse("<a/>").unwrap();
+        let q = minctx_syntax::parse_xpath("/a").unwrap();
+        let e = Engine::new(Strategy::MinContext);
+        let cq = e.compile(&doc, &q);
+        assert!(e
+            .evaluate_compiled(&doc, &cq, Context::document(&doc))
+            .is_ok());
+        assert!(matches!(
+            e.evaluate_compiled(&other, &cq, Context::document(&other)),
+            Err(EvalError::InvalidContext { .. })
+        ));
     }
 
     #[test]

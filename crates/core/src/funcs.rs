@@ -28,10 +28,15 @@ pub fn apply(
         }
         Func::Count => Value::Number(node_set(&args[0])?.len() as f64),
         Func::Sum => {
-            let total: f64 = node_set(&args[0])?
-                .iter()
-                .map(|n| string_to_number(&doc.string_value(n)))
-                .sum();
+            // One string buffer for the whole set instead of an allocation
+            // per node (sum() over large sets is a hot serving shape).
+            let mut buf = String::new();
+            let mut total = 0.0;
+            for n in node_set(&args[0])?.iter() {
+                buf.clear();
+                doc.string_value_into(n, &mut buf);
+                total += string_to_number(&buf);
+            }
             Value::Number(total)
         }
         Func::Id => {

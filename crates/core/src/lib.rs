@@ -32,6 +32,7 @@
 //! }
 //! ```
 
+pub mod compile;
 pub mod engine;
 pub mod error;
 pub mod funcs;
@@ -40,6 +41,7 @@ pub mod naive;
 pub mod tables;
 pub mod value;
 
+pub use compile::CompiledQuery;
 pub use engine::{Context, Engine, Evaluator, Strategy};
 pub use error::EvalError;
 pub use mincontext::MinContext;

@@ -33,14 +33,15 @@
 //! the predicate holds.  Every subsequent predicate check is then an
 //! `O(log |D|)` membership test instead of a fresh `O(|D|)` forward walk.
 
+use crate::compile::CompiledQuery;
 use crate::engine::{Context, Evaluator, Strategy};
 use crate::error::EvalError;
 use crate::funcs;
 use crate::naive::arith;
 use crate::value::{compare, node_scalar_compare, Value};
-use minctx_syntax::{ExprId, Func, Node, PathStart, Query, Relev, Step};
-use minctx_xml::axes::{axis_image, axis_preimage, Axis};
-use minctx_xml::{Document, NodeId, NodeSet};
+use minctx_syntax::{ExprId, Func, Node, PathStart, Relev, Step};
+use minctx_xml::axes::{axis_image_into, axis_preimage_into, Axis};
+use minctx_xml::{Document, NodeId, NodeSet, Scratch};
 use std::collections::HashMap;
 
 /// The MINCONTEXT evaluator; with `optimized` set, OPTMINCONTEXT.
@@ -59,7 +60,13 @@ impl Evaluator for MinContext {
         }
     }
 
-    fn evaluate(&self, doc: &Document, query: &Query, ctx: Context) -> Result<Value, EvalError> {
+    fn evaluate(
+        &self,
+        doc: &Document,
+        query: &CompiledQuery,
+        ctx: Context,
+        scratch: &mut Scratch,
+    ) -> Result<Value, EvalError> {
         // Memo keys pack node id / position / size into 21-bit fields; a
         // larger document would silently alias distinct contexts, so
         // refuse it outright (in every build profile).
@@ -73,22 +80,25 @@ impl Evaluator for MinContext {
             doc,
             query,
             opt: self.optimized,
-            memo: vec![HashMap::new(); query.len()],
-            backward: vec![None; query.len()],
+            memo: vec![HashMap::new(); query.query().len()],
+            backward: vec![None; query.query().len()],
+            scratch,
         };
-        run.eval(query.root(), ctx)
+        run.eval(query.query().root(), ctx)
     }
 }
 
-struct Run<'d, 'q> {
+struct Run<'d, 'q, 's> {
     doc: &'d Document,
-    query: &'q Query,
+    query: &'q CompiledQuery,
     opt: bool,
     /// Per expression node: relevant-context key → value.
     memo: Vec<HashMap<u64, Value>>,
     /// OPTMINCONTEXT: per predicate node, the set of context nodes for
     /// which the predicate holds (computed by one backward pass).
     backward: Vec<Option<NodeSet>>,
+    /// Reusable axis-kernel working memory (engine-owned).
+    scratch: &'s mut Scratch,
 }
 
 /// Hard capacity of the packed memo keys: 21 bits per context component.
@@ -114,9 +124,9 @@ fn memo_key(relev: Relev, ctx: Context) -> u64 {
     key
 }
 
-impl Run<'_, '_> {
+impl<'q> Run<'_, 'q, '_> {
     fn eval(&mut self, id: ExprId, ctx: Context) -> Result<Value, EvalError> {
-        let key = memo_key(self.query.relev(id), ctx);
+        let key = memo_key(self.query.query().relev(id), ctx);
         if let Some(v) = self.memo[id.index()].get(&key) {
             return Ok(v.clone());
         }
@@ -131,7 +141,7 @@ impl Run<'_, '_> {
                 return Ok(Value::Boolean(holds));
             }
         }
-        Ok(match self.query.node(id) {
+        Ok(match self.query.query().node(id) {
             Node::Or(a, b) => {
                 Value::Boolean(self.eval(*a, ctx)?.boolean() || self.eval(*b, ctx)?.boolean())
             }
@@ -154,7 +164,7 @@ impl Run<'_, '_> {
                 let y = self.eval(*b, ctx)?.into_node_set()?;
                 Value::NodeSet(x.union(&y))
             }
-            Node::Path(start, steps) => self.eval_path(start, steps, ctx)?,
+            Node::Path(start, steps) => self.eval_path(id, start, steps, ctx)?,
             Node::Call(Func::Position, _) => Value::Number(ctx.position as f64),
             Node::Call(Func::Last, _) => Value::Number(ctx.size as f64),
             Node::Call(func, args) => {
@@ -172,6 +182,7 @@ impl Run<'_, '_> {
     /// Set-at-a-time path evaluation with deduplication after every step.
     fn eval_path(
         &mut self,
+        path_id: ExprId,
         start: &PathStart,
         steps: &[Step],
         ctx: Context,
@@ -192,26 +203,34 @@ impl Run<'_, '_> {
                 NodeSet::from_sorted_vec(list)
             }
         };
-        for step in steps {
+        let mut next = NodeSet::new();
+        for (si, step) in steps.iter().enumerate() {
             if cur.is_empty() {
                 break;
             }
+            // Node tests were resolved at compile time (postings-backed
+            // fast paths dispatch on the resolved name).
+            let test = self.query.step_test(path_id, si);
             if step.predicates.is_empty() {
-                // Predicate-free step: one O(|D|) axis sweep for the whole
-                // context set.
-                cur = axis_image(self.doc, step.axis, &cur, &step.test);
+                // Predicate-free step: one axis sweep for the whole
+                // context set, ping-ponging two reused buffers.
+                axis_image_into(self.doc, step.axis, &cur, test, self.scratch, &mut next);
+                std::mem::swap(&mut cur, &mut next);
             } else {
                 // Positional predicates need per-origin candidate lists in
                 // axis order; predicate values are memoized on Relev.
                 let mut acc = Vec::new();
+                let mut cands = Vec::new();
                 for x in cur.iter() {
-                    let mut cands = self.doc.axis_nodes(step.axis, x, &step.test);
+                    self.doc.axis_nodes_into(step.axis, x, test, &mut cands);
+                    let mut kept = std::mem::take(&mut cands);
                     for &p in &step.predicates {
-                        cands = self.filter_candidates(p, cands)?;
+                        kept = self.filter_candidates(p, kept)?;
                     }
-                    acc.extend_from_slice(&cands);
+                    acc.extend_from_slice(&kept);
+                    cands = kept;
                 }
-                cur = NodeSet::from_unsorted(acc);
+                cur = NodeSet::from_unsorted_with_capacity(self.doc.len(), acc);
             }
         }
         Ok(Value::NodeSet(cur))
@@ -255,28 +274,29 @@ impl Run<'_, '_> {
 
     /// Builds the backward set for `boolean(π)` / `π RelOp c` / `c RelOp π`
     /// shapes, or `None` when the shape does not apply.
-    fn build_backward(&self, id: ExprId) -> Option<NodeSet> {
-        match self.query.node(id) {
+    fn build_backward(&mut self, id: ExprId) -> Option<NodeSet> {
+        match self.query.query().node(id) {
             Node::Call(Func::Boolean, args) => {
-                let steps = self.simple_relative_path(args[0])?;
+                let (path_id, steps) = self.simple_relative_path(args[0])?;
                 // Existence: every node is a witness.
                 let all: NodeSet = self.doc.all_nodes().collect();
-                Some(self.propagate_backwards(steps, all))
+                Some(self.propagate_backwards(path_id, steps, all))
             }
             Node::Compare(op, a, b) => {
                 // Normalize to path-on-the-left.
-                let (steps, scalar, op) = if let Some(steps) = self.simple_relative_path(*a) {
-                    (steps, self.constant_scalar(*b)?, *op)
-                } else {
-                    let steps = self.simple_relative_path(*b)?;
-                    (steps, self.constant_scalar(*a)?, op.swapped())
-                };
+                let ((path_id, steps), scalar, op) =
+                    if let Some(path) = self.simple_relative_path(*a) {
+                        (path, self.constant_scalar(*b)?, *op)
+                    } else {
+                        let path = self.simple_relative_path(*b)?;
+                        (path, self.constant_scalar(*a)?, op.swapped())
+                    };
                 let witnesses: NodeSet = self
                     .doc
                     .all_nodes()
                     .filter(|&y| node_scalar_compare(self.doc, op, y, &scalar))
                     .collect();
-                Some(self.propagate_backwards(steps, witnesses))
+                Some(self.propagate_backwards(path_id, steps, witnesses))
             }
             _ => None,
         }
@@ -285,57 +305,54 @@ impl Run<'_, '_> {
     /// `χ₁⁻¹(t₁ ∩ … χₖ⁻¹(tₖ ∩ T))`: one preimage sweep per step, right to
     /// left, filtering by each step's node test first.
     ///
-    /// Attribute nodes need care at both ends of each sweep: tree axes
-    /// never *produce* attributes (so they are dropped from the target
-    /// set, or `node()` tests would leak them through the mirror axis),
-    /// while the attribute axis produces nothing else.  `self` keeps
-    /// every node: an attribute is its own `self::node()`.
-    fn propagate_backwards(&self, steps: &[Step], targets: NodeSet) -> NodeSet {
+    /// Attribute nodes in the target set are kept only where the forward
+    /// axis can actually produce them: always for `self` and the or-self
+    /// axes (an attribute is its own or-self image), only attributes for
+    /// `attribute`, never for the rest.  The preimage kernels themselves
+    /// are exact for attribute *origins* (see
+    /// [`minctx_xml::axes::axis_preimage`]), so every axis propagates
+    /// backward exactly.
+    fn propagate_backwards(
+        &mut self,
+        path_id: ExprId,
+        steps: &[Step],
+        targets: NodeSet,
+    ) -> NodeSet {
         let mut set = targets;
-        for step in steps.iter().rev() {
-            let test = step.test.resolve(self.doc);
-            let mut filtered = set;
-            filtered.retain(|y| {
+        let mut pre = NodeSet::new();
+        for (si, step) in steps.iter().enumerate().rev() {
+            let test = self.query.step_test(path_id, si);
+            set.retain(|y| {
+                let is_attr = self.doc.kind(y).is_attribute();
                 let attr_ok = match step.axis {
-                    Axis::SelfAxis => true,
-                    Axis::Attribute => self.doc.kind(y).is_attribute(),
-                    _ => !self.doc.kind(y).is_attribute(),
+                    Axis::SelfAxis
+                    | Axis::Parent
+                    | Axis::DescendantOrSelf
+                    | Axis::AncestorOrSelf => true,
+                    Axis::Attribute => is_attr,
+                    _ => !is_attr,
                 };
                 attr_ok && test.matches(self.doc, step.axis, y)
             });
-            set = axis_preimage(self.doc, step.axis, &filtered);
+            axis_preimage_into(self.doc, step.axis, &set, self.scratch, &mut pre);
+            std::mem::swap(&mut set, &mut pre);
         }
         set
     }
 
-    /// A relative, predicate-free location path over axes whose backward
-    /// propagation is *exact* — the shape the optimization handles.
-    ///
-    /// Axes whose forward image from an attribute context node is
-    /// non-empty (`parent`, `ancestor(-or-self)`, `descendant-or-self`,
-    /// `following`, `preceding`) are excluded: their mirror-axis preimages
-    /// never report attribute origins, so propagating backwards would
-    /// silently drop attribute context nodes.
-    fn simple_relative_path(&self, id: ExprId) -> Option<&[Step]> {
-        fn backward_exact(axis: Axis) -> bool {
-            matches!(
-                axis,
-                Axis::SelfAxis
-                    | Axis::Child
-                    | Axis::Descendant
-                    | Axis::FollowingSibling
-                    | Axis::PrecedingSibling
-                    | Axis::Attribute
-                    | Axis::Id
-            )
-        }
-        match self.query.node(id) {
+    /// A relative, predicate-free location path — the shape the backward
+    /// optimization handles.  Every axis now propagates backward exactly:
+    /// the preimage kernels handle attribute nodes on both sides of the
+    /// relation, where their mirror-axis predecessors diverged from `χ⁻¹`
+    /// for attribute origins of `parent` / `ancestor(-or-self)` /
+    /// `descendant-or-self` / `following` / `preceding` (those axes were
+    /// therefore excluded here).
+    fn simple_relative_path(&self, id: ExprId) -> Option<(ExprId, &'q [Step])> {
+        match self.query.query().node(id) {
             Node::Path(PathStart::Context, steps)
-                if steps
-                    .iter()
-                    .all(|s| s.predicates.is_empty() && backward_exact(s.axis)) =>
+                if steps.iter().all(|s| s.predicates.is_empty()) =>
             {
-                Some(steps)
+                Some((id, steps))
             }
             _ => None,
         }
@@ -345,7 +362,7 @@ impl Run<'_, '_> {
     /// excluded: comparing a node-set against a boolean converts the *set*,
     /// which is not an existential per-node comparison.
     fn constant_scalar(&self, id: ExprId) -> Option<Value> {
-        match self.query.node(id) {
+        match self.query.query().node(id) {
             Node::Number(n) => Some(Value::Number(*n)),
             Node::Literal(s) => Some(Value::String(s.to_string())),
             _ => None,
@@ -359,17 +376,18 @@ mod tests {
     use minctx_syntax::parse_xpath;
     use minctx_xml::parse;
 
+    fn eval_one(doc: &minctx_xml::Document, query: &str, optimized: bool) -> Value {
+        let q = parse_xpath(query).unwrap();
+        let cq = CompiledQuery::new(doc, &q);
+        let mut scratch = Scratch::new();
+        MinContext { optimized }
+            .evaluate(doc, &cq, Context::document(doc), &mut scratch)
+            .unwrap()
+    }
+
     fn eval_both(xml: &str, query: &str) -> (Value, Value) {
         let doc = parse(xml).unwrap();
-        let q = parse_xpath(query).unwrap();
-        let ctx = Context::document(&doc);
-        let plain = MinContext { optimized: false }
-            .evaluate(&doc, &q, ctx)
-            .unwrap();
-        let opt = MinContext { optimized: true }
-            .evaluate(&doc, &q, ctx)
-            .unwrap();
-        (plain, opt)
+        (eval_one(&doc, query, false), eval_one(&doc, query, true))
     }
 
     #[test]
@@ -409,16 +427,31 @@ mod tests {
         }
         // And pin the absolute answers so both being wrong can't pass.
         let doc = parse(xml).unwrap();
-        let q = parse_xpath("count(//*[node() = 'x'])").unwrap();
-        let v = MinContext { optimized: true }
-            .evaluate(&doc, &q, Context::document(&doc))
-            .unwrap();
+        let v = eval_one(&doc, "count(//*[node() = 'x'])", true);
         assert_eq!(v, Value::Number(2.0)); // <r> and <b>, not <a>
-        let q = parse_xpath("count(//@*[ancestor::r])").unwrap();
-        let v = MinContext { optimized: true }
-            .evaluate(&doc, &q, Context::document(&doc))
-            .unwrap();
+        let v = eval_one(&doc, "count(//@*[ancestor::r])", true);
         assert_eq!(v, Value::Number(1.0)); // the y attribute
+    }
+
+    #[test]
+    fn backward_propagation_covers_reverse_and_or_self_axes() {
+        // These axes were excluded from backward propagation while the
+        // preimage kernels were attribute-inexact; they now take the
+        // backward path and must agree with forward evaluation.
+        let xml = r#"<r><a y="x"><b>x</b></a><c>zz<d q="7"/></c></r>"#;
+        for q in [
+            "//*[parent::a]",
+            "//*[ancestor::a = 'x']",
+            "//*[ancestor-or-self::c = 'zz']",
+            "//*[descendant-or-self::b = 'x']",
+            "//@*[descendant-or-self::node() = 'x']",
+            "//*[preceding::b = 'x']",
+            "//@*[preceding::b]",
+            "//*[following::d]",
+        ] {
+            let (plain, opt) = eval_both(xml, q);
+            assert_eq!(plain, opt, "query {q}");
+        }
     }
 
     #[test]
@@ -440,12 +473,15 @@ mod tests {
         // keyed by k alone, shared across every context node and size.
         let doc = parse("<a><b><x/><x/><x/></b><c><x/><x/><x/></c></a>").unwrap();
         let q = parse_xpath("/a/*/x[position() = 2]").unwrap();
+        let cq = CompiledQuery::new(&doc, &q);
+        let mut scratch = Scratch::new();
         let mut run = Run {
             doc: &doc,
-            query: &q,
+            query: &cq,
             opt: false,
             memo: vec![HashMap::new(); q.len()],
             backward: vec![None; q.len()],
+            scratch: &mut scratch,
         };
         let v = run.eval(q.root(), Context::document(&doc)).unwrap();
         assert_eq!(v.as_node_set().unwrap().len(), 2);

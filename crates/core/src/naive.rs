@@ -20,12 +20,13 @@
 //! The final value of a path is deduplicated into a proper [`NodeSet`], so
 //! the naive strategy is *correct*, just exponentially slow.
 
+use crate::compile::CompiledQuery;
 use crate::engine::{Context, Evaluator, Strategy};
 use crate::error::EvalError;
 use crate::funcs;
 use crate::value::{compare, Value};
-use minctx_syntax::{ArithOp, ExprId, Func, Node, PathStart, Query, Step};
-use minctx_xml::{Document, NodeId, NodeSet};
+use minctx_syntax::{ArithOp, ExprId, Func, Node, PathStart, Step};
+use minctx_xml::{Document, NodeId, NodeSet, Scratch};
 
 /// The exponential-time baseline evaluator.
 #[derive(Debug, Clone, Default)]
@@ -39,20 +40,26 @@ impl Evaluator for Naive {
         Strategy::Naive
     }
 
-    fn evaluate(&self, doc: &Document, query: &Query, ctx: Context) -> Result<Value, EvalError> {
+    fn evaluate(
+        &self,
+        doc: &Document,
+        query: &CompiledQuery,
+        ctx: Context,
+        _scratch: &mut Scratch,
+    ) -> Result<Value, EvalError> {
         let mut run = Run {
             doc,
             query,
             budget: self.budget,
             spent: 0,
         };
-        run.eval(query.root(), ctx)
+        run.eval(query.query().root(), ctx)
     }
 }
 
 struct Run<'d, 'q> {
     doc: &'d Document,
-    query: &'q Query,
+    query: &'q CompiledQuery,
     budget: Option<u64>,
     spent: u64,
 }
@@ -68,7 +75,7 @@ impl Run<'_, '_> {
 
     fn eval(&mut self, id: ExprId, ctx: Context) -> Result<Value, EvalError> {
         self.charge(1)?;
-        Ok(match self.query.node(id) {
+        Ok(match self.query.query().node(id) {
             Node::Or(a, b) => {
                 Value::Boolean(self.eval(*a, ctx)?.boolean() || self.eval(*b, ctx)?.boolean())
             }
@@ -91,7 +98,7 @@ impl Run<'_, '_> {
                 let y = self.eval(*b, ctx)?.into_node_set()?;
                 Value::NodeSet(x.union(&y))
             }
-            Node::Path(start, steps) => self.eval_path(start, steps, ctx)?,
+            Node::Path(start, steps) => self.eval_path(id, start, steps, ctx)?,
             Node::Call(Func::Position, _) => Value::Number(ctx.position as f64),
             Node::Call(Func::Last, _) => Value::Number(ctx.size as f64),
             Node::Call(func, args) => {
@@ -108,6 +115,7 @@ impl Run<'_, '_> {
 
     fn eval_path(
         &mut self,
+        path_id: ExprId,
         start: &PathStart,
         steps: &[Step],
         ctx: Context,
@@ -128,20 +136,29 @@ impl Run<'_, '_> {
                 list
             }
         };
-        for step in steps {
+        for (si, step) in steps.iter().enumerate() {
+            // Node tests were resolved at compile time; no per-origin name
+            // lookups even in the deliberately slow baseline.
+            let test = self.query.step_test(path_id, si);
             let mut next = Vec::new();
+            let mut cands = Vec::new();
             for &x in &cur {
                 self.charge(1)?;
-                let mut cands = self.doc.axis_nodes(step.axis, x, &step.test);
+                self.doc.axis_nodes_into(step.axis, x, test, &mut cands);
                 self.charge(cands.len() as u64)?;
+                let mut kept = std::mem::take(&mut cands);
                 for &p in &step.predicates {
-                    cands = self.filter_candidates(p, cands)?;
+                    kept = self.filter_candidates(p, kept)?;
                 }
-                next.extend_from_slice(&cands);
+                next.extend_from_slice(&kept);
+                cands = kept;
             }
             cur = next;
         }
-        Ok(Value::NodeSet(NodeSet::from_unsorted(cur)))
+        Ok(Value::NodeSet(NodeSet::from_unsorted_with_capacity(
+            self.doc.len(),
+            cur,
+        )))
     }
 
     /// Applies one predicate to a candidate list, renumbering proximity

@@ -19,14 +19,15 @@
 //! paper's own baseline and the test suite a structurally independent
 //! oracle: it shares no evaluation order with the recursive strategies.
 
+use crate::compile::CompiledQuery;
 use crate::engine::{Context, Evaluator, Strategy};
 use crate::error::EvalError;
 use crate::funcs;
 use crate::naive::arith;
 use crate::value::{compare, Value};
-use minctx_syntax::{ExprId, Func, Node, PathStart, Query, Relev, Step};
-use minctx_xml::axes::axis_image;
-use minctx_xml::{Document, NodeId, NodeSet};
+use minctx_syntax::{ExprId, Func, Node, PathStart, Relev, Step};
+use minctx_xml::axes::axis_image_resolved;
+use minctx_xml::{Document, NodeId, NodeSet, Scratch};
 
 /// The bottom-up context-value-table evaluator.
 #[derive(Debug, Clone, Default)]
@@ -37,13 +38,20 @@ impl Evaluator for ContextValueTables {
         Strategy::ContextValueTable
     }
 
-    fn evaluate(&self, doc: &Document, query: &Query, ctx: Context) -> Result<Value, EvalError> {
-        let mut tables: Vec<Table> = Vec::with_capacity(query.len());
-        for (id, _) in query.iter() {
-            let t = build_table(doc, query, &tables, id)?;
+    fn evaluate(
+        &self,
+        doc: &Document,
+        query: &CompiledQuery,
+        ctx: Context,
+        scratch: &mut Scratch,
+    ) -> Result<Value, EvalError> {
+        let q = query.query();
+        let mut tables: Vec<Table> = Vec::with_capacity(q.len());
+        for (id, _) in q.iter() {
+            let t = build_table(doc, query, &tables, id, scratch)?;
             tables.push(t);
         }
-        Ok(tables[query.root().index()].get(ctx).clone())
+        Ok(tables[q.root().index()].get(ctx).clone())
     }
 }
 
@@ -143,11 +151,12 @@ fn for_each_context(
 
 fn build_table(
     doc: &Document,
-    query: &Query,
+    query: &CompiledQuery,
     tables: &[Table],
     id: ExprId,
+    scratch: &mut Scratch,
 ) -> Result<Table, EvalError> {
-    let relev = query.relev(id);
+    let relev = query.query().relev(id);
     let max_n = doc.len();
     let per_node = per_node_slots(relev, max_n);
     let total = if relev.node() {
@@ -157,7 +166,7 @@ fn build_table(
     };
     let mut vals = Vec::with_capacity(total);
     for_each_context(relev, max_n, doc.len(), |ctx| {
-        vals.push(value_at(doc, query, tables, id, ctx)?);
+        vals.push(value_at(doc, query, tables, id, ctx, scratch)?);
         Ok(())
     })?;
     debug_assert_eq!(vals.len(), total);
@@ -172,13 +181,14 @@ fn build_table(
 /// (already complete) tables.
 fn value_at(
     doc: &Document,
-    query: &Query,
+    query: &CompiledQuery,
     tables: &[Table],
     id: ExprId,
     ctx: Context,
+    scratch: &mut Scratch,
 ) -> Result<Value, EvalError> {
     let lookup = |child: ExprId| tables[child.index()].get(ctx);
-    Ok(match query.node(id) {
+    Ok(match query.query().node(id) {
         Node::Or(a, b) => Value::Boolean(lookup(*a).boolean() || lookup(*b).boolean()),
         Node::And(a, b) => Value::Boolean(lookup(*a).boolean() && lookup(*b).boolean()),
         Node::Compare(op, a, b) => Value::Boolean(compare(doc, *op, lookup(*a), lookup(*b))),
@@ -191,7 +201,7 @@ fn value_at(
             let y = lookup(*b).as_node_set().ok_or(type_err(lookup(*b)))?;
             Value::NodeSet(x.union(y))
         }
-        Node::Path(start, steps) => path_value(doc, tables, start, steps, ctx)?,
+        Node::Path(start, steps) => path_value(doc, query, id, tables, start, steps, ctx, scratch)?,
         Node::Call(Func::Position, _) => Value::Number(ctx.position as f64),
         Node::Call(Func::Last, _) => Value::Number(ctx.size as f64),
         Node::Call(func, args) => {
@@ -210,12 +220,16 @@ fn type_err(v: &Value) -> EvalError {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn path_value(
     doc: &Document,
+    query: &CompiledQuery,
+    path_id: ExprId,
     tables: &[Table],
     start: &PathStart,
     steps: &[Step],
     ctx: Context,
+    scratch: &mut Scratch,
 ) -> Result<Value, EvalError> {
     let mut cur: NodeSet = match start {
         PathStart::Root => NodeSet::singleton(doc.root()),
@@ -236,22 +250,26 @@ fn path_value(
             NodeSet::from_sorted_vec(list)
         }
     };
-    for step in steps {
+    for (si, step) in steps.iter().enumerate() {
         if cur.is_empty() {
             break;
         }
+        let test = query.step_test(path_id, si);
         if step.predicates.is_empty() {
-            cur = axis_image(doc, step.axis, &cur, &step.test);
+            cur = axis_image_resolved(doc, step.axis, &cur, test, scratch);
         } else {
             let mut acc = Vec::new();
+            let mut cands = Vec::new();
             for x in cur.iter() {
-                let mut cands = doc.axis_nodes(step.axis, x, &step.test);
+                doc.axis_nodes_into(step.axis, x, test, &mut cands);
+                let mut kept = std::mem::take(&mut cands);
                 for &p in &step.predicates {
-                    cands = filter_candidates(tables, p, cands);
+                    kept = filter_candidates(tables, p, kept);
                 }
-                acc.extend_from_slice(&cands);
+                acc.extend_from_slice(&kept);
+                cands = kept;
             }
-            cur = NodeSet::from_unsorted(acc);
+            cur = NodeSet::from_unsorted_with_capacity(doc.len(), acc);
         }
     }
     Ok(Value::NodeSet(cur))
@@ -306,8 +324,9 @@ mod tests {
     fn evaluates_positional_predicates_from_tables() {
         let doc = parse("<a><b/><b/><b/></a>").unwrap();
         let q = parse_xpath("/a/b[position() = last() - 1]").unwrap();
+        let cq = CompiledQuery::new(&doc, &q);
         let v = ContextValueTables
-            .evaluate(&doc, &q, Context::document(&doc))
+            .evaluate(&doc, &cq, Context::document(&doc), &mut Scratch::new())
             .unwrap();
         let ns = v.as_node_set().unwrap();
         assert_eq!(ns.len(), 1);
@@ -321,9 +340,11 @@ mod tests {
     fn table_shapes_follow_relevance() {
         let doc = parse("<a><b/></a>").unwrap();
         let q = parse_xpath("a[position() = 1]").unwrap();
+        let cq = CompiledQuery::new(&doc, &q);
+        let mut scratch = Scratch::new();
         let mut tables = Vec::new();
         for (id, _) in q.iter() {
-            tables.push(build_table(&doc, &q, &tables, id).unwrap());
+            tables.push(build_table(&doc, &cq, &tables, id, &mut scratch).unwrap());
         }
         for (id, node) in q.iter() {
             let t = &tables[id.index()];

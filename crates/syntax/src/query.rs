@@ -391,12 +391,26 @@ pub enum Node {
 /// relevant-context annotations.
 ///
 /// Obtain one with [`parse_xpath`](crate::parse_xpath) or [`lower`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Query {
     nodes: Vec<Node>,
     types: Vec<ValueType>,
     relev: Vec<Relev>,
     root: ExprId,
+    /// Process-unique identity assigned at lowering (clones share it);
+    /// compiled-query caches key on `(query stamp, document stamp)`.
+    stamp: u64,
+}
+
+/// Structural equality: two independently lowered queries with the same
+/// arena are equal even though their cache stamps differ.
+impl PartialEq for Query {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+            && self.types == other.types
+            && self.relev == other.relev
+            && self.root == other.root
+    }
 }
 
 impl Query {
@@ -404,6 +418,14 @@ impl Query {
     #[inline]
     pub fn root(&self) -> ExprId {
         self.root
+    }
+
+    /// A process-unique identity for this lowered query.  Clones share the
+    /// stamp (their arenas are identical); independent lowerings get
+    /// distinct stamps.  Compiled-query caches key on it.
+    #[inline]
+    pub fn stamp(&self) -> u64 {
+        self.stamp
     }
 
     /// Number of arena nodes (the paper's `|Q|` up to the step count, which
@@ -472,6 +494,8 @@ impl Query {
 /// (unbound variables, unknown function names): lowering is infallible on
 /// normalized input.
 pub fn lower(expr: &AstExpr) -> Query {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
     let mut lw = Lowerer {
         nodes: Vec::new(),
         types: Vec::new(),
@@ -483,6 +507,7 @@ pub fn lower(expr: &AstExpr) -> Query {
         types: lw.types,
         relev: lw.relev,
         root,
+        stamp: NEXT_STAMP.fetch_add(1, Ordering::Relaxed),
     }
 }
 

@@ -15,6 +15,17 @@
 //! e.g. `descendant(X)` propagates an "ancestor in X" flag down the parent
 //! pointers, and `following(X)` is `{y | pre(y) ≥ min_{x∈X} subtree_end(x)}`.
 //!
+//! Two layers of machinery keep the constant factors down (see DESIGN.md):
+//!
+//! * **Label postings** ([`Document::element_postings`]): name tests route
+//!   through per-label sorted node lists instead of sweeping `dom`, making
+//!   the common `descendant::a` / `child::a` / `attribute::a` steps
+//!   sublinear in practice ([`name_image_fast`]).
+//! * **[`Scratch`]**: every kernel threads reusable mark/flag bitmaps and
+//!   candidate buffers, so steady-state evaluation performs no per-call
+//!   `O(|D|)` allocations.  The `*_into` variants also reuse the output
+//!   set's allocation.
+//!
 //! The paper's formal model has no attribute nodes; we support them as an
 //! extension.  Per the XPath 1.0 data model, attribute nodes are *excluded*
 //! from the results of all tree axes and reachable only via `attribute`.
@@ -25,7 +36,7 @@
 use crate::document::{Document, NONE};
 use crate::name::Name;
 use crate::node::{NodeId, NodeKind};
-use crate::nodeset::NodeSet;
+use crate::nodeset::{DenseSet, NodeSet};
 use std::fmt;
 
 /// The XPath axes of the paper (Section 2.1) plus the `attribute` extension
@@ -246,207 +257,649 @@ impl ResolvedTest {
     }
 }
 
-/// `χ(X)` filtered by a node test, in `O(|D|)` (Definition 1; the filter
-/// does not change the bound).  The result is in document order.
+/// Reusable working memory for the axis kernels.
+///
+/// The set-at-a-time sweeps need `O(|D|)` mark/flag bitmaps and assorted
+/// candidate buffers; allocating them per call dominated evaluation time
+/// on large documents.  A `Scratch` owns them all — callers (the engine's
+/// evaluators, chiefly) create one and thread it through every kernel
+/// call, so steady-state evaluation performs no per-call `O(|D|)`
+/// allocations.  Buffers grow monotonically to the largest document seen.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    marked: DenseSet,
+    flag: DenseSet,
+    /// Internal candidate buffer used by the image kernels (`parent` /
+    /// `ancestor` fast paths, the `id` axis).
+    tmp: Vec<NodeId>,
+    /// Buffer the preimage kernels use for attribute-filtered copies of
+    /// `Y` (must be distinct from `tmp`, which the inner image call uses).
+    tmp2: Vec<NodeId>,
+    /// Merged subtree intervals for the descendant postings walk.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl Scratch {
+    /// A scratch with empty buffers; they size themselves on first use.
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    fn grow(&mut self, n: usize) {
+        self.marked.ensure_capacity(n);
+        self.flag.ensure_capacity(n);
+    }
+}
+
+#[inline]
+fn mark(set: &mut DenseSet, x: &[NodeId]) {
+    set.clear();
+    for &v in x {
+        set.insert(v);
+    }
+}
+
+/// `χ(X)` filtered by a node test, in `O(|D|)` worst case (Definition 1;
+/// the filter does not change the bound) and sublinear for name tests via
+/// the label postings index.  The result is in document order.
+///
+/// Convenience wrapper over [`axis_image_into`] that resolves the test and
+/// allocates fresh scratch; hot paths should resolve once and reuse a
+/// [`Scratch`] instead.
 pub fn axis_image(doc: &Document, axis: Axis, x: &NodeSet, test: &NodeTest) -> NodeSet {
-    let t = test.resolve(doc);
-    let n = doc.len();
-    let keep = |node: NodeId| t.matches(doc, axis, node);
-    match axis {
-        Axis::SelfAxis => NodeSet::from_sorted_vec(x.iter().filter(|&m| keep(m)).collect()),
-        Axis::Child => {
-            let marked = mark(n, x);
-            collect(doc, |y| {
-                let p = doc.parent[y.index()];
-                p != NONE && marked[p as usize] && !doc.kind(y).is_attribute() && keep(y)
-            })
+    let mut scratch = Scratch::new();
+    axis_image_resolved(doc, axis, x, test.resolve(doc), &mut scratch)
+}
+
+/// [`axis_image`] with a pre-resolved test and caller-provided scratch,
+/// returning an owned set.
+pub fn axis_image_resolved(
+    doc: &Document,
+    axis: Axis,
+    x: &NodeSet,
+    t: ResolvedTest,
+    scratch: &mut Scratch,
+) -> NodeSet {
+    let mut out = NodeSet::new();
+    axis_image_into(doc, axis, x, t, scratch, &mut out);
+    out
+}
+
+/// The allocation-free core of [`axis_image`]: clears `out` and fills it
+/// with `χ(X)` filtered by `t`, in document order.
+pub fn axis_image_into(
+    doc: &Document,
+    axis: Axis,
+    x: &NodeSet,
+    t: ResolvedTest,
+    scratch: &mut Scratch,
+    out: &mut NodeSet,
+) {
+    image_into(doc, axis, x.as_slice(), t, scratch, out);
+}
+
+fn image_into(
+    doc: &Document,
+    axis: Axis,
+    x: &[NodeId],
+    t: ResolvedTest,
+    scratch: &mut Scratch,
+    out: &mut NodeSet,
+) {
+    out.clear();
+    if x.is_empty() || t == ResolvedTest::NeverMatches {
+        return;
+    }
+    // Singleton origin: the ordered single-node walk is local (subtree /
+    // chain / sibling cost) where the set sweeps are O(|D|) — and the
+    // per-candidate predicate paths the evaluators memoize are exactly
+    // this shape.  Excluded: the id axis, whose single-node walk
+    // tokenizes the *concatenated* string value while the set kernel
+    // tokenizes per text node (see DESIGN.md).
+    if let [single] = x {
+        if axis != Axis::Id {
+            let tmp = &mut scratch.tmp;
+            doc.axis_nodes_into(axis, *single, t, tmp);
+            if axis.is_reverse() {
+                tmp.reverse();
+            }
+            out.vec_mut().extend_from_slice(tmp);
+            return;
         }
-        Axis::Parent => {
-            let mut flag = vec![false; n];
-            for m in x.iter() {
-                let p = doc.parent[m.index()];
-                if p != NONE {
-                    flag[p as usize] = true;
+    }
+    let n = doc.len();
+    scratch.grow(n);
+    if let ResolvedTest::Name(nm) = t {
+        if name_image_fast(doc, axis, x, nm, scratch, out) {
+            debug_assert!(out.as_slice().windows(2).all(|w| w[0] < w[1]));
+            return;
+        }
+    }
+    let keep = |node: NodeId| t.matches(doc, axis, node);
+    let Scratch {
+        marked, flag, tmp, ..
+    } = scratch;
+    match axis {
+        Axis::SelfAxis => out.vec_mut().extend(x.iter().copied().filter(|&m| keep(m))),
+        Axis::Child => {
+            mark(marked, x);
+            let o = out.vec_mut();
+            for i in 0..n {
+                let y = NodeId::from_index(i);
+                let p = doc.parent[i];
+                if p != NONE && marked.contains(NodeId(p)) && !doc.kind(y).is_attribute() && keep(y)
+                {
+                    o.push(y);
                 }
             }
-            collect(doc, |y| flag[y.index()] && keep(y))
+        }
+        Axis::Parent => {
+            flag.clear();
+            for &m in x {
+                let p = doc.parent[m.index()];
+                if p != NONE {
+                    flag.insert(NodeId(p));
+                }
+            }
+            let o = out.vec_mut();
+            for i in 0..n {
+                let y = NodeId::from_index(i);
+                if flag.contains(y) && keep(y) {
+                    o.push(y);
+                }
+            }
         }
         Axis::Descendant | Axis::DescendantOrSelf => {
-            let marked = mark(n, x);
-            // flag[i]: some proper ancestor of i is in X.  Parents precede
-            // children in pre-order, so a single forward sweep suffices.
-            let mut flag = vec![false; n];
+            mark(marked, x);
+            // flag: some proper ancestor is in X.  Parents precede children
+            // in pre-order, so a single forward sweep suffices.
+            flag.clear();
             for i in 1..n {
-                let p = doc.parent[i] as usize;
-                flag[i] = marked[p] || flag[p];
+                let p = NodeId(doc.parent[i]);
+                if marked.contains(p) || flag.contains(p) {
+                    flag.insert(NodeId::from_index(i));
+                }
             }
             let or_self = axis == Axis::DescendantOrSelf;
-            collect(doc, |y| {
-                let i = y.index();
+            let o = out.vec_mut();
+            for i in 0..n {
+                let y = NodeId::from_index(i);
                 // Attributes never appear as *descendants*, but an
                 // attribute member of X is its own descendant-or-self.
-                ((flag[i] && !doc.kind(y).is_attribute()) || (or_self && marked[i])) && keep(y)
-            })
+                if ((flag.contains(y) && !doc.kind(y).is_attribute())
+                    || (or_self && marked.contains(y)))
+                    && keep(y)
+                {
+                    o.push(y);
+                }
+            }
         }
         Axis::Ancestor | Axis::AncestorOrSelf => {
-            let marked = mark(n, x);
-            // flag[i]: some proper descendant of i is in X.  Children follow
+            mark(marked, x);
+            // flag: some proper descendant is in X.  Children follow
             // parents in pre-order, so a single backward sweep suffices.
-            let mut flag = vec![false; n];
+            flag.clear();
             for i in (1..n).rev() {
-                let p = doc.parent[i] as usize;
-                if marked[i] || flag[i] {
-                    flag[p] = true;
+                let y = NodeId::from_index(i);
+                if marked.contains(y) || flag.contains(y) {
+                    flag.insert(NodeId(doc.parent[i]));
                 }
             }
             let or_self = axis == Axis::AncestorOrSelf;
-            collect(doc, |y| {
-                let i = y.index();
-                (flag[i] || (or_self && marked[i])) && keep(y)
-            })
+            let o = out.vec_mut();
+            for i in 0..n {
+                let y = NodeId::from_index(i);
+                if (flag.contains(y) || (or_self && marked.contains(y))) && keep(y) {
+                    o.push(y);
+                }
+            }
         }
         Axis::Following => {
             // y ∈ following(X)  ⇔  pre(y) ≥ min_{x∈X} subtree_end(x).
-            let Some(m) = x.iter().map(|v| doc.subtree_end(v)).min() else {
-                return NodeSet::new();
-            };
-            NodeSet::from_sorted_vec(
+            let m = x
+                .iter()
+                .map(|&v| doc.subtree_end(v))
+                .min()
+                .expect("x non-empty");
+            out.vec_mut().extend(
                 (m..n)
                     .map(NodeId::from_index)
-                    .filter(|&y| !doc.kind(y).is_attribute() && keep(y))
-                    .collect(),
-            )
+                    .filter(|&y| !doc.kind(y).is_attribute() && keep(y)),
+            );
         }
         Axis::Preceding => {
             // y ∈ preceding(X)  ⇔  subtree_end(y) ≤ max_{x∈X} pre(x).
-            let Some(m) = x.iter().map(|v| v.index()).max() else {
-                return NodeSet::new();
-            };
-            collect(doc, |y| {
-                doc.subtree_end(y) <= m && !doc.kind(y).is_attribute() && keep(y)
-            })
+            let m = x.iter().map(|v| v.index()).max().expect("x non-empty");
+            out.vec_mut().extend(
+                (0..n)
+                    .map(NodeId::from_index)
+                    .filter(|&y| doc.subtree_end(y) <= m && !doc.kind(y).is_attribute() && keep(y)),
+            );
         }
         Axis::FollowingSibling => {
-            let marked = mark(n, x);
-            // seen[p]: a marked child of p has already occurred in the
+            mark(marked, x);
+            // flag[p]: a marked child of p has already occurred in the
             // pre-order sweep (siblings occur in document order).
-            let mut seen = vec![false; n];
-            let mut out = Vec::new();
-            for (i, &m) in marked.iter().enumerate().skip(1) {
+            flag.clear();
+            let o = out.vec_mut();
+            for i in 1..n {
                 let y = NodeId::from_index(i);
                 if doc.kind(y).is_attribute() {
                     continue;
                 }
-                let p = doc.parent[i] as usize;
-                if seen[p] && keep(y) {
-                    out.push(y);
+                let p = NodeId(doc.parent[i]);
+                if flag.contains(p) && keep(y) {
+                    o.push(y);
                 }
-                if m {
-                    seen[p] = true;
+                if marked.contains(y) {
+                    flag.insert(p);
                 }
             }
-            NodeSet::from_sorted_vec(out)
         }
         Axis::PrecedingSibling => {
-            let marked = mark(n, x);
-            let mut seen = vec![false; n];
-            let mut out = Vec::new();
+            mark(marked, x);
+            flag.clear();
+            let o = out.vec_mut();
             for i in (1..n).rev() {
                 let y = NodeId::from_index(i);
                 if doc.kind(y).is_attribute() {
                     continue;
                 }
-                let p = doc.parent[i] as usize;
-                if seen[p] && keep(y) {
-                    out.push(y);
+                let p = NodeId(doc.parent[i]);
+                if flag.contains(p) && keep(y) {
+                    o.push(y);
                 }
-                if marked[i] {
-                    seen[p] = true;
+                if marked.contains(y) {
+                    flag.insert(p);
                 }
             }
-            out.reverse();
-            NodeSet::from_sorted_vec(out)
+            o.reverse();
         }
         Axis::Attribute => {
-            let marked = mark(n, x);
-            collect(doc, |y| {
-                let p = doc.parent[y.index()];
-                doc.kind(y).is_attribute() && p != NONE && marked[p as usize] && keep(y)
-            })
+            mark(marked, x);
+            let o = out.vec_mut();
+            for i in 0..n {
+                let y = NodeId::from_index(i);
+                let p = doc.parent[i];
+                if doc.kind(y).is_attribute() && p != NONE && marked.contains(NodeId(p)) && keep(y)
+                {
+                    o.push(y);
+                }
+            }
         }
         Axis::Id => {
             // Tokens of text content reachable from X (descendant-or-self
             // for element/root members; own content for the rest),
             // dereferenced through the id index.  O(|D| + text).
-            let marked = mark(n, x);
-            let mut under = vec![false; n];
+            mark(marked, x);
+            flag.clear(); // flag: under an element/root member of X
             for i in 0..n {
                 let p = doc.parent[i];
                 let from_parent = p != NONE && {
-                    let pk = doc.kind(NodeId(p));
-                    (under[p as usize] || marked[p as usize])
-                        && matches!(pk, NodeKind::Root | NodeKind::Element(_))
+                    let pid = NodeId(p);
+                    (flag.contains(pid) || marked.contains(pid))
+                        && matches!(doc.kind(pid), NodeKind::Root | NodeKind::Element(_))
                 };
-                under[i] = from_parent;
+                if from_parent {
+                    flag.insert(NodeId::from_index(i));
+                }
             }
-            let mut out = Vec::new();
+            tmp.clear();
             for i in 0..n {
                 let y = NodeId::from_index(i);
                 let content_counts = match doc.kind(y) {
-                    NodeKind::Text => under[i] || marked[i],
-                    NodeKind::Attribute(_) | NodeKind::Comment | NodeKind::Pi(_) => marked[i],
+                    NodeKind::Text => flag.contains(y) || marked.contains(y),
+                    NodeKind::Attribute(_) | NodeKind::Comment | NodeKind::Pi(_) => {
+                        marked.contains(y)
+                    }
                     _ => false,
                 };
                 if content_counts {
-                    out.extend(doc.deref_ids(doc.content(y)).iter());
+                    tmp.extend(doc.deref_ids(doc.content(y)).iter());
                 }
             }
-            out.retain(|&m| keep(m));
-            NodeSet::from_unsorted(out)
+            tmp.retain(|&m| keep(m));
+            tmp.sort_unstable();
+            tmp.dedup();
+            out.vec_mut().extend_from_slice(tmp);
         }
+    }
+}
+
+/// Postings-backed name-test kernels: `descendant::a` merges the `a`
+/// postings against the subtree intervals of `X`, `child::a` /
+/// `attribute::a` parent-check the postings, `following`/`preceding` slice
+/// them, and `parent`/`ancestor` walk chains with a visited set — all
+/// sublinear in `|D|` when the label is rare.  Returns `false` for the
+/// axes that fall through to the generic sweeps.
+fn name_image_fast(
+    doc: &Document,
+    axis: Axis,
+    x: &[NodeId],
+    nm: Name,
+    scratch: &mut Scratch,
+    out: &mut NodeSet,
+) -> bool {
+    let Scratch {
+        marked,
+        flag,
+        tmp,
+        ranges,
+        ..
+    } = scratch;
+    match axis {
+        Axis::Child => {
+            mark(marked, x);
+            let o = out.vec_mut();
+            for &p in doc.element_postings(nm) {
+                let par = doc.parent[p.index()];
+                if par != NONE && marked.contains(NodeId(par)) {
+                    o.push(p);
+                }
+            }
+            true
+        }
+        Axis::Attribute => {
+            mark(marked, x);
+            let o = out.vec_mut();
+            for &a in doc.attribute_postings(nm) {
+                let par = doc.parent[a.index()];
+                if par != NONE && marked.contains(NodeId(par)) {
+                    o.push(a);
+                }
+            }
+            true
+        }
+        Axis::Descendant | Axis::DescendantOrSelf => {
+            // Merge the subtree intervals of X (sorted starts ⇒ one pass),
+            // then merge the postings against them.
+            let or_self = axis == Axis::DescendantOrSelf;
+            ranges.clear();
+            for &m in x {
+                let s = (m.index() + usize::from(!or_self)) as u32;
+                let e = doc.subtree_end(m) as u32;
+                if s >= e {
+                    continue;
+                }
+                match ranges.last_mut() {
+                    Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                    _ => ranges.push((s, e)),
+                }
+            }
+            let posts = doc.element_postings(nm);
+            let mut pi = 0usize;
+            let o = out.vec_mut();
+            for &(s, e) in ranges.iter() {
+                pi += posts[pi..].partition_point(|p| (p.index() as u32) < s);
+                while pi < posts.len() && (posts[pi].index() as u32) < e {
+                    o.push(posts[pi]);
+                    pi += 1;
+                }
+            }
+            true
+        }
+        Axis::Following => {
+            let m = x
+                .iter()
+                .map(|&v| doc.subtree_end(v))
+                .min()
+                .expect("x non-empty");
+            let posts = doc.element_postings(nm);
+            let start = posts.partition_point(|p| p.index() < m);
+            out.vec_mut().extend_from_slice(&posts[start..]);
+            true
+        }
+        Axis::Preceding => {
+            let m = x.iter().map(|v| v.index()).max().expect("x non-empty");
+            let o = out.vec_mut();
+            for &p in doc.element_postings(nm) {
+                if p.index() >= m {
+                    break;
+                }
+                if doc.subtree_end(p) <= m {
+                    o.push(p);
+                }
+            }
+            true
+        }
+        Axis::Parent => {
+            tmp.clear();
+            for &m in x {
+                let p = doc.parent[m.index()];
+                if p != NONE && doc.kind(NodeId(p)) == NodeKind::Element(nm) {
+                    tmp.push(NodeId(p));
+                }
+            }
+            tmp.sort_unstable();
+            tmp.dedup();
+            out.vec_mut().extend_from_slice(tmp);
+            true
+        }
+        Axis::Ancestor | Axis::AncestorOrSelf => {
+            // Union of ancestor chains with a visited set: O(|X| + output
+            // + total fresh chain length), not O(|D|).
+            flag.ensure_capacity(doc.len());
+            flag.clear();
+            tmp.clear();
+            let or_self = axis == Axis::AncestorOrSelf;
+            for &m in x {
+                let mut cur = if or_self { Some(m) } else { doc.parent(m) };
+                while let Some(p) = cur {
+                    if !flag.insert(p) {
+                        break; // chain already walked from here up
+                    }
+                    if doc.kind(p) == NodeKind::Element(nm) {
+                        tmp.push(p);
+                    }
+                    cur = doc.parent(p);
+                }
+            }
+            tmp.sort_unstable();
+            out.vec_mut().extend_from_slice(tmp);
+            true
+        }
+        // Sibling walks and the remaining axes use the generic sweeps.
+        Axis::SelfAxis | Axis::FollowingSibling | Axis::PrecedingSibling | Axis::Id => false,
     }
 }
 
 /// `χ⁻¹(Y) = {x ∈ dom | χ({x}) ∩ Y ≠ ∅}` (Definition 1), in `O(|D|)`.
 ///
-/// For the tree axes this is the image under the mirror axis; `attribute`
-/// and `id` are handled directly.
+/// Exact for attribute nodes on *both* sides of the relation: attribute
+/// members of `Y` only contribute where the forward axis can actually
+/// reach an attribute (`self`, `attribute`, the or-self part of
+/// `descendant-or-self`/`ancestor-or-self`, `parent`), and attribute
+/// *origins* are reported for the axes whose forward image from an
+/// attribute node is non-empty (`parent`, `ancestor(-or-self)`,
+/// `following`, `preceding`, the or-self axes) — the divergence-from-`χ⁻¹`
+/// cases the pure mirror-axis implementation used to get wrong (see
+/// DESIGN.md).
 pub fn axis_preimage(doc: &Document, axis: Axis, y: &NodeSet) -> NodeSet {
+    let mut scratch = Scratch::new();
+    let mut out = NodeSet::new();
+    axis_preimage_into(doc, axis, y, &mut scratch, &mut out);
+    out
+}
+
+/// The allocation-free core of [`axis_preimage`]: clears `out` and fills
+/// it with `χ⁻¹(Y)` in document order.
+pub fn axis_preimage_into(
+    doc: &Document,
+    axis: Axis,
+    y: &NodeSet,
+    scratch: &mut Scratch,
+    out: &mut NodeSet,
+) {
+    out.clear();
+    if y.is_empty() {
+        return;
+    }
+    let n = doc.len();
+    scratch.grow(n);
+    // Filters Y down to the members the forward axis can produce before
+    // mirroring; the buffer must survive the inner image call, so it is
+    // taken out of the scratch for the duration.
+    macro_rules! with_non_attr {
+        ($body:expr) => {{
+            let mut filt = std::mem::take(&mut scratch.tmp2);
+            filt.clear();
+            filt.extend(y.iter().filter(|&m| !doc.kind(m).is_attribute()));
+            let filt_ref: &[NodeId] = &filt;
+            #[allow(clippy::redundant_closure_call)]
+            ($body)(filt_ref);
+            scratch.tmp2 = filt;
+        }};
+    }
     match axis {
+        Axis::SelfAxis => out.vec_mut().extend_from_slice(y.as_slice()),
         Axis::Attribute => {
-            // x has an attribute in Y  ⇔  x is the parent of an attribute
-            // node in Y.
-            let parents: Vec<NodeId> = y
+            // x has an attribute in Y  ⇔  x owns an attribute node in Y.
+            let tmp = &mut scratch.tmp;
+            tmp.clear();
+            tmp.extend(
+                y.iter()
+                    .filter(|&a| doc.kind(a).is_attribute())
+                    .filter_map(|a| doc.parent(a)),
+            );
+            tmp.sort_unstable();
+            tmp.dedup();
+            out.vec_mut().extend_from_slice(tmp);
+        }
+        Axis::Id => *out = doc.id_preimage(y),
+        Axis::Child => {
+            // child(x) never contains attributes: drop them from Y, then
+            // mirror.
+            with_non_attr!(|filt| image_into(
+                doc,
+                Axis::Parent,
+                filt,
+                ResolvedTest::AnyNode,
+                scratch,
+                out
+            ));
+        }
+        Axis::Parent => {
+            // parent(x) is defined for attributes too: the preimage is the
+            // non-attribute children of Y plus the attributes owned by Y.
+            image_into(
+                doc,
+                Axis::Child,
+                y.as_slice(),
+                ResolvedTest::AnyNode,
+                scratch,
+                out,
+            );
+            let o = out.vec_mut();
+            for m in y.iter() {
+                if doc.kind(m).is_element() {
+                    o.extend(doc.attributes(m));
+                }
+            }
+            o.sort_unstable();
+            o.dedup();
+        }
+        Axis::Descendant => {
+            with_non_attr!(|filt| image_into(
+                doc,
+                Axis::Ancestor,
+                filt,
+                ResolvedTest::AnyNode,
+                scratch,
+                out
+            ));
+        }
+        Axis::DescendantOrSelf => {
+            // Ancestors-or-self of the non-attribute members, plus the
+            // attribute members themselves (an attribute is its own
+            // descendant-or-self and has no other preimage).
+            with_non_attr!(|filt| image_into(
+                doc,
+                Axis::AncestorOrSelf,
+                filt,
+                ResolvedTest::AnyNode,
+                scratch,
+                out
+            ));
+            let o = out.vec_mut();
+            o.extend(y.iter().filter(|&m| doc.kind(m).is_attribute()));
+            o.sort_unstable();
+            o.dedup();
+        }
+        Axis::Ancestor | Axis::AncestorOrSelf => {
+            // ancestor(x) reaches Y  ⇔  x is a proper descendant of Y —
+            // *including* attribute descendants, which the mirror
+            // descendant image would drop.
+            let or_self = axis == Axis::AncestorOrSelf;
+            let Scratch { marked, flag, .. } = scratch;
+            mark(marked, y.as_slice());
+            flag.clear();
+            for i in 1..n {
+                let p = NodeId(doc.parent[i]);
+                if marked.contains(p) || flag.contains(p) {
+                    flag.insert(NodeId::from_index(i));
+                }
+            }
+            let o = out.vec_mut();
+            for i in 0..n {
+                let id = NodeId::from_index(i);
+                if flag.contains(id) || (or_self && marked.contains(id)) {
+                    o.push(id);
+                }
+            }
+        }
+        Axis::Following => {
+            // following(x) ∩ Y ≠ ∅  ⇔  subtree_end(x) ≤ max non-attribute
+            // member of Y; attribute origins qualify.
+            let Some(m) = y
                 .iter()
-                .filter(|&a| doc.kind(a).is_attribute())
-                .filter_map(|a| doc.parent(a))
-                .collect();
-            NodeSet::from_unsorted(parents)
+                .filter(|&v| !doc.kind(v).is_attribute())
+                .map(|v| v.index())
+                .max()
+            else {
+                return;
+            };
+            out.vec_mut().extend(
+                (0..n)
+                    .map(NodeId::from_index)
+                    .filter(|&v| doc.subtree_end(v) <= m),
+            );
         }
-        Axis::Id => doc.id_preimage(y),
-        _ => {
-            let inv = axis.inverse().expect("tree axes have inverses");
-            axis_image(doc, inv, y, &NodeTest::AnyNode)
+        Axis::Preceding => {
+            // preceding(x) ∩ Y ≠ ∅  ⇔  pre(x) ≥ min subtree_end over
+            // non-attribute members of Y; attribute origins qualify.
+            let Some(m) = y
+                .iter()
+                .filter(|&v| !doc.kind(v).is_attribute())
+                .map(|v| doc.subtree_end(v))
+                .min()
+            else {
+                return;
+            };
+            out.vec_mut().extend((m..n).map(NodeId::from_index));
+        }
+        Axis::FollowingSibling => {
+            // Sibling relations exclude attributes on both sides, and the
+            // sibling sweeps already enforce that: plain mirror.
+            image_into(
+                doc,
+                Axis::PrecedingSibling,
+                y.as_slice(),
+                ResolvedTest::AnyNode,
+                scratch,
+                out,
+            );
+        }
+        Axis::PrecedingSibling => {
+            image_into(
+                doc,
+                Axis::FollowingSibling,
+                y.as_slice(),
+                ResolvedTest::AnyNode,
+                scratch,
+                out,
+            );
         }
     }
-}
-
-#[inline]
-fn mark(n: usize, x: &NodeSet) -> Vec<bool> {
-    let mut m = vec![false; n];
-    for v in x.iter() {
-        m[v.index()] = true;
-    }
-    m
-}
-
-fn collect(doc: &Document, mut pred: impl FnMut(NodeId) -> bool) -> NodeSet {
-    NodeSet::from_sorted_vec(
-        (0..doc.len())
-            .map(NodeId::from_index)
-            .filter(|&y| pred(y))
-            .collect(),
-    )
 }
 
 impl Document {
@@ -471,6 +924,35 @@ impl Document {
         out: &mut Vec<NodeId>,
     ) {
         out.clear();
+        if t == ResolvedTest::NeverMatches {
+            return;
+        }
+        // Postings fast paths: a name test over a subtree range is a
+        // binary search into the label postings instead of an arena scan.
+        if let ResolvedTest::Name(nm) = t {
+            match axis {
+                Axis::Descendant | Axis::DescendantOrSelf => {
+                    let posts = self.element_postings(nm);
+                    let lo = from.index() + usize::from(axis == Axis::Descendant);
+                    let hi = self.subtree_end(from);
+                    let start = posts.partition_point(|p| p.index() < lo);
+                    for &p in &posts[start..] {
+                        if p.index() >= hi {
+                            break;
+                        }
+                        out.push(p);
+                    }
+                    return;
+                }
+                Axis::Following => {
+                    let posts = self.element_postings(nm);
+                    let start = posts.partition_point(|p| p.index() < self.subtree_end(from));
+                    out.extend_from_slice(&posts[start..]);
+                    return;
+                }
+                _ => {}
+            }
+        }
         let keep = |n: NodeId| t.matches(self, axis, n);
         match axis {
             Axis::SelfAxis => {
@@ -627,6 +1109,13 @@ mod tests {
         parse("<a><b><c/><d/></b><e>text</e><f><g/></f></a>").unwrap()
     }
 
+    /// An attributed document: attribute nodes on several elements, mixed
+    /// with text and nested structure, to exercise the attribute edge
+    /// cases of both image and preimage (see DESIGN.md).
+    fn doc2() -> Document {
+        parse(r#"<a p="1"><b q="2"><c/><c r="3"/></b><e>t</e><f s="4" u="5"><g/></f></a>"#).unwrap()
+    }
+
     fn all_elements(doc: &Document) -> NodeSet {
         doc.all_nodes()
             .filter(|&n| doc.kind(n).is_element())
@@ -635,40 +1124,102 @@ mod tests {
 
     #[test]
     fn image_matches_brute_force_on_all_axes() {
-        let doc = doc1();
-        let elems = all_elements(&doc);
-        // Try every singleton and the full element set.
-        for axis in Axis::ALL {
-            if axis == Axis::Id {
-                continue; // no ids in this doc; covered separately
+        for doc in [doc1(), doc2()] {
+            let elems = all_elements(&doc);
+            let everything: NodeSet = doc.all_nodes().collect();
+            // Try every singleton (attributes and text included) and the
+            // element / full sets.
+            for axis in Axis::ALL {
+                if axis == Axis::Id {
+                    continue; // no ids in these docs; covered separately
+                }
+                for x in everything.iter() {
+                    let xs = NodeSet::singleton(x);
+                    let fast = axis_image(&doc, axis, &xs, &NodeTest::AnyNode);
+                    let slow = brute_image(&doc, axis, &xs);
+                    assert_eq!(fast, slow, "axis {axis} from {x}");
+                }
+                for set in [&elems, &everything] {
+                    let fast = axis_image(&doc, axis, set, &NodeTest::AnyNode);
+                    let slow = brute_image(&doc, axis, set);
+                    assert_eq!(fast, slow, "axis {axis} from set of {}", set.len());
+                }
             }
-            for x in elems.iter() {
-                let xs = NodeSet::singleton(x);
-                let fast = axis_image(&doc, axis, &xs, &NodeTest::AnyNode);
-                let slow = brute_image(&doc, axis, &xs);
-                assert_eq!(fast, slow, "axis {axis} from {x}");
-            }
-            let fast = axis_image(&doc, axis, &elems, &NodeTest::AnyNode);
-            let slow = brute_image(&doc, axis, &elems);
-            assert_eq!(fast, slow, "axis {axis} from all elements");
         }
     }
 
     #[test]
-    fn preimage_matches_brute_force_on_tree_axes() {
-        let doc = doc1();
-        let elems = all_elements(&doc);
-        for axis in Axis::ALL {
-            if matches!(axis, Axis::Id) {
-                continue;
+    fn preimage_matches_brute_force_on_all_axes() {
+        // Includes the attributed document: mirror-axis images diverge
+        // from χ⁻¹ when Y contains attribute nodes (and for attribute
+        // *origins* of `parent` / `ancestor` / `following` / `preceding`),
+        // which the direct preimage kernels must get right.
+        for doc in [doc1(), doc2()] {
+            let everything: NodeSet = doc.all_nodes().collect();
+            for axis in Axis::ALL {
+                if matches!(axis, Axis::Id) {
+                    continue;
+                }
+                for y in everything.iter() {
+                    let ys = NodeSet::singleton(y);
+                    let fast = axis_preimage(&doc, axis, &ys);
+                    let slow = brute_preimage(&doc, axis, &ys);
+                    assert_eq!(fast, slow, "axis {axis} to {y}");
+                }
+                let fast = axis_preimage(&doc, axis, &everything);
+                let slow = brute_preimage(&doc, axis, &everything);
+                assert_eq!(fast, slow, "axis {axis} to full node set");
             }
-            for y in elems.iter() {
-                let ys = NodeSet::singleton(y);
-                let fast = axis_preimage(&doc, axis, &ys);
-                let slow = brute_preimage(&doc, axis, &ys);
-                // The attribute-free document makes mirror-axis preimages
-                // exact (see DESIGN.md for the attribute edge case).
-                assert_eq!(fast, slow, "axis {axis} to {y}");
+        }
+    }
+
+    #[test]
+    fn preimage_attribute_members_do_not_leak_through_tree_axes() {
+        // Regression for the old mirror-axis shortcut: with Y = {an
+        // attribute}, child/descendant preimages must be empty (tree axes
+        // never produce attributes), parent must report the attribute
+        // itself (parent(attr) = owner… i.e. x = attr has parent in Y only
+        // if Y contains the owner), and descendant-or-self must report
+        // exactly the attribute (its own descendant-or-self).
+        let doc = doc2();
+        let a = doc.document_element();
+        let p_attr = doc.attributes(a).next().unwrap();
+        let ys = NodeSet::singleton(p_attr);
+        assert!(axis_preimage(&doc, Axis::Child, &ys).is_empty());
+        assert!(axis_preimage(&doc, Axis::Descendant, &ys).is_empty());
+        assert_eq!(
+            axis_preimage(&doc, Axis::DescendantOrSelf, &ys),
+            NodeSet::singleton(p_attr)
+        );
+        // Owner in Y: attributes are in the parent-axis preimage.
+        let pre = axis_preimage(&doc, Axis::Parent, &NodeSet::singleton(a));
+        assert!(pre.contains(p_attr));
+        // Attribute origins reach forward through following/ancestor.
+        let root_set = NodeSet::singleton(doc.root());
+        assert!(axis_preimage(&doc, Axis::Ancestor, &root_set).contains(p_attr));
+    }
+
+    #[test]
+    fn name_test_images_match_filtered_brute_force() {
+        // The postings fast paths must agree with the generic sweep +
+        // post-filter on every axis.
+        for doc in [doc1(), doc2()] {
+            let everything: NodeSet = doc.all_nodes().collect();
+            let elems = all_elements(&doc);
+            for label in ["a", "b", "c", "g", "q", "zzz"] {
+                let test = NodeTest::name(label);
+                for axis in Axis::ALL {
+                    if axis == Axis::Id {
+                        continue;
+                    }
+                    let t = test.resolve(&doc);
+                    for set in [&elems, &everything] {
+                        let fast = axis_image(&doc, axis, set, &test);
+                        let mut slow = brute_image(&doc, axis, set);
+                        slow.retain(|y| t.matches(&doc, axis, y));
+                        assert_eq!(fast, slow, "axis {axis}, label {label}");
+                    }
+                }
             }
         }
     }

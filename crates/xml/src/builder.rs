@@ -11,6 +11,10 @@ use crate::error::{XmlError, XmlErrorKind};
 use crate::name::NameTable;
 use crate::node::{NodeId, NodeKind};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Source of [`Document::stamp`] values; see [`Document::stamp`].
+static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
 
 /// Incremental builder for [`Document`]s.
 ///
@@ -216,6 +220,19 @@ impl DocumentBuilder {
         }
         let end = u32::try_from(self.kinds.len()).expect("checked at push");
         self.subtree_end[0] = end;
+        // Label postings: one document-order pass; the arena is already in
+        // pre-order, so per-name pushes come out sorted.
+        let mut element_postings: Vec<Vec<NodeId>> = vec![Vec::new(); self.names.len()];
+        let mut attribute_postings: Vec<Vec<NodeId>> = vec![Vec::new(); self.names.len()];
+        for (i, kind) in self.kinds.iter().enumerate() {
+            match kind {
+                NodeKind::Element(nm) => element_postings[nm.index()].push(NodeId::from_index(i)),
+                NodeKind::Attribute(nm) => {
+                    attribute_postings[nm.index()].push(NodeId::from_index(i))
+                }
+                _ => {}
+            }
+        }
         Ok(Document {
             names: self.names,
             kinds: self.kinds,
@@ -228,6 +245,9 @@ impl DocumentBuilder {
             content: self.content,
             id_index: self.id_index,
             text_bytes: self.text_bytes,
+            element_postings,
+            attribute_postings,
+            stamp: NEXT_STAMP.fetch_add(1, Ordering::Relaxed),
         })
     }
 }
@@ -328,6 +348,46 @@ mod tests {
         assert_eq!(doc.label_str(kids[1]), Some("target"));
         // Comments do not contribute to string value.
         assert_eq!(doc.string_value(a), "");
+    }
+
+    #[test]
+    fn postings_are_sorted_and_complete() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a", &[("x", "1")]);
+        b.leaf("b", &[], "");
+        b.leaf("a", &[("x", "2")], "");
+        b.leaf("b", &[], "");
+        b.end_element();
+        let doc = b.finish().unwrap();
+        let a_name = doc.find_name("a").unwrap();
+        let b_name = doc.find_name("b").unwrap();
+        let x_name = doc.find_name("x").unwrap();
+        let a_posts = doc.element_postings(a_name);
+        let b_posts = doc.element_postings(b_name);
+        assert_eq!(a_posts.len(), 2);
+        assert_eq!(b_posts.len(), 2);
+        assert!(a_posts.windows(2).all(|w| w[0] < w[1]));
+        for &n in a_posts {
+            assert_eq!(doc.label(n), Some(a_name));
+        }
+        let x_posts = doc.attribute_postings(x_name);
+        assert_eq!(x_posts.len(), 2);
+        assert!(x_posts.iter().all(|&n| doc.kind(n).is_attribute()));
+        // Attribute names have no element postings and vice versa.
+        assert!(doc.element_postings(x_name).is_empty());
+        assert!(doc.attribute_postings(b_name).is_empty());
+    }
+
+    #[test]
+    fn stamps_are_unique_but_shared_by_clones() {
+        let mut b = DocumentBuilder::new();
+        b.leaf("a", &[], "");
+        let d1 = b.finish().unwrap();
+        let mut b = DocumentBuilder::new();
+        b.leaf("a", &[], "");
+        let d2 = b.finish().unwrap();
+        assert_ne!(d1.stamp(), d2.stamp());
+        assert_eq!(d1.stamp(), d1.clone().stamp());
     }
 
     #[test]

@@ -37,6 +37,16 @@ pub struct Document {
     pub(crate) id_index: HashMap<Box<str>, NodeId>,
     /// Total size of the character data, counted into `|D|`.
     pub(crate) text_bytes: usize,
+    /// Label postings: for each interned [`Name`], the element nodes with
+    /// that tag, sorted in document order.  Built once by the builder; the
+    /// axis kernels' name-test fast paths walk these instead of sweeping
+    /// `dom` (see DESIGN.md).
+    pub(crate) element_postings: Vec<Vec<NodeId>>,
+    /// Postings for attribute nodes, keyed by attribute name.
+    pub(crate) attribute_postings: Vec<Vec<NodeId>>,
+    /// Process-unique identity of this document's *content* (clones share
+    /// it), used as a compiled-query cache key.
+    pub(crate) stamp: u64,
 }
 
 impl Document {
@@ -104,6 +114,36 @@ impl Document {
     /// Looks a name up without interning.
     pub fn find_name(&self, s: &str) -> Option<Name> {
         self.names.get(s)
+    }
+
+    /// The element nodes labeled `name`, sorted in document order.
+    ///
+    /// Names interned after the document was built (e.g. while compiling a
+    /// query whose tests do not occur in the document) have no postings
+    /// and yield the empty slice.
+    #[inline]
+    pub fn element_postings(&self, name: Name) -> &[NodeId] {
+        self.element_postings
+            .get(name.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The attribute nodes named `name`, sorted in document order.
+    #[inline]
+    pub fn attribute_postings(&self, name: Name) -> &[NodeId] {
+        self.attribute_postings
+            .get(name.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// A process-unique identity for this document's content.  Clones keep
+    /// the stamp (their arenas are identical); any two documents built
+    /// independently get distinct stamps.  Compiled-query caches key on it.
+    #[inline]
+    pub fn stamp(&self) -> u64 {
+        self.stamp
     }
 
     /// The parent of a node; `None` for the root.

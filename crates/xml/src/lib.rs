@@ -42,11 +42,11 @@ pub mod nodeset;
 pub mod parser;
 pub mod serialize;
 
-pub use axes::{Axis, NodeTest};
+pub use axes::{Axis, NodeTest, ResolvedTest, Scratch};
 pub use builder::DocumentBuilder;
 pub use document::Document;
 pub use error::{XmlError, XmlErrorKind};
 pub use name::{Name, NameTable};
 pub use node::{NodeId, NodeKind};
-pub use nodeset::NodeSet;
+pub use nodeset::{DenseSet, NodeSet};
 pub use parser::{parse, parse_with_options, ParseOptions};

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An interned name: an index into the owning document's [`NameTable`].
 ///
@@ -36,10 +37,28 @@ impl fmt::Display for Name {
 /// document, plus any names interned while compiling queries against it
 /// (so a query's node test `foo` resolves to a `Name` even if no `foo`
 /// element exists).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct NameTable {
     strings: Vec<Box<str>>,
     index: HashMap<Box<str>, Name>,
+    /// Number of [`NameTable::get`] calls ever made against this table —
+    /// the per-evaluation name-resolution work the compiled-query cache is
+    /// supposed to eliminate.  Observable via
+    /// [`NameTable::lookup_count`]; tests assert it stays flat across
+    /// repeated evaluations of a cached query.  Counted in debug builds
+    /// only, so release lookups stay pure reads (no shared-cache-line
+    /// atomic traffic on concurrently shared documents).
+    lookups: AtomicU64,
+}
+
+impl Clone for NameTable {
+    fn clone(&self) -> Self {
+        NameTable {
+            strings: self.strings.clone(),
+            index: self.index.clone(),
+            lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl NameTable {
@@ -62,7 +81,17 @@ impl NameTable {
 
     /// Looks up a name without interning it.
     pub fn get(&self, s: &str) -> Option<Name> {
+        #[cfg(debug_assertions)]
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         self.index.get(s).copied()
+    }
+
+    /// How many [`NameTable::get`] lookups this table has served (see the
+    /// field docs; used to verify compiled queries do zero per-evaluation
+    /// name resolution).  Always zero in release builds, where the counter
+    /// is compiled out.
+    pub fn lookup_count(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
     }
 
     /// Returns the string for an interned name.

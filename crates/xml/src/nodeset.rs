@@ -4,6 +4,13 @@
 //! document order, since [`NodeId`] *is* the pre-order index.  All set
 //! operations preserve that invariant.  Membership is `O(log n)`; union and
 //! intersection are linear merges.
+//!
+//! [`DenseSet`] is the companion *dense* representation: a capacity-bounded
+//! bitset over node indices.  The axis kernels use it for their mark/flag
+//! sweeps (a [`Scratch`](crate::axes::Scratch) holds two, reused across
+//! calls), and [`NodeSet::from_unsorted_with_capacity`] routes large
+//! unsorted intermediate sets — the shape the CVT strategy's accumulation
+//! loops produce — through it instead of a comparison sort.
 
 use crate::node::NodeId;
 use std::fmt;
@@ -37,6 +44,24 @@ impl NodeSet {
         nodes.sort_unstable();
         nodes.dedup();
         NodeSet { nodes }
+    }
+
+    /// Builds from an arbitrary vector of nodes drawn from a document with
+    /// `capacity` nodes, choosing the cheaper of two routes: a comparison
+    /// sort for sparse inputs, or a [`DenseSet`] radix pass (`O(k +
+    /// capacity/64)`) for dense ones — the intermediate-set shape the CVT
+    /// strategy's per-origin accumulation loops produce.
+    pub fn from_unsorted_with_capacity(capacity: usize, nodes: Vec<NodeId>) -> Self {
+        // Below ~capacity/64 elements the bitset sweep's word scan
+        // dominates; past it the sort's k·log k does.
+        if capacity == 0 || nodes.len() < capacity / 64 {
+            return NodeSet::from_unsorted(nodes);
+        }
+        let mut dense = DenseSet::with_capacity(capacity);
+        for &n in &nodes {
+            dense.insert(n);
+        }
+        dense.to_node_set()
     }
 
     /// Builds from a vector the caller guarantees is sorted ascending and
@@ -187,6 +212,138 @@ impl NodeSet {
     pub fn into_vec(self) -> Vec<NodeId> {
         self.nodes
     }
+
+    /// Empties the set, keeping its allocation (for buffer reuse in the
+    /// axis kernels).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
+    /// Mutable access to the underlying vector for in-crate kernels that
+    /// build results in place.  Callers must restore the sorted/deduped
+    /// invariant before the set is observed.
+    #[inline]
+    pub(crate) fn vec_mut(&mut self) -> &mut Vec<NodeId> {
+        &mut self.nodes
+    }
+}
+
+/// A dense, capacity-bounded set of nodes: one bit per pre-order index.
+///
+/// Insert/membership are `O(1)`; clearing and conversion to a sorted
+/// [`NodeSet`] are `O(capacity/64)`.  Used for the axis kernels' mark/flag
+/// sweeps and as the dense leg of the hybrid
+/// [`NodeSet::from_unsorted_with_capacity`] constructor.
+#[derive(Debug, Clone, Default)]
+pub struct DenseSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl DenseSet {
+    /// An empty set with zero capacity (grow with
+    /// [`DenseSet::ensure_capacity`]).
+    pub fn new() -> Self {
+        DenseSet::default()
+    }
+
+    /// An empty set able to hold indices `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DenseSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// The exclusive upper bound on insertable indices.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Grows the capacity to at least `capacity`, preserving contents.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        if capacity > self.capacity {
+            self.words.resize(capacity.div_ceil(64), 0);
+            self.capacity = capacity;
+        }
+    }
+
+    /// Removes all members; `O(capacity/64)`.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Inserts a node; returns whether it was newly added.
+    ///
+    /// # Panics
+    /// Panics if the node's index is at or beyond the capacity.
+    #[inline]
+    pub fn insert(&mut self, n: NodeId) -> bool {
+        let i = n.index();
+        assert!(i < self.capacity, "DenseSet index {i} out of capacity");
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let fresh = self.words[w] & b == 0;
+        self.words[w] |= b;
+        fresh
+    }
+
+    /// Membership test; indices at or beyond capacity are absent.
+    #[inline]
+    pub fn contains(&self, n: NodeId) -> bool {
+        let i = n.index();
+        i < self.capacity && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of members (popcount over the words).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no members are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Inserts every node of an iterator.
+    pub fn extend(&mut self, iter: impl IntoIterator<Item = NodeId>) {
+        for n in iter {
+            self.insert(n);
+        }
+    }
+
+    /// In-place union with another dense set.
+    ///
+    /// # Panics
+    /// Panics if `other` has larger capacity than `self`.
+    pub fn union_with(&mut self, other: &DenseSet) {
+        assert!(other.capacity <= self.capacity, "capacity mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Iterates members in ascending (document) order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(NodeId::from_index(wi * 64 + b))
+            })
+        })
+    }
+
+    /// Converts to the sorted sparse representation.
+    pub fn to_node_set(&self) -> NodeSet {
+        NodeSet {
+            nodes: self.iter().collect(),
+        }
+    }
 }
 
 impl FromIterator<NodeId> for NodeSet {
@@ -298,5 +455,73 @@ mod tests {
     fn from_iterator() {
         let s: NodeSet = (0..4).map(NodeId::from_index).collect();
         assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn dense_set_insert_contains_len() {
+        let mut d = DenseSet::with_capacity(130);
+        assert!(d.is_empty());
+        assert!(d.insert(NodeId::from_index(0)));
+        assert!(d.insert(NodeId::from_index(64)));
+        assert!(d.insert(NodeId::from_index(129)));
+        assert!(!d.insert(NodeId::from_index(64))); // duplicate
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(NodeId::from_index(129)));
+        assert!(!d.contains(NodeId::from_index(1)));
+        // Beyond capacity: absent, not a panic.
+        assert!(!d.contains(NodeId::from_index(1000)));
+        d.clear();
+        assert!(d.is_empty());
+        assert!(!d.contains(NodeId::from_index(64)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn dense_set_insert_beyond_capacity_panics() {
+        let mut d = DenseSet::with_capacity(10);
+        d.insert(NodeId::from_index(10));
+    }
+
+    #[test]
+    fn dense_set_iteration_is_sorted() {
+        let mut d = DenseSet::with_capacity(200);
+        for i in [150usize, 3, 64, 63, 65, 0, 199] {
+            d.insert(NodeId::from_index(i));
+        }
+        let v: Vec<usize> = d.iter().map(|n| n.index()).collect();
+        assert_eq!(v, vec![0, 3, 63, 64, 65, 150, 199]);
+        assert_eq!(d.to_node_set(), ids(&[0, 3, 63, 64, 65, 150, 199]));
+    }
+
+    #[test]
+    fn dense_set_grow_and_union() {
+        let mut a = DenseSet::with_capacity(64);
+        a.insert(NodeId::from_index(5));
+        a.ensure_capacity(256);
+        assert!(a.contains(NodeId::from_index(5)));
+        a.insert(NodeId::from_index(255));
+        let mut b = DenseSet::with_capacity(128);
+        b.extend([NodeId::from_index(5), NodeId::from_index(70)]);
+        a.union_with(&b);
+        assert_eq!(a.to_node_set(), ids(&[5, 70, 255]));
+    }
+
+    #[test]
+    fn hybrid_constructor_matches_sort_route() {
+        // Dense input (≥ capacity/64 members) takes the bitset route; both
+        // routes must agree with the plain sort.
+        let cap = 1024;
+        let dense_input: Vec<NodeId> = (0..cap)
+            .rev()
+            .step_by(3)
+            .chain(0..50)
+            .map(NodeId::from_index)
+            .collect();
+        let sparse_input: Vec<NodeId> = [9usize, 2, 9, 500].map(NodeId::from_index).to_vec();
+        for input in [dense_input, sparse_input] {
+            let hybrid = NodeSet::from_unsorted_with_capacity(cap, input.clone());
+            let sorted = NodeSet::from_unsorted(input);
+            assert_eq!(hybrid, sorted);
+        }
     }
 }

@@ -40,6 +40,15 @@
 //! `crates/core/tests/differential.rs`), so optimization work on any one
 //! backend is oracle-tested against the other three.
 //!
+//! Three cache-conscious layers keep the constant factors down (see
+//! DESIGN.md): a per-label **postings index** on every
+//! [`Document`](xml::Document) that makes name-test axis steps sublinear;
+//! [`CompiledQuery`](engine::CompiledQuery), cached inside the
+//! [`Engine`](engine::Engine) per `(query, document)` so repeated
+//! evaluation does zero name resolution; and a reusable
+//! [`Scratch`](xml::Scratch) arena that eliminates per-axis-call `O(|D|)`
+//! allocations.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -95,7 +104,7 @@ pub use minctx_xml as xml;
 
 /// The most common imports, bundled.
 pub mod prelude {
-    pub use minctx_core::{Context, Engine, EvalError, Evaluator, Strategy, Value};
+    pub use minctx_core::{CompiledQuery, Context, Engine, EvalError, Evaluator, Strategy, Value};
     pub use minctx_syntax::parse_xpath;
-    pub use minctx_xml::{parse as parse_xml, Document, NodeId, NodeSet};
+    pub use minctx_xml::{parse as parse_xml, Document, NodeId, NodeSet, Scratch};
 }
