@@ -17,8 +17,8 @@
 //! regenerate and diff against it before landing axis-kernel changes.
 
 use minctx_bench::{
-    exponential_doc, exponential_family, fmt_ms, time, time_strategy, wide_doc, xmark_doc,
-    XmarkConfig, CORE_XPATH_QUERIES, FULL_XPATH_QUERIES, WADLER_QUERIES,
+    exponential_doc, exponential_family, fmt_ms, time, time_strategy, time_strategy_opt, wide_doc,
+    xmark_doc, XmarkConfig, CORE_XPATH_QUERIES, FULL_XPATH_QUERIES, WADLER_QUERIES,
 };
 use minctx_core::Strategy;
 use minctx_xml::axes::{axis_image, Axis, NodeTest};
@@ -165,6 +165,14 @@ fn axis_snapshot(doc: &Document, runs: usize) -> Vec<(String, f64)> {
         let t = time_strategy(doc, Strategy::MinContext, q, None, runs)
             .unwrap_or_else(|| panic!("query {q} failed on the snapshot corpus"));
         out.push((format!("query/{q}"), ms(t)));
+    }
+    // The same serving queries with the query-IR rewrite pipeline off:
+    // the query-opt/raw gap is the committed record of what the rewrite
+    // passes buy on this corpus.
+    for q in ["//item", "//item[@id]"] {
+        let t = time_strategy_opt(doc, Strategy::MinContext, q, None, runs, false)
+            .unwrap_or_else(|| panic!("query {q} (raw) failed on the snapshot corpus"));
+        out.push((format!("query-raw/{q}"), ms(t)));
     }
     out
 }

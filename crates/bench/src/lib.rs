@@ -8,7 +8,7 @@
 //! `tables` binary (`cargo run --release -p minctx-bench --bin tables`)
 //! prints the paper-style strategy × document-size timing tables.
 
-use minctx_core::{Engine, Strategy};
+use minctx_core::{Engine, Strategy, Value};
 use minctx_xml::{Document, DocumentBuilder};
 use std::time::{Duration, Instant};
 
@@ -103,15 +103,31 @@ const XMARK_LABELS: &[&str] = &[
     "watch",
 ];
 
+/// The seeded RNG behind every deterministic generator in the workspace
+/// (xorshift64*: good enough spread for workload shaping, zero deps).
+/// Public so the randomized test suites share one definition.
 #[inline]
-fn xorshift(state: &mut u64) -> u64 {
-    // xorshift64*: good enough spread for workload shaping, zero deps.
+pub fn xorshift(state: &mut u64) -> u64 {
     let mut x = *state;
     x ^= x << 13;
     x ^= x >> 7;
     x ^= x << 17;
     *state = x;
     x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// [`Value`] equality where NaN equals NaN — the agreement relation of the
+/// differential and rewrite-soundness suites (two evaluators that both
+/// produce NaN agree, even though `NaN != NaN`).  Zero *signs* must match:
+/// `-0.0 == 0.0` under IEEE `==`, but §4.4's `round()` rule makes the sign
+/// observable (`1 div round(-0.2)`), so losing it is a real divergence.
+pub fn values_agree(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => {
+            (x.is_nan() && y.is_nan()) || (x == y && x.is_sign_negative() == y.is_sign_negative())
+        }
+        _ => a == b,
+    }
 }
 
 #[inline]
@@ -245,7 +261,8 @@ pub fn time<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
 ///
 /// The query is compiled *once*, outside the timing loop: the tables
 /// compare evaluation algorithms, so parsing/normalization/lowering cost
-/// must not flatten the ratios.
+/// must not flatten the ratios.  The query-IR optimizer is pinned on
+/// (regardless of `MINCTX_NO_OPTIMIZER`); [`time_strategy_opt`] chooses.
 pub fn time_strategy(
     doc: &Document,
     strategy: Strategy,
@@ -253,7 +270,21 @@ pub fn time_strategy(
     budget: Option<u64>,
     runs: usize,
 ) -> Option<Duration> {
-    let mut engine = Engine::new(strategy);
+    time_strategy_opt(doc, strategy, query, budget, runs, true)
+}
+
+/// [`time_strategy`] with the query-IR rewrite pipeline pinned on or off —
+/// the snapshot bin times both so the fused-vs-raw gap lands in
+/// `BENCH_baseline.json`.
+pub fn time_strategy_opt(
+    doc: &Document,
+    strategy: Strategy,
+    query: &str,
+    budget: Option<u64>,
+    runs: usize,
+    optimizer: bool,
+) -> Option<Duration> {
+    let mut engine = Engine::new(strategy).with_optimizer(optimizer);
     if let Some(b) = budget {
         engine = engine.with_budget(b);
     }

@@ -154,6 +154,11 @@ const CACHE_CAP: usize = 256;
 pub struct Engine {
     strategy: Strategy,
     budget: Option<u64>,
+    /// Run the [`rewrite`](crate::rewrite::rewrite) pipeline before
+    /// compiling queries.  On by default; `MINCTX_NO_OPTIMIZER` in the
+    /// environment flips the default off (the no-optimizer CI job), and
+    /// [`Engine::with_optimizer`] overrides either way.
+    optimize: bool,
     /// `(query stamp, document stamp)` → compiled query.
     cache: Mutex<HashMap<(u64, u64), Arc<CompiledQuery>>>,
     /// Reusable axis-kernel working memory for this engine's evaluations.
@@ -172,6 +177,7 @@ impl fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("strategy", &self.strategy)
             .field("budget", &self.budget)
+            .field("optimize", &self.optimize)
             .field("cached_queries", &self.cached_queries())
             .finish()
     }
@@ -182,10 +188,21 @@ impl Clone for Engine {
         Engine {
             strategy: self.strategy,
             budget: self.budget,
+            optimize: self.optimize,
             // Compiled queries are immutable and Arc-shared: cheap to keep.
             cache: Mutex::new(self.cache.lock().expect("engine cache poisoned").clone()),
             scratch_pool: Mutex::new(Vec::new()),
         }
+    }
+}
+
+/// The optimizer default: on, unless `MINCTX_NO_OPTIMIZER` is set to
+/// anything but `0`/empty (the CI job that re-runs the suite with every
+/// query evaluated as written).
+fn optimizer_default() -> bool {
+    match std::env::var_os("MINCTX_NO_OPTIMIZER") {
+        None => true,
+        Some(v) => v.is_empty() || v == "0",
     }
 }
 
@@ -195,6 +212,7 @@ impl Engine {
         Engine {
             strategy,
             budget: None,
+            optimize: optimizer_default(),
             cache: Mutex::new(HashMap::new()),
             scratch_pool: Mutex::new(Vec::new()),
         }
@@ -207,6 +225,26 @@ impl Engine {
     pub fn with_budget(mut self, budget: u64) -> Engine {
         self.budget = Some(budget);
         self
+    }
+
+    /// Enables or disables the query-IR rewrite pipeline
+    /// ([`rewrite`](crate::rewrite::rewrite): step fusion, reverse-axis
+    /// normalization, predicate hoisting/constant folding, subexpression
+    /// sharing).  On by default; rewriting is semantics-preserving, so the
+    /// toggle exists for differential testing and for measuring the passes
+    /// themselves.  Clears the compiled-query cache, which may hold
+    /// compilations from the previous setting.
+    pub fn with_optimizer(self, on: bool) -> Engine {
+        self.cache.lock().expect("engine cache poisoned").clear();
+        Engine {
+            optimize: on,
+            ..self
+        }
+    }
+
+    /// Whether the rewrite pipeline runs before compilation.
+    pub fn optimizer(&self) -> bool {
+        self.optimize
     }
 
     /// The engine's strategy.
@@ -231,21 +269,36 @@ impl Engine {
         }
     }
 
-    /// Compiles `query` against `doc` — resolving every node test once —
-    /// or returns the cached compilation for this `(query, document)`
-    /// pair.
+    /// Compiles `query` against `doc` — running the rewrite pipeline
+    /// (unless disabled) and resolving every node test once — or returns
+    /// the cached compilation for this `(query, document)` pair.  The
+    /// cache keys on the *original* query's stamp, so callers never observe
+    /// the rewritten query's identity.
     pub fn compile(&self, doc: &Document, query: &Query) -> Arc<CompiledQuery> {
         let key = (query.stamp(), doc.stamp());
-        let mut cache = self.cache.lock().expect("engine cache poisoned");
-        if let Some(cq) = cache.get(&key) {
-            return Arc::clone(cq);
+        {
+            let cache = self.cache.lock().expect("engine cache poisoned");
+            if let Some(cq) = cache.get(&key) {
+                return Arc::clone(cq);
+            }
         }
+        // Rewrite + compile outside the lock: both are pure, and losing a
+        // race merely compiles the same query twice.
+        let cq = Arc::new(self.compile_uncached(doc, query));
+        let mut cache = self.cache.lock().expect("engine cache poisoned");
         if cache.len() >= CACHE_CAP {
             cache.clear();
         }
-        let cq = Arc::new(CompiledQuery::new(doc, query));
         cache.insert(key, Arc::clone(&cq));
         cq
+    }
+
+    fn compile_uncached(&self, doc: &Document, query: &Query) -> CompiledQuery {
+        if self.optimize {
+            CompiledQuery::new(doc, &crate::rewrite::rewrite(query))
+        } else {
+            CompiledQuery::new(doc, query)
+        }
     }
 
     /// Number of compiled queries currently cached (diagnostics and
@@ -265,7 +318,7 @@ impl Engine {
     /// and reuse the query (or compile it with [`Engine::compile`]).
     pub fn evaluate_str(&self, doc: &Document, query: &str) -> Result<Value, EvalError> {
         let query = parse_xpath(query)?;
-        let compiled = CompiledQuery::new(doc, &query);
+        let compiled = self.compile_uncached(doc, &query);
         self.evaluate_compiled(doc, &compiled, Context::document(doc))
     }
 
@@ -354,6 +407,56 @@ mod tests {
             Engine::new(Strategy::OptMinContext).evaluator().strategy(),
             Strategy::OptMinContext
         );
+    }
+
+    #[test]
+    fn optimizer_is_on_by_default_and_toggleable() {
+        // The default tracks MINCTX_NO_OPTIMIZER (the no-optimizer CI job
+        // runs this very test with it set).
+        let e = Engine::new(Strategy::MinContext);
+        assert_eq!(e.optimizer(), optimizer_default());
+        let e = e.with_optimizer(false);
+        assert!(!e.optimizer());
+        assert!(e.with_optimizer(true).optimizer());
+    }
+
+    #[test]
+    fn optimizer_rewrites_compiled_queries() {
+        // `//b` compiles to a fused single-step path with the optimizer on
+        // and to the two-step expansion with it off — and both evaluate to
+        // the same nodes.
+        let doc = parse("<a><b/><c><b/></c></a>").unwrap();
+        let q = minctx_syntax::parse_xpath("//b").unwrap();
+        let on = Engine::new(Strategy::MinContext).with_optimizer(true);
+        let off = Engine::new(Strategy::MinContext).with_optimizer(false);
+        assert_eq!(on.compile(&doc, &q).query().step_count(), 1);
+        assert_eq!(off.compile(&doc, &q).query().step_count(), 2);
+        assert_eq!(
+            on.evaluate(&doc, &q).unwrap(),
+            off.evaluate(&doc, &q).unwrap()
+        );
+    }
+
+    #[test]
+    fn round_negative_zero_is_observable_from_every_strategy() {
+        // The §4.4 regression: round(-0.2) must carry negative zero into
+        // division and format as plain "0".
+        let doc = parse("<a/>").unwrap();
+        for s in Strategy::ALL {
+            for optimize in [false, true] {
+                let e = Engine::new(s).with_optimizer(optimize);
+                assert_eq!(
+                    e.evaluate_str(&doc, "1 div round(-0.2)").unwrap(),
+                    Value::Number(f64::NEG_INFINITY),
+                    "{s} optimize={optimize}"
+                );
+                assert_eq!(
+                    e.evaluate_str(&doc, "string(round(-0.2))").unwrap(),
+                    Value::String("0".into()),
+                    "{s} optimize={optimize}"
+                );
+            }
+        }
     }
 
     #[test]

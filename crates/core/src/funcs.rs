@@ -138,12 +138,18 @@ pub fn apply(
 }
 
 /// XPath `round()`: round half *up* (toward +∞); NaN and infinities pass
-/// through (§4.4).
+/// through, and arguments in `[-0.5, -0]` return **negative** zero (§4.4)
+/// — so `1 div round(-0.2)` is `-Infinity`, not `+Infinity`.
 pub fn xpath_round(n: f64) -> f64 {
     if n.is_nan() || n.is_infinite() {
         n
     } else {
-        (n + 0.5).floor()
+        let r = (n + 0.5).floor();
+        if r == 0.0 && n.is_sign_negative() {
+            -0.0
+        } else {
+            r
+        }
     }
 }
 
@@ -268,6 +274,24 @@ mod tests {
             Value::Number(-2.0)
         );
         assert!(xpath_round(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn round_returns_negative_zero_on_negative_half_open_interval() {
+        // §4.4: for n in [-0.5, -0], round(n) is *negative* zero.  The sign
+        // is invisible to `==` but decides `1 div round(n)`.
+        for n in [-0.5, -0.2, -0.0, -f64::MIN_POSITIVE] {
+            let r = xpath_round(n);
+            assert_eq!(r, 0.0, "round({n})");
+            assert!(r.is_sign_negative(), "round({n}) lost the sign");
+            assert_eq!(1.0 / r, f64::NEG_INFINITY, "1 div round({n})");
+        }
+        // Positive zero stays positive; half rounds toward +∞.
+        assert!(!xpath_round(0.0).is_sign_negative());
+        assert!(!xpath_round(0.4).is_sign_negative());
+        assert_eq!(xpath_round(-0.5), 0.0);
+        assert_eq!(xpath_round(-0.6), -1.0);
+        assert_eq!(xpath_round(0.5), 1.0);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod error;
 pub mod funcs;
 pub mod mincontext;
 pub mod naive;
+pub mod rewrite;
 pub mod tables;
 pub mod value;
 
@@ -46,5 +47,6 @@ pub use engine::{Context, Engine, Evaluator, Strategy};
 pub use error::EvalError;
 pub use mincontext::MinContext;
 pub use naive::Naive;
+pub use rewrite::rewrite;
 pub use tables::ContextValueTables;
 pub use value::Value;

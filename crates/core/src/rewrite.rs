@@ -1,0 +1,679 @@
+//! The query-IR rewrite pipeline: semantics-preserving [`Query`]
+//! transformations run before compilation (cf. *XPath Whole Query
+//! Optimization*, PAPERS.md).
+//!
+//! [`rewrite`] rebuilds the arena bottom-up through a hash-consing
+//! [`QueryBuilder`] and iterates to a fixpoint.  One pass applies:
+//!
+//! * **Step fusion** — `descendant-or-self::node()/child::a` (the expansion
+//!   of `//a`) fuses to `descendant::a`, and likewise for a following
+//!   `descendant(-or-self)` step; predicate-free `self::node()` steps are
+//!   dropped.  Fusion changes each candidate's proximity position (children
+//!   are numbered per parent, descendants per fused origin), so it applies
+//!   **only when every predicate of the fused step is position-free** —
+//!   checked via the [`Relev`](minctx_syntax::Relev) sets computed at
+//!   lowering: a predicate that reads `position()` or `last()` carries the
+//!   corresponding relevance bit (number predicates were normalized to
+//!   `position() = e`, so they are covered).
+//! * **Reverse-axis normalization** — `child::a/parent::node()` (and the
+//!   `attribute` variant) flips into the forward existence test
+//!   `self::node()[child::a]`, exact because `parent` inverts exactly those
+//!   axes.  Under *existential* contexts — a path that is the direct
+//!   argument of `boolean()`, which is where the normalizer puts every
+//!   truth-valued path — trailing predicate-free total steps
+//!   (`self`/`descendant-or-self`/`ancestor-or-self` `::node()`, which
+//!   relate every node to itself) are dropped, and a trailing predicate-free
+//!   reverse step is folded into an existence predicate on the previous step
+//!   (`a[p]/ancestor::b` → `a[p][ancestor::b]`), where OPTMINCONTEXT answers
+//!   it with one forward preimage sweep.  The reverse-step fold is applied
+//!   only when an earlier step already carries a predicate: a fully
+//!   predicate-free path is left intact for OPTMINCONTEXT's single
+//!   whole-path backward pass.
+//! * **Predicate hoisting + constant folding** — pure literal
+//!   subexpressions are evaluated at rewrite time through the *same*
+//!   conversion/function library the evaluators use ([`funcs::apply`],
+//!   [`value::compare_scalars`](crate::value::compare_scalars)), `[true()]`
+//!   predicates are dropped, and context-independent predicates
+//!   (`Relev = ∅`, e.g. a folded `[1 = 2]` or a doc-dependent
+//!   `[count(/log) > 5]`) are hoisted from inner steps to the front of the
+//!   first step, so a constant-false filter kills the path before any axis
+//!   walking.  Hoisting an all-or-nothing predicate never disturbs the
+//!   positions later predicates observe.
+//! * **Common-subexpression sharing** — the builder interns structurally
+//!   identical nodes to one `ExprId`, so duplicated subtrees across union
+//!   branches (or anywhere else) collapse; evaluators that memoize or
+//!   materialize per node id then do the shared work once.
+//!
+//! Rewriting happens on the document-independent IR, *before*
+//! [`CompiledQuery`](crate::CompiledQuery) resolves node tests — the
+//! rewritten query is what gets compiled, so fused steps resolve their
+//! tests like any others and the compiled-query cache keeps keying on the
+//! original query's stamp.  The [`Engine`](crate::Engine) runs the pipeline
+//! by default; `Engine::with_optimizer(false)` (or the `MINCTX_NO_OPTIMIZER`
+//! environment variable) disables it, which is how the differential suite
+//! evaluates every corpus query both raw and rewritten.
+
+use crate::funcs;
+use crate::naive::arith;
+use crate::value::{compare_scalars, Value};
+use minctx_syntax::{ExprId, Func, Node, PathStart, Query, QueryBuilder, Step};
+use minctx_xml::axes::{Axis, NodeTest};
+use minctx_xml::Document;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Upper bound on passes; each pass only shrinks or normalizes, so real
+/// queries reach the fixpoint in two or three.
+const MAX_PASSES: usize = 8;
+
+/// Rewrites a query to its optimization fixpoint.  The result evaluates to
+/// the same [`Value`](crate::Value) as the input at every context, under
+/// every strategy — the differential and property suites assert exactly
+/// that.
+pub fn rewrite(query: &Query) -> Query {
+    let mut cur = rewrite_once(query);
+    for _ in 1..MAX_PASSES {
+        let next = rewrite_once(&cur);
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// One rebuild of the arena with all local transforms applied.
+fn rewrite_once(q: &Query) -> Query {
+    let mut rw = Rewriter {
+        q,
+        b: QueryBuilder::new(),
+        map: HashMap::new(),
+    };
+    let root = rw.rebuild(q.root());
+    rw.b.finish(root)
+}
+
+struct Rewriter<'q> {
+    q: &'q Query,
+    b: QueryBuilder,
+    /// Old id → rebuilt id (non-existential rebuilds only; existential
+    /// variants are rebuilt at their `boolean()` use sites and rely on the
+    /// builder's interning for sharing).
+    map: HashMap<ExprId, ExprId>,
+}
+
+impl Rewriter<'_> {
+    fn rebuild(&mut self, id: ExprId) -> ExprId {
+        if let Some(&new) = self.map.get(&id) {
+            return new;
+        }
+        let new = self.rebuild_uncached(id);
+        self.map.insert(id, new);
+        new
+    }
+
+    fn rebuild_uncached(&mut self, id: ExprId) -> ExprId {
+        match self.q.node(id) {
+            Node::Or(a, b) | Node::And(a, b) => {
+                let is_or = matches!(self.q.node(id), Node::Or(..));
+                let (a, b) = (*a, *b);
+                let a2 = self.rebuild(a);
+                // `x or true()` → `true()` etc.; operands are pure, so the
+                // untaken side can be dropped (or never rebuilt at all).
+                let absorbing = is_or; // `or` short-circuits on true, `and` on false
+                match self.literal_bool(a2) {
+                    Some(v) if v == absorbing => self.push_bool(absorbing),
+                    Some(_) => self.rebuild(b),
+                    None => {
+                        let b2 = self.rebuild(b);
+                        match self.literal_bool(b2) {
+                            Some(v) if v == absorbing => self.push_bool(absorbing),
+                            Some(_) => a2,
+                            None if is_or => self.b.push(Node::Or(a2, b2)),
+                            None => self.b.push(Node::And(a2, b2)),
+                        }
+                    }
+                }
+            }
+            Node::Compare(op, a, b) => {
+                let (op, a, b) = (*op, *a, *b);
+                let a2 = self.rebuild(a);
+                let b2 = self.rebuild(b);
+                match (
+                    literal_value(self.b.node(a2)),
+                    literal_value(self.b.node(b2)),
+                ) {
+                    (Some(va), Some(vb)) => self.push_bool(compare_scalars(op, &va, &vb)),
+                    _ => self.b.push(Node::Compare(op, a2, b2)),
+                }
+            }
+            Node::Arith(op, a, b) => {
+                let (op, a, b) = (*op, *a, *b);
+                let a2 = self.rebuild(a);
+                let b2 = self.rebuild(b);
+                match (self.b.node(a2), self.b.node(b2)) {
+                    (Node::Number(x), Node::Number(y)) => {
+                        let v = arith(op, *x, *y);
+                        self.b.push(Node::Number(v))
+                    }
+                    _ => self.b.push(Node::Arith(op, a2, b2)),
+                }
+            }
+            Node::Neg(a) => {
+                let a2 = self.rebuild(*a);
+                match self.b.node(a2) {
+                    Node::Number(x) => {
+                        let v = -*x;
+                        self.b.push(Node::Number(v))
+                    }
+                    _ => self.b.push(Node::Neg(a2)),
+                }
+            }
+            Node::Union(a, b) => {
+                let (a, b) = (*a, *b);
+                let a2 = self.rebuild(a);
+                let b2 = self.rebuild(b);
+                if a2 == b2 {
+                    // Set union is idempotent; interning already proved the
+                    // branches identical.
+                    a2
+                } else {
+                    self.b.push(Node::Union(a2, b2))
+                }
+            }
+            Node::Path(..) => self.rebuild_path(id, false),
+            Node::Call(func, args) => {
+                let func = *func;
+                let args = args.clone();
+                let new_args: Vec<ExprId> = args
+                    .iter()
+                    .map(|&a| {
+                        if func == Func::Boolean && matches!(self.q.node(a), Node::Path(..)) {
+                            // The argument's value is only tested for
+                            // nonemptiness: rebuild it with the existential
+                            // tail rules enabled.
+                            self.rebuild_path(a, true)
+                        } else {
+                            self.rebuild(a)
+                        }
+                    })
+                    .collect();
+                match self.fold_call(func, &new_args) {
+                    Some(folded) => self.b.push(folded),
+                    None => self.b.push(Node::Call(func, new_args)),
+                }
+            }
+            Node::Number(n) => self.b.push(Node::Number(*n)),
+            Node::Literal(s) => self.b.push(Node::Literal(s.clone())),
+        }
+    }
+
+    /// Rebuilds a path node: predicates rebuilt (literal `true()` dropped),
+    /// steps fused and normalized, constant predicates hoisted.
+    fn rebuild_path(&mut self, id: ExprId, existential: bool) -> ExprId {
+        let Node::Path(start, steps) = self.q.node(id) else {
+            unreachable!("rebuild_path on a non-path node");
+        };
+        let (start, steps) = (start.clone(), steps.clone());
+        let start = match start {
+            PathStart::Root => PathStart::Root,
+            PathStart::Context => PathStart::Context,
+            PathStart::Filter {
+                primary,
+                predicates,
+            } => {
+                let primary = self.rebuild(primary);
+                let predicates = self.rebuild_predicates(&predicates);
+                PathStart::Filter {
+                    primary,
+                    predicates,
+                }
+            }
+        };
+        let mut steps: Vec<Step> = steps
+            .into_iter()
+            .map(|s| Step {
+                axis: s.axis,
+                test: s.test,
+                predicates: self.rebuild_predicates(&s.predicates),
+            })
+            .collect();
+        self.optimize_steps(&mut steps);
+        if existential {
+            self.existential_tail(&mut steps);
+        }
+        self.hoist_constant_predicates(&mut steps);
+        self.b.push(Node::Path(start, steps))
+    }
+
+    /// Rebuilds a predicate list, dropping predicates that folded to
+    /// literal `true()` (filtering by a constant-true predicate keeps every
+    /// candidate and every later position unchanged).
+    fn rebuild_predicates(&mut self, preds: &[ExprId]) -> Vec<ExprId> {
+        let mut out = Vec::with_capacity(preds.len());
+        for &p in preds {
+            let p = self.rebuild(p);
+            if self.literal_bool(p) != Some(true) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// The step-level rules: `self::node()` elimination, `//`-fusion, and
+    /// the `child/parent` flip.  Loops until no rule fires.
+    fn optimize_steps(&mut self, steps: &mut Vec<Step>) {
+        loop {
+            // A predicate-free `self::node()` step is the identity.
+            if let Some(i) = steps.iter().position(|s| {
+                s.axis == Axis::SelfAxis && s.test == NodeTest::AnyNode && s.predicates.is_empty()
+            }) {
+                steps.remove(i);
+                continue;
+            }
+            let mut changed = false;
+            for i in 0..steps.len().saturating_sub(1) {
+                let (a, b) = (&steps[i], &steps[i + 1]);
+                // `descendant-or-self::node()/child::t` ≡ `descendant::t`
+                // (every proper descendant is a child of a descendant-or-
+                // self node and vice versa); same argument fuses a following
+                // `descendant(-or-self)` step.  Only for position-free
+                // predicates — fusion renumbers proximity positions.
+                if a.axis == Axis::DescendantOrSelf
+                    && a.test == NodeTest::AnyNode
+                    && a.predicates.is_empty()
+                    && matches!(
+                        b.axis,
+                        Axis::Child | Axis::Descendant | Axis::DescendantOrSelf
+                    )
+                    && b.predicates.iter().all(|&p| self.position_free(p))
+                {
+                    let axis = match b.axis {
+                        Axis::DescendantOrSelf => Axis::DescendantOrSelf,
+                        _ => Axis::Descendant,
+                    };
+                    steps[i] = Step {
+                        axis,
+                        test: b.test.clone(),
+                        predicates: b.predicates.clone(),
+                    };
+                    steps.remove(i + 1);
+                    changed = true;
+                    break;
+                }
+                // `child::t[p]/parent::node()` ≡ `self::node()[child::t[p]]`
+                // (`parent` exactly inverts `child` and `attribute`): the
+                // reverse step becomes a forward existence predicate, with
+                // identical inner positions.
+                if matches!(a.axis, Axis::Child | Axis::Attribute)
+                    && b.axis == Axis::Parent
+                    && b.test == NodeTest::AnyNode
+                    && b.predicates.is_empty()
+                {
+                    let inner = self.b.push(Node::Path(PathStart::Context, vec![a.clone()]));
+                    let pred = self.b.push(Node::Call(Func::Boolean, vec![inner]));
+                    steps[i] = Step {
+                        axis: Axis::SelfAxis,
+                        test: NodeTest::AnyNode,
+                        predicates: vec![pred],
+                    };
+                    steps.remove(i + 1);
+                    changed = true;
+                    break;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Tail rules for paths whose value is only tested for nonemptiness.
+    fn existential_tail(&mut self, steps: &mut Vec<Step>) {
+        while let Some(last) = steps.last() {
+            if !last.predicates.is_empty() {
+                break;
+            }
+            // `self`, `descendant-or-self` and `ancestor-or-self` relate
+            // every node (attributes included) to itself, so under an
+            // existential context a trailing `::node()` step of one of them
+            // never changes nonemptiness.
+            if last.test == NodeTest::AnyNode
+                && matches!(
+                    last.axis,
+                    Axis::SelfAxis | Axis::DescendantOrSelf | Axis::AncestorOrSelf
+                )
+            {
+                steps.pop();
+                continue;
+            }
+            // `…/s[p]/ancestor::b` (existential) ≡ `…/s[p][ancestor::b]`:
+            // the reverse step becomes a per-node existence predicate the
+            // backward pass answers with one forward preimage sweep.  Only
+            // when an earlier predicate already rules out OPTMINCONTEXT's
+            // whole-path backward propagation — a fully predicate-free path
+            // is better left to that single pass.
+            if last.axis.is_reverse()
+                && steps.len() >= 2
+                && steps[..steps.len() - 1]
+                    .iter()
+                    .any(|s| !s.predicates.is_empty())
+            {
+                let last = steps.pop().expect("checked non-empty");
+                let inner = self.b.push(Node::Path(PathStart::Context, vec![last]));
+                let pred = self.b.push(Node::Call(Func::Boolean, vec![inner]));
+                steps
+                    .last_mut()
+                    .expect("len >= 2 before pop")
+                    .predicates
+                    .push(pred);
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// Moves context-independent (`Relev = ∅`) predicates from inner steps
+    /// to the front of the first step.  Such a predicate has one value for
+    /// the whole evaluation, so it filters all candidates or none wherever
+    /// it sits — moving it earlier never changes the positions other
+    /// predicates observe, and a constant-false one now short-circuits the
+    /// path before any axis walking.
+    fn hoist_constant_predicates(&mut self, steps: &mut [Step]) {
+        if steps.len() < 2 {
+            return;
+        }
+        let mut hoisted: Vec<ExprId> = Vec::new();
+        for s in steps.iter_mut().skip(1) {
+            let mut kept = Vec::with_capacity(s.predicates.len());
+            for &p in &s.predicates {
+                if self.b.relev(p).is_empty() {
+                    hoisted.push(p);
+                } else {
+                    kept.push(p);
+                }
+            }
+            s.predicates = kept;
+        }
+        if hoisted.is_empty() {
+            return;
+        }
+        hoisted.append(&mut steps[0].predicates);
+        steps[0].predicates = hoisted;
+    }
+
+    /// Folds a call whose arguments are all literals, through the shared
+    /// function library.  Only functions that are pure and document-
+    /// independent on scalar arguments are eligible; `position()`/`last()`
+    /// read the context, `lang()` the context node, and the node-set
+    /// functions their document.
+    fn fold_call(&mut self, func: Func, args: &[ExprId]) -> Option<Node> {
+        let foldable = matches!(
+            func,
+            Func::String
+                | Func::Concat
+                | Func::StartsWith
+                | Func::Contains
+                | Func::SubstringBefore
+                | Func::SubstringAfter
+                | Func::Substring
+                | Func::StringLength
+                | Func::NormalizeSpace
+                | Func::Translate
+                | Func::Boolean
+                | Func::Not
+                | Func::Number
+                | Func::Floor
+                | Func::Ceiling
+                | Func::Round
+        );
+        if !foldable {
+            return None;
+        }
+        let vals: Vec<Value> = args
+            .iter()
+            .map(|&a| literal_value(self.b.node(a)))
+            .collect::<Option<_>>()?;
+        // The document parameter is only read for node-set arguments, which
+        // `literal_value` never produces; a static placeholder satisfies
+        // the signature.
+        let doc = placeholder_doc();
+        let v = funcs::apply(doc, func, &vals, doc.root()).ok()?;
+        Some(value_to_node(v))
+    }
+
+    fn literal_bool(&self, id: ExprId) -> Option<bool> {
+        match self.b.node(id) {
+            Node::Call(Func::True, _) => Some(true),
+            Node::Call(Func::False, _) => Some(false),
+            _ => None,
+        }
+    }
+
+    fn push_bool(&mut self, v: bool) -> ExprId {
+        let f = if v { Func::True } else { Func::False };
+        self.b.push(Node::Call(f, Vec::new()))
+    }
+
+    /// Whether a (rebuilt) predicate ignores `position()` and `last()`.
+    fn position_free(&self, pred: ExprId) -> bool {
+        let r = self.b.relev(pred);
+        !r.position() && !r.size()
+    }
+}
+
+/// The constant value of a literal node, if it is one.
+fn literal_value(node: &Node) -> Option<Value> {
+    match node {
+        Node::Number(n) => Some(Value::Number(*n)),
+        Node::Literal(s) => Some(Value::String(s.to_string())),
+        Node::Call(Func::True, _) => Some(Value::Boolean(true)),
+        Node::Call(Func::False, _) => Some(Value::Boolean(false)),
+        _ => None,
+    }
+}
+
+fn value_to_node(v: Value) -> Node {
+    match v {
+        Value::Number(n) => Node::Number(n),
+        Value::String(s) => Node::Literal(s.into_boxed_str()),
+        Value::Boolean(true) => Node::Call(Func::True, Vec::new()),
+        Value::Boolean(false) => Node::Call(Func::False, Vec::new()),
+        Value::NodeSet(_) => unreachable!("foldable functions never return node-sets"),
+    }
+}
+
+fn placeholder_doc() -> &'static Document {
+    static DOC: OnceLock<Document> = OnceLock::new();
+    DOC.get_or_init(|| minctx_xml::parse("<x/>").expect("static placeholder parses"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minctx_syntax::parse_xpath;
+
+    fn rw(src: &str) -> Query {
+        rewrite(&parse_xpath(src).unwrap())
+    }
+
+    /// Rewriting `a` must yield exactly the query `b` lowers to (up to
+    /// stamps, which [`Query`]'s `PartialEq` ignores).
+    fn assert_rewrites_to(a: &str, b: &str) {
+        let got = rw(a);
+        let want = parse_xpath(b).unwrap();
+        assert_eq!(got, want, "{a:?} rewrote to {got:#?}, expected {b:?}");
+    }
+
+    /// Queries outside every rule's shape must come back unchanged.
+    fn assert_fixed(src: &str) {
+        assert_rewrites_to(src, src);
+    }
+
+    #[test]
+    fn double_slash_fuses_to_descendant() {
+        assert_rewrites_to("//a", "/descendant::a");
+        assert_rewrites_to("//a//b", "/descendant::a/descendant::b");
+        assert_rewrites_to("//*", "/descendant::*");
+        assert_rewrites_to("//text()", "/descendant::text()");
+        assert_rewrites_to("a//b", "child::a/descendant::b");
+        // The headline serving query: the predicate is position-free.
+        assert_rewrites_to("//item[@id]", "/descendant::item[@id]");
+        // A following descendant-or-self step also fuses.
+        assert_rewrites_to(
+            "/descendant-or-self::node()/descendant-or-self::a",
+            "/descendant-or-self::a",
+        );
+    }
+
+    #[test]
+    fn positional_predicates_block_fusion() {
+        assert_fixed("/descendant-or-self::node()/child::a[position() = 2]");
+        assert_fixed("/descendant-or-self::node()/child::a[(position() = last())]");
+        // Mixed predicates: one positional predicate vetoes the fusion.
+        assert_fixed("/descendant-or-self::node()/child::a[b][(position() = 2)]");
+        // Predicates on the descendant-or-self step itself also block.
+        assert_fixed("/descendant-or-self::node()[b]/child::a");
+    }
+
+    #[test]
+    fn self_node_steps_are_dropped() {
+        assert_rewrites_to("./a", "child::a");
+        assert_rewrites_to("a/./b", "child::a/child::b");
+        // `self::*` is a real filter, not the identity.
+        assert_fixed("child::a/self::*");
+        // A predicated self step is a real filter too.
+        assert_fixed("self::node()[b]");
+    }
+
+    #[test]
+    fn child_parent_flips_to_self_predicate() {
+        assert_rewrites_to("a/parent::node()", "self::node()[a]");
+        assert_rewrites_to("@id/..", "self::node()[@id]");
+        // Positional inner predicates survive the flip verbatim.
+        assert_rewrites_to("a[2]/parent::node()", "self::node()[a[2]]");
+        // `parent::a` names its parent: not the pure inverse, left alone.
+        assert_fixed("child::b/parent::a");
+    }
+
+    #[test]
+    fn existential_tails_are_normalized() {
+        // Trailing total or-self steps under boolean() are dropped…
+        assert_rewrites_to(
+            "count(//a[b/descendant-or-self::node()])",
+            "count(/descendant::a[b])",
+        );
+        assert_rewrites_to("boolean(a/ancestor-or-self::node())", "boolean(a)");
+        // …but not outside an existential context.
+        assert_fixed("child::a/ancestor-or-self::node()");
+        // A trailing reverse step folds into a predicate when an earlier
+        // step already has one (backward propagation was off the table).
+        assert_rewrites_to("//x[a[b]/ancestor::c]", "/descendant::x[a[b][ancestor::c]]");
+        // Fully predicate-free paths stay whole for OPTMINCONTEXT.
+        assert_fixed("child::x[boolean(child::a/ancestor::c)]");
+    }
+
+    #[test]
+    fn constants_fold_through_the_shared_library() {
+        let q = rw("1 + 2 * 3");
+        assert!(matches!(q.node(q.root()), Node::Number(n) if *n == 7.0));
+        let q = rw("string(1 div 0)");
+        assert!(matches!(q.node(q.root()), Node::Literal(s) if &**s == "Infinity"));
+        let q = rw("number('x') = number('x')");
+        // NaN ≠ NaN, folded at rewrite time.
+        assert!(matches!(q.node(q.root()), Node::Call(Func::False, _)));
+        let q = rw("substring('12345', 1.5, 2.6)");
+        assert!(matches!(q.node(q.root()), Node::Literal(s) if &**s == "234"));
+        // The round() spec fix is visible to the folder too.
+        let q = rw("1 div round(-0.2)");
+        assert!(matches!(q.node(q.root()), Node::Number(n) if *n == f64::NEG_INFINITY));
+        // `or`/`and` absorb literal booleans and keep the live side.
+        let q = rw("a or true()");
+        assert!(matches!(q.node(q.root()), Node::Call(Func::True, _)));
+        let q = rw("false() or a");
+        assert!(matches!(q.node(q.root()), Node::Call(Func::Boolean, _)));
+        let q = rw("count(a) > 1 and false()");
+        assert!(matches!(q.node(q.root()), Node::Call(Func::False, _)));
+    }
+
+    #[test]
+    fn true_predicates_vanish_and_constants_hoist() {
+        assert_rewrites_to("a[true()]", "child::a");
+        assert_rewrites_to("a[1 = 1]/b[not(false())]", "child::a/child::b");
+        // A context-independent predicate moves to the first step.
+        assert_rewrites_to("a/b[count(/c) = 0]", "child::a[count(/c) = 0]/child::b");
+        // Context-dependent predicates stay put.
+        assert_fixed("child::a/child::b[c]");
+    }
+
+    #[test]
+    fn union_branches_share_subexpressions() {
+        let raw = parse_xpath("a[x = 1]/b | a[x = 1]/c").unwrap();
+        let opt = rewrite(&raw);
+        // The duplicated `a[x = 1]` predicate machinery is interned once.
+        assert!(
+            opt.len() < raw.len(),
+            "no sharing: {} -> {} nodes",
+            raw.len(),
+            opt.len()
+        );
+        // Identical union branches collapse to one.
+        let q = rw("a | a");
+        assert!(matches!(q.node(q.root()), Node::Path(..)));
+    }
+
+    #[test]
+    fn rewriting_is_idempotent_on_the_corpus_shapes() {
+        for src in [
+            "//a//b[c]",
+            "//item[@id]",
+            "(//a)[2]/b",
+            "a[2]/parent::node()",
+            "count(//a[b/ancestor::c])",
+            "//book[@year = 2000][2]",
+            "self::node()[a]",
+            "1 div round(-0.2)",
+        ] {
+            let once = rw(src);
+            let twice = rewrite(&once);
+            assert_eq!(once, twice, "{src:?} not idempotent");
+        }
+    }
+
+    #[test]
+    fn rebuilt_arenas_keep_children_before_parents() {
+        for src in ["//a[b = 1] | //c[b = 1]", "//x[a[b]/ancestor::c]", "a/.."] {
+            let q = rw(src);
+            assert_eq!(q.root().index(), q.len() - 1, "{src:?}: root not last");
+            for (id, node) in q.iter() {
+                let check = |c: ExprId| assert!(c < id, "{src:?}: child {c} not before {id}");
+                match node {
+                    Node::Or(a, b)
+                    | Node::And(a, b)
+                    | Node::Compare(_, a, b)
+                    | Node::Arith(_, a, b)
+                    | Node::Union(a, b) => {
+                        check(*a);
+                        check(*b);
+                    }
+                    Node::Neg(a) => check(*a),
+                    Node::Call(_, args) => args.iter().copied().for_each(check),
+                    Node::Path(start, steps) => {
+                        if let PathStart::Filter {
+                            primary,
+                            predicates,
+                        } = start
+                        {
+                            check(*primary);
+                            predicates.iter().copied().for_each(check);
+                        }
+                        for st in steps {
+                            st.predicates.iter().copied().for_each(check);
+                        }
+                    }
+                    Node::Number(_) | Node::Literal(_) => {}
+                }
+            }
+        }
+    }
+}

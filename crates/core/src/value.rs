@@ -69,15 +69,7 @@ impl Value {
     pub fn number(&self, doc: &Document) -> f64 {
         match self {
             Value::NodeSet(_) => string_to_number(&self.string(doc)),
-            Value::Number(n) => *n,
-            Value::String(s) => string_to_number(s),
-            Value::Boolean(b) => {
-                if *b {
-                    1.0
-                } else {
-                    0.0
-                }
-            }
+            scalar => scalar_number(scalar),
         }
     }
 
@@ -86,9 +78,7 @@ impl Value {
     pub fn string(&self, doc: &Document) -> String {
         match self {
             Value::NodeSet(ns) => ns.first().map(|n| doc.string_value(n)).unwrap_or_default(),
-            Value::Number(n) => number_to_string(*n),
-            Value::String(s) => s.clone(),
-            Value::Boolean(b) => if *b { "true" } else { "false" }.to_string(),
+            scalar => scalar_string(scalar),
         }
     }
 }
@@ -195,7 +185,7 @@ pub fn compare(doc: &Document, op: CmpOp, a: &Value, b: &Value) -> bool {
             let op = op.swapped();
             y.iter().any(|m| cmp_node_scalar(doc, op, m, a))
         }
-        _ => cmp_scalars(doc, op, a, b),
+        _ => compare_scalars(op, a, b),
     }
 }
 
@@ -229,7 +219,16 @@ fn cmp_node_scalar(doc: &Document, op: CmpOp, node: minctx_xml::NodeId, v: &Valu
     }
 }
 
-fn cmp_scalars(doc: &Document, op: CmpOp, a: &Value, b: &Value) -> bool {
+/// [`compare`] restricted to *scalar* operands.  No document is needed —
+/// scalar conversions never touch it — which is what lets the rewrite
+/// pipeline fold constant comparisons at compile time through exactly the
+/// §3.4 dispatch the evaluators use.
+///
+/// # Panics
+///
+/// Panics if either operand is a node-set (those take the existential
+/// rules of [`compare`]).
+pub fn compare_scalars(op: CmpOp, a: &Value, b: &Value) -> bool {
     if op.is_equality() {
         // §3.4 priority: boolean > number > string.
         match (a, b) {
@@ -237,13 +236,33 @@ fn cmp_scalars(doc: &Document, op: CmpOp, a: &Value, b: &Value) -> bool {
                 cmp_bool(op, a.boolean(), b.boolean())
             }
             (Value::Number(_), _) | (_, Value::Number(_)) => {
-                cmp_num(op, a.number(doc), b.number(doc))
+                cmp_num(op, scalar_number(a), scalar_number(b))
             }
-            _ => cmp_str(op, &a.string(doc), &b.string(doc)),
+            _ => cmp_str(op, &scalar_string(a), &scalar_string(b)),
         }
     } else {
         // Relational scalars always go through number() — number(true)=1.
-        cmp_num(op, a.number(doc), b.number(doc))
+        cmp_num(op, scalar_number(a), scalar_number(b))
+    }
+}
+
+/// `number()` of a scalar (the document-free subset of [`Value::number`]).
+fn scalar_number(v: &Value) -> f64 {
+    match v {
+        Value::Number(n) => *n,
+        Value::String(s) => string_to_number(s),
+        Value::Boolean(b) => *b as u8 as f64,
+        Value::NodeSet(_) => unreachable!("scalar conversion of a node-set"),
+    }
+}
+
+/// `string()` of a scalar (the document-free subset of [`Value::string`]).
+fn scalar_string(v: &Value) -> String {
+    match v {
+        Value::Number(n) => number_to_string(*n),
+        Value::String(s) => s.clone(),
+        Value::Boolean(b) => if *b { "true" } else { "false" }.to_string(),
+        Value::NodeSet(_) => unreachable!("scalar conversion of a node-set"),
     }
 }
 

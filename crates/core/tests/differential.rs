@@ -1,15 +1,18 @@
 //! The cross-strategy differential oracle.
 //!
 //! Every query in the corpus is evaluated under all four strategies on
-//! every document, and the resulting [`Value`]s must be identical.  The
-//! strategies share the value/conversion library but nothing of their
-//! evaluation order — naive is top-down context-at-a-time, the tables are
-//! bottom-up over all contexts, MINCONTEXT is top-down set-at-a-time with
-//! memoization, OPTMINCONTEXT adds backward axis propagation — so
-//! agreement here is strong evidence of semantic correctness, and every
-//! future optimization PR inherits this suite as its safety net.
+//! every document — each strategy both with the query-IR rewrite pipeline
+//! and on the query as written — and the resulting [`Value`]s must be
+//! identical.  The strategies share the value/conversion library but
+//! nothing of their evaluation order — naive is top-down
+//! context-at-a-time, the tables are bottom-up over all contexts,
+//! MINCONTEXT is top-down set-at-a-time with memoization, OPTMINCONTEXT
+//! adds backward axis propagation — so agreement here is strong evidence
+//! of semantic correctness; the raw-vs-rewritten axis additionally proves
+//! every rewrite pass semantics-preserving on the corpus, and every future
+//! optimization PR inherits this suite as its safety net.
 
-use minctx_bench::uniform_tree;
+use minctx_bench::{uniform_tree, values_agree};
 use minctx_core::{Engine, Strategy, Value};
 use minctx_xml::{parse, Document};
 
@@ -153,19 +156,87 @@ const QUERIES: &[&str] = &[
     "string(number('x'))",
     "lang('en')",
     "local-name(//*[last()])",
+    // ---- Function-library edge cases: NaN, signed zero, infinities ----
+    // (most of these also constant-fold, so the rewritten run checks the
+    // folder against all four live evaluators).
+    "0 div 0",
+    "-0.5 mod 2",
+    "0 mod 0",
+    "1 div -0",
+    "string(1 div -0)",
+    "-1 div 0",
+    "0 * (1 div 0)",
+    "(1 div 0) + (-1 div 0)",
+    "1 div (1 div 0)",
+    "(0 div 0) = (0 div 0)",
+    "(0 div 0) != (0 div 0)",
+    "(0 div 0) < 1",
+    "0 = -0",
+    "string(-0)",
+    "boolean(-0)",
+    "boolean(0 div 0)",
+    "not(0 div 0)",
+    // round/floor/ceiling at the §4.4 signed-zero edges.
+    "1 div round(-0.2)",
+    "string(round(-0.2))",
+    "round(-0.5)",
+    "1 div round(-0.5)",
+    "round(0.5)",
+    "string(round(0 div 0))",
+    "round(1 div 0)",
+    "round(-1 div 0)",
+    "1 div ceiling(-0.3)",
+    "floor(-0.5)",
+    "//n[. > round(-0.2)]",
+    // substring with NaN / infinite start and length (§4.2).
+    "substring('12345', 1 div 0)",
+    "substring('12345', -1 div 0)",
+    "substring('12345', -1 div 0, 1 div 0)",
+    "substring('12345', 2, 1 div 0)",
+    "substring('12345', 0 div 0, 3)",
+    "substring('12345', 2, 0 div 0)",
+    "substring('12345', -42, 1 div 0)",
+    "substring(string(//title[1]), 1 div 0)",
+    // substring-before/-after with empty patterns and subjects.
+    "substring-before('abc', '')",
+    "substring-after('abc', '')",
+    "substring-before('', 'x')",
+    "substring-after('', '')",
+    "substring-before(string(//mixed), '')",
+    // Empty-node-set inputs to the node-set functions.
+    "name(//nosuch)",
+    "local-name(//nosuch)",
+    "namespace-uri(//nosuch)",
+    "sum(//nosuch)",
+    "string(sum(//nosuch) div count(//nosuch))",
+    "number(//nosuch)",
+    "string(//nosuch)",
+    "string-length(string(//nosuch))",
+    "count(//book[sum(nosuch) = 0])",
+    // String→number strictness interacting with comparisons.
+    "'' = 0",
+    "number('') = number('')",
+    "//mixed != //mixed",
 ];
 
+/// Every strategy, each with the rewrite pipeline off and on: 8 engines
+/// whose answers must coincide on everything.
 fn engines() -> Vec<Engine> {
-    Strategy::ALL.iter().map(|&s| Engine::new(s)).collect()
+    Strategy::ALL
+        .iter()
+        .flat_map(|&s| {
+            [
+                Engine::new(s).with_optimizer(false),
+                Engine::new(s).with_optimizer(true),
+            ]
+        })
+        .collect()
 }
 
-/// Value equality where NaN equals NaN (differential runs must agree on
-/// NaN-producing queries too).
-fn values_agree(a: &Value, b: &Value) -> bool {
-    match (a, b) {
-        (Value::Number(x), Value::Number(y)) => x == y || (x.is_nan() && y.is_nan()),
-        _ => a == b,
-    }
+/// `"cvt"` / `"cvt+opt"` — for failure messages.
+fn tag(e: &Engine) -> String {
+    let opt = if e.optimizer() { "+opt" } else { "" };
+    format!("{}{opt}", e.strategy())
 }
 
 #[test]
@@ -187,14 +258,14 @@ fn all_strategies_agree_on_the_corpus() {
                 .evaluate_str(doc, q)
                 .unwrap_or_else(|e| panic!("{doc_name}: naive failed on {q:?}: {e}"));
             for engine in &engines[1..] {
-                let v = engine.evaluate_str(doc, q).unwrap_or_else(|e| {
-                    panic!("{doc_name}: {} failed on {q:?}: {e}", engine.strategy())
-                });
+                let v = engine
+                    .evaluate_str(doc, q)
+                    .unwrap_or_else(|e| panic!("{doc_name}: {} failed on {q:?}: {e}", tag(engine)));
                 assert!(
                     values_agree(&baseline, &v),
-                    "{doc_name}: {} disagrees with naive on {q:?}:\n  naive: {baseline:?}\n  {}: {v:?}",
-                    engine.strategy(),
-                    engine.strategy(),
+                    "{doc_name}: {} disagrees with raw naive on {q:?}:\n  naive: {baseline:?}\n  {}: {v:?}",
+                    tag(engine),
+                    tag(engine),
                 );
             }
         }
@@ -215,16 +286,17 @@ fn strategies_agree_at_non_root_contexts() {
         "string(.)",
         "position() + last()",
     ];
+    let engines = engines();
     for (doc_name, doc) in &docs {
         for q in queries {
             let query = minctx_syntax::parse_xpath(q).unwrap();
             // Every element of the document becomes a context node.
             for node in doc.all_nodes().filter(|&n| doc.kind(n).is_element()) {
                 let ctx = Context::at(node);
-                let mut results = Strategy::ALL.iter().map(|&s| {
-                    Engine::new(s)
-                        .evaluate_at(doc, &query, ctx)
-                        .unwrap_or_else(|e| panic!("{doc_name}: {s} failed on {q:?}: {e}"))
+                let mut results = engines.iter().map(|e| {
+                    e.evaluate_at(doc, &query, ctx).unwrap_or_else(|err| {
+                        panic!("{doc_name}: {} failed on {q:?}: {err}", tag(e))
+                    })
                 });
                 let first = results.next().unwrap();
                 for v in results {
@@ -245,18 +317,18 @@ fn known_answers_spot_check() {
     let (_, doc) = &documents()[0];
     for engine in engines() {
         let v = engine.evaluate_str(doc, "count(//book)").unwrap();
-        assert_eq!(v, Value::Number(3.0), "{}", engine.strategy());
+        assert_eq!(v, Value::Number(3.0), "{}", tag(&engine));
         let v = engine
             .evaluate_str(doc, "string(//book[last()]/title)")
             .unwrap();
-        assert_eq!(v, Value::String("XML".into()), "{}", engine.strategy());
+        assert_eq!(v, Value::String("XML".into()), "{}", tag(&engine));
         let v = engine
             .evaluate_str(doc, "id(//book[3]/@ref)/title")
             .unwrap()
             .into_node_set()
             .unwrap();
-        assert_eq!(v.len(), 1, "{}", engine.strategy());
+        assert_eq!(v.len(), 1, "{}", tag(&engine));
         let v = engine.evaluate_str(doc, "//book[price > 40]").unwrap();
-        assert_eq!(v.into_node_set().unwrap().len(), 2, "{}", engine.strategy());
+        assert_eq!(v.into_node_set().unwrap().len(), 2, "{}", tag(&engine));
     }
 }

@@ -1,0 +1,254 @@
+//! Randomized rewrite-soundness property tests.
+//!
+//! A seeded generator (xorshift, like `crates/xml/tests/axis_property.rs`)
+//! emits step chains — with and without positional predicates, with
+//! explicit `descendant-or-self::node()` steps to tempt the fuser, reverse
+//! axes, `parent::node()` suffixes, constant subexpressions, and duplicated
+//! union branches — and every query is evaluated on random documents under
+//! all four strategies with the rewrite pipeline off and on.  All answers
+//! must coincide: the raw naive evaluator is the semantics oracle, and any
+//! unsound pass (fusing past a positional predicate, dropping a non-total
+//! step, hoisting a context-dependent predicate, interning distinct nodes)
+//! shows up as a divergence on some seed.
+
+use minctx_bench::{values_agree, xorshift};
+use minctx_core::{rewrite, Engine, EvalError, Strategy, Value};
+use minctx_syntax::parse_xpath;
+use minctx_xml::{Document, DocumentBuilder};
+
+fn pick<'a>(rng: &mut u64, pool: &[&'a str]) -> &'a str {
+    pool[xorshift(rng) as usize % pool.len()]
+}
+
+const LABELS: &[&str] = &["a", "b", "c", "d"];
+
+/// A random nested document over a 4-letter alphabet with attributes and
+/// text, kept small: the raw naive evaluator must survive 4-step chains of
+/// `descendant-or-self::node()` steps within its budget.
+fn random_doc(seed: u64, target: usize) -> Document {
+    let mut rng = seed | 1;
+    let mut b = DocumentBuilder::new();
+    let mut open = 1usize;
+    let mut made = 1usize;
+    b.start_element("r", &[]);
+    while made < target {
+        match xorshift(&mut rng) % 5 {
+            // Close one level (keep the root open).
+            0 if open > 1 => {
+                b.end_element();
+                open -= 1;
+            }
+            1 => {
+                b.text(pick(&mut rng, &["v", "x", "1", "2.5", ""]));
+                made += 1;
+            }
+            _ => {
+                let label = pick(&mut rng, LABELS);
+                let with_attr = xorshift(&mut rng) % 3 == 0;
+                if with_attr {
+                    b.start_element(label, &[(pick(&mut rng, &["p", "q"]), "v")]);
+                } else {
+                    b.start_element(label, &[]);
+                }
+                open += 1;
+                made += 1;
+            }
+        }
+    }
+    for _ in 0..open {
+        b.end_element();
+    }
+    b.finish().expect("random doc is well-formed")
+}
+
+/// One random step: axis, test, 0–2 predicates.
+fn random_step(rng: &mut u64) -> String {
+    // descendant-or-self::node() is over-weighted: it is the shape the
+    // fusion pass exists for.
+    let axis_test = match xorshift(rng) % 12 {
+        0..=2 => "descendant-or-self::node()".to_string(),
+        3 => format!("descendant::{}", pick(rng, LABELS)),
+        4 => "parent::node()".to_string(),
+        5 => format!("ancestor::{}", pick(rng, &["a", "b", "*"])),
+        6 => pick(
+            rng,
+            &[
+                "preceding-sibling::*",
+                "following-sibling::*",
+                "preceding::b",
+                "following::c",
+                "ancestor-or-self::node()",
+                "self::node()",
+                "self::a",
+                "@p",
+                "@*",
+                "text()",
+            ],
+        )
+        .to_string(),
+        _ => format!("child::{}", pick(rng, &["a", "b", "c", "d", "*"])),
+    };
+    let mut step = axis_test;
+    // 0, 1 or 2 predicates — two-predicate steps exercise the mixed
+    // positional/non-positional fusion veto and hoist ordering.
+    let npreds = match xorshift(rng) % 8 {
+        0..=3 => 0,
+        4 | 5 => 1,
+        _ => 2,
+    };
+    for _ in 0..npreds {
+        step.push_str(pick(
+            rng,
+            &[
+                // Positional predicates: fusion and hoisting must refuse.
+                "[1]",
+                "[2]",
+                "[last()]",
+                "[position() != last()]",
+                "[position() mod 2 = 1]",
+                // Existential / comparison predicates (position-free).
+                "[b]",
+                "[a/b]",
+                "[@p]",
+                "[ancestor::b]",
+                "[c[d]/ancestor::a]",
+                "[b/descendant-or-self::node()]",
+                "[a/parent::node()]",
+                "[. = 'v']",
+                "[count(b) > 1]",
+                "[not(d)]",
+                // Constant predicates: folding and hoisting targets.
+                "[true()]",
+                "[1 = 1]",
+                "[3 > 2 + 0]",
+                "[count(/r) = 1]",
+                "[string-length('ab') = 2]",
+            ],
+        ));
+    }
+    step
+}
+
+fn random_query(rng: &mut u64) -> String {
+    let mut q = String::new();
+    if xorshift(rng) % 2 == 0 {
+        q.push('/');
+    }
+    let steps = 1 + (xorshift(rng) % 4) as usize;
+    for i in 0..steps {
+        if i > 0 {
+            q.push('/');
+        }
+        q.push_str(&random_step(rng));
+    }
+    match xorshift(rng) % 6 {
+        0 => format!("count({q})"),
+        1 => format!("boolean({q})"),
+        // Duplicated branches: the CSE/interning target.
+        2 => format!("{q} | {q}"),
+        3 => format!("string({q})"),
+        _ => q,
+    }
+}
+
+/// Naive can hit its guard budget on deep dos-chains; that is not a
+/// divergence, just an expensive query — skip those outcomes.
+fn eval(e: &Engine, doc: &Document, q: &str) -> Option<Value> {
+    match e.evaluate_str(doc, q) {
+        Ok(v) => Some(v),
+        Err(EvalError::BudgetExceeded { .. }) => None,
+        Err(e) => panic!("{q:?}: {e}"),
+    }
+}
+
+#[test]
+fn raw_and_rewritten_agree_on_random_queries_and_documents() {
+    let mut rewrites = 0usize;
+    let mut total = 0usize;
+    for seed in 1..=8u64 {
+        let doc = random_doc(
+            seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            25 + seed as usize * 5,
+        );
+        let mut rng = seed;
+        let mut engines = Vec::new();
+        for s in Strategy::ALL {
+            for optimize in [false, true] {
+                let mut e = Engine::new(s).with_optimizer(optimize);
+                if s == Strategy::Naive {
+                    e = e.with_budget(3_000_000);
+                }
+                engines.push(e);
+            }
+        }
+        for _ in 0..60 {
+            let q = random_query(&mut rng);
+            let parsed = parse_xpath(&q).unwrap_or_else(|e| panic!("{q:?} failed to parse: {e}"));
+            total += 1;
+            if rewrite(&parsed) != parsed {
+                rewrites += 1;
+            }
+            let mut baseline: Option<Value> = None;
+            for e in &engines {
+                let Some(v) = eval(e, &doc, &q) else { continue };
+                match &baseline {
+                    None => baseline = Some(v),
+                    Some(b) => assert!(
+                        values_agree(b, &v),
+                        "seed {seed}: {} (optimize={}) diverges on {q:?}:\n  baseline: {b:?}\n  got: {v:?}",
+                        e.strategy(),
+                        e.optimizer(),
+                    ),
+                }
+            }
+            assert!(baseline.is_some(), "seed {seed}: no engine answered {q:?}");
+        }
+    }
+    // The generator must actually exercise the pipeline: a large share of
+    // the random queries has to be rewritten into something different.
+    assert!(
+        rewrites * 4 >= total,
+        "only {rewrites}/{total} random queries were rewritten — generator rotted?"
+    );
+}
+
+#[test]
+fn raw_and_rewritten_agree_at_every_element_context() {
+    // Relative queries evaluated from every element, not just the root.
+    let queries = [
+        "descendant-or-self::node()/child::a",
+        "a/parent::node()",
+        "descendant-or-self::node()/child::b[1]",
+        "b[c][ancestor::r]",
+        "count(descendant-or-self::node()/descendant::c)",
+        "boolean(a/ancestor-or-self::node())",
+        ".//b",
+        "..",
+    ];
+    use minctx_core::Context;
+    for seed in [3u64, 17] {
+        let doc = random_doc(seed.wrapping_mul(0xdead_beef), 30);
+        for q in queries {
+            let query = parse_xpath(q).unwrap();
+            for node in doc.all_nodes().filter(|&n| doc.kind(n).is_element()) {
+                let ctx = Context::at(node);
+                let mut first: Option<Value> = None;
+                for s in Strategy::ALL {
+                    for optimize in [false, true] {
+                        let v = Engine::new(s)
+                            .with_optimizer(optimize)
+                            .evaluate_at(&doc, &query, ctx)
+                            .unwrap_or_else(|e| panic!("{s} on {q:?}: {e}"));
+                        match &first {
+                            None => first = Some(v),
+                            Some(b) => assert!(
+                                values_agree(b, &v),
+                                "seed {seed}: {s} optimize={optimize} at {node} on {q:?}: {b:?} vs {v:?}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -42,7 +42,7 @@ pub use ast::{ArithOp, AstExpr, AstPath, AstStep, CmpOp};
 pub use lexer::{tokenize, Token, TokenKind};
 pub use normalize::{normalize, Bindings};
 pub use parser::{parse_expr, ParseError};
-pub use query::{ExprId, Func, Node, PathStart, Query, Relev, Step, ValueType};
+pub use query::{ExprId, Func, Node, PathStart, Query, QueryBuilder, Relev, Step, ValueType};
 
 /// Parses, normalizes (with no variable bindings) and lowers an XPath 1.0
 /// expression in one call.

@@ -23,6 +23,7 @@
 
 use crate::ast::{ArithOp, AstExpr, AstPath, AstStep, CmpOp};
 use minctx_xml::axes::{Axis, NodeTest};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Index of an expression node in a [`Query`] arena.
@@ -494,8 +495,6 @@ impl Query {
 /// (unbound variables, unknown function names): lowering is infallible on
 /// normalized input.
 pub fn lower(expr: &AstExpr) -> Query {
-    use std::sync::atomic::{AtomicU64, Ordering};
-    static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
     let mut lw = Lowerer {
         nodes: Vec::new(),
         types: Vec::new(),
@@ -507,8 +506,208 @@ pub fn lower(expr: &AstExpr) -> Query {
         types: lw.types,
         relev: lw.relev,
         root,
-        stamp: NEXT_STAMP.fetch_add(1, Ordering::Relaxed),
+        stamp: fresh_stamp(),
     }
+}
+
+/// Allocates a process-unique query stamp (shared by [`lower`] and
+/// [`QueryBuilder::finish`], so rewritten queries get distinct cache
+/// identities too).
+fn fresh_stamp() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
+    NEXT_STAMP.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Incremental construction of a [`Query`] arena with hash-consing.
+///
+/// The rewrite pipeline in `minctx-core` rebuilds queries bottom-up through
+/// this builder.  Every pushed node gets its [`ValueType`] and [`Relev`]
+/// computed from its (already pushed) children by exactly the rules
+/// [`lower`] uses, and **structurally identical nodes are interned to a
+/// single [`ExprId`]** — common-subexpression sharing across union branches
+/// is therefore node-id interning, not tree surgery: evaluators that memoize
+/// or materialize per `ExprId` do the shared work once.
+///
+/// Children must be pushed before the parents that reference them (the
+/// arena invariant every evaluator's bottom-up sweep relies on); the
+/// builder debug-asserts it.
+#[derive(Debug, Default)]
+pub struct QueryBuilder {
+    nodes: Vec<Node>,
+    types: Vec<ValueType>,
+    relev: Vec<Relev>,
+    /// Canonical structural key ([`intern_key`]) → interned id.
+    interned: HashMap<String, ExprId>,
+}
+
+impl QueryBuilder {
+    /// An empty builder.
+    pub fn new() -> QueryBuilder {
+        QueryBuilder::default()
+    }
+
+    /// Number of nodes pushed so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node behind an id pushed earlier.
+    pub fn node(&self, id: ExprId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The static type of a node pushed earlier.
+    pub fn value_type(&self, id: ExprId) -> ValueType {
+        self.types[id.index()]
+    }
+
+    /// The relevant-context set of a node pushed earlier.
+    pub fn relev(&self, id: ExprId) -> Relev {
+        self.relev[id.index()]
+    }
+
+    /// Adds `node` to the arena, computing its type and relevance from its
+    /// children, and returns its id — the id of an existing structurally
+    /// identical node where one was already pushed.
+    pub fn push(&mut self, node: Node) -> ExprId {
+        let key = intern_key(&node);
+        if let Some(&id) = self.interned.get(&key) {
+            return id;
+        }
+        let (ty, relev) = self.type_and_relev(&node);
+        let id = ExprId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.types.push(ty);
+        self.relev.push(relev);
+        self.interned.insert(key, id);
+        id
+    }
+
+    /// Finishes the arena into a [`Query`] with a fresh stamp.
+    pub fn finish(self, root: ExprId) -> Query {
+        assert!(root.index() < self.nodes.len(), "root {root} not pushed");
+        Query {
+            nodes: self.nodes,
+            types: self.types,
+            relev: self.relev,
+            root,
+            stamp: fresh_stamp(),
+        }
+    }
+
+    /// Mirrors [`Lowerer`]'s typing/relevance rules over an already-built
+    /// node (children referenced by id instead of recursed into).
+    fn type_and_relev(&self, node: &Node) -> (ValueType, Relev) {
+        let child = |id: ExprId| {
+            debug_assert!(id.index() < self.nodes.len(), "child {id} not pushed");
+            self.relev[id.index()]
+        };
+        match node {
+            Node::Or(a, b) | Node::And(a, b) => (ValueType::Boolean, child(*a).union(child(*b))),
+            Node::Compare(_, a, b) => (ValueType::Boolean, child(*a).union(child(*b))),
+            Node::Arith(_, a, b) => (ValueType::Number, child(*a).union(child(*b))),
+            Node::Neg(a) => (ValueType::Number, child(*a)),
+            Node::Union(a, b) => (ValueType::NodeSet, child(*a).union(child(*b))),
+            // Step and filter predicates get their own inner contexts; only
+            // the start's relevance escapes (exactly as in lowering).
+            Node::Path(PathStart::Root, _) => (ValueType::NodeSet, Relev::NONE),
+            Node::Path(PathStart::Context, _) => (ValueType::NodeSet, Relev::NODE),
+            Node::Path(PathStart::Filter { primary, .. }, _) => {
+                (ValueType::NodeSet, child(*primary))
+            }
+            Node::Call(func, args) => {
+                let mut r = func.own_relev();
+                for &a in args {
+                    r = r.union(child(a));
+                }
+                (func.result_type(), r)
+            }
+            Node::Number(_) => (ValueType::Number, Relev::NONE),
+            Node::Literal(_) => (ValueType::String, Relev::NONE),
+        }
+    }
+}
+
+/// A canonical, injective structural encoding of a node: equal keys ⇔
+/// structurally equal nodes.  Deliberately *not* the `Debug` form — the
+/// interner's correctness must not hinge on derive output — with numbers
+/// encoded by their IEEE bits (`-0.0 ≠ 0.0`) and all embedded strings
+/// length-prefixed so no delimiter collision is possible.
+fn intern_key(node: &Node) -> String {
+    use std::fmt::Write;
+    fn str_part(k: &mut String, s: &str) {
+        write!(k, "{}:{s}", s.len()).expect("writing to String");
+    }
+    fn test_part(k: &mut String, t: &NodeTest) {
+        match t {
+            NodeTest::Wildcard => k.push('*'),
+            NodeTest::Name(s) => {
+                k.push('n');
+                str_part(k, s);
+            }
+            NodeTest::Text => k.push('t'),
+            NodeTest::Comment => k.push('c'),
+            NodeTest::Pi(None) => k.push('p'),
+            NodeTest::Pi(Some(s)) => {
+                k.push('P');
+                str_part(k, s);
+            }
+            NodeTest::AnyNode => k.push('N'),
+        }
+    }
+    let mut k = String::new();
+    match node {
+        Node::Or(a, b) => write!(k, "or({a},{b})"),
+        Node::And(a, b) => write!(k, "and({a},{b})"),
+        Node::Compare(op, a, b) => write!(k, "cmp({op},{a},{b})"),
+        Node::Arith(op, a, b) => write!(k, "ar({op},{a},{b})"),
+        Node::Neg(a) => write!(k, "neg({a})"),
+        Node::Union(a, b) => write!(k, "un({a},{b})"),
+        Node::Number(n) => write!(k, "num({:016x})", n.to_bits()),
+        Node::Literal(s) => {
+            k.push_str("lit(");
+            str_part(&mut k, s);
+            write!(k, ")")
+        }
+        Node::Call(f, args) => {
+            write!(k, "call({f}").expect("writing to String");
+            for a in args {
+                write!(k, ",{a}").expect("writing to String");
+            }
+            write!(k, ")")
+        }
+        Node::Path(start, steps) => {
+            match start {
+                PathStart::Root => k.push_str("path(/"),
+                PathStart::Context => k.push_str("path(."),
+                PathStart::Filter {
+                    primary,
+                    predicates,
+                } => {
+                    write!(k, "path(f{primary}").expect("writing to String");
+                    for p in predicates {
+                        write!(k, "[{p}]").expect("writing to String");
+                    }
+                }
+            }
+            for s in steps {
+                write!(k, ";{}::", s.axis).expect("writing to String");
+                test_part(&mut k, &s.test);
+                for p in &s.predicates {
+                    write!(k, "[{p}]").expect("writing to String");
+                }
+            }
+            write!(k, ")")
+        }
+    }
+    .expect("writing to String");
+    k
 }
 
 struct Lowerer {
@@ -780,5 +979,80 @@ mod tests {
         let q = parse_xpath("/a/b[c/d]").unwrap();
         // Outer path has 2 steps; the predicate path has 2 more.
         assert_eq!(q.step_count(), 4);
+    }
+
+    #[test]
+    fn builder_interns_structurally_identical_nodes() {
+        let mut b = QueryBuilder::new();
+        let one = b.push(Node::Number(1.0));
+        let one_again = b.push(Node::Number(1.0));
+        assert_eq!(one, one_again);
+        // -0.0 must not intern onto 0.0: `1 div -0` and `1 div 0` differ.
+        let zero = b.push(Node::Number(0.0));
+        let neg_zero = b.push(Node::Number(-0.0));
+        assert_ne!(zero, neg_zero);
+        let cmp = b.push(Node::Compare(CmpOp::Eq, one, zero));
+        let cmp_again = b.push(Node::Compare(CmpOp::Eq, one, zero));
+        assert_eq!(cmp, cmp_again);
+        assert_eq!(b.len(), 4);
+        let q = b.finish(cmp);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.root(), cmp);
+    }
+
+    #[test]
+    fn builder_typing_matches_lowering() {
+        // Rebuild a lowered query node-for-node through the builder: every
+        // node must come back with the same type and relevance.
+        for src in [
+            "/a[b]/c[position() = last()]",
+            "count(//a[@id]) + sum(//n)",
+            "(//a)[2] | //b[. = 'x']",
+            "boolean(a | b) and lang('en')",
+        ] {
+            let q = parse_xpath(src).unwrap();
+            let mut b = QueryBuilder::new();
+            let mut map: Vec<ExprId> = Vec::with_capacity(q.len());
+            for (id, node) in q.iter() {
+                let remap = |old: ExprId| map[old.index()];
+                let rebuilt = match node {
+                    Node::Or(x, y) => Node::Or(remap(*x), remap(*y)),
+                    Node::And(x, y) => Node::And(remap(*x), remap(*y)),
+                    Node::Compare(op, x, y) => Node::Compare(*op, remap(*x), remap(*y)),
+                    Node::Arith(op, x, y) => Node::Arith(*op, remap(*x), remap(*y)),
+                    Node::Neg(x) => Node::Neg(remap(*x)),
+                    Node::Union(x, y) => Node::Union(remap(*x), remap(*y)),
+                    Node::Call(f, args) => Node::Call(*f, args.iter().map(|&a| remap(a)).collect()),
+                    Node::Path(start, steps) => {
+                        let start = match start {
+                            PathStart::Root => PathStart::Root,
+                            PathStart::Context => PathStart::Context,
+                            PathStart::Filter {
+                                primary,
+                                predicates,
+                            } => PathStart::Filter {
+                                primary: remap(*primary),
+                                predicates: predicates.iter().map(|&p| remap(p)).collect(),
+                            },
+                        };
+                        let steps = steps
+                            .iter()
+                            .map(|s| Step {
+                                axis: s.axis,
+                                test: s.test.clone(),
+                                predicates: s.predicates.iter().map(|&p| remap(p)).collect(),
+                            })
+                            .collect();
+                        Node::Path(start, steps)
+                    }
+                    Node::Number(n) => Node::Number(*n),
+                    Node::Literal(s) => Node::Literal(s.clone()),
+                };
+                let new_id = b.push(rebuilt);
+                assert_eq!(b.value_type(new_id), q.value_type(id), "{src}: {id}");
+                assert_eq!(b.relev(new_id), q.relev(id), "{src}: {id}");
+                map.push(new_id);
+            }
+        }
     }
 }

@@ -40,10 +40,13 @@
 //! `crates/core/tests/differential.rs`), so optimization work on any one
 //! backend is oracle-tested against the other three.
 //!
-//! Three cache-conscious layers keep the constant factors down (see
-//! DESIGN.md): a per-label **postings index** on every
-//! [`Document`](xml::Document) that makes name-test axis steps sublinear;
-//! [`CompiledQuery`](engine::CompiledQuery), cached inside the
+//! Four layers keep the constant factors down (see DESIGN.md): the
+//! **query-IR rewrite pipeline** (`minctx_core::rewrite`, on by default,
+//! toggleable via `Engine::with_optimizer`) that fuses `//a`-style step
+//! chains, normalizes reverse axes, folds constants and shares common
+//! subexpressions before compilation; a per-label **postings index** on
+//! every [`Document`](xml::Document) that makes name-test axis steps
+//! sublinear; [`CompiledQuery`](engine::CompiledQuery), cached inside the
 //! [`Engine`](engine::Engine) per `(query, document)` so repeated
 //! evaluation does zero name resolution; and a reusable
 //! [`Scratch`](xml::Scratch) arena that eliminates per-axis-call `O(|D|)`
