@@ -1,0 +1,86 @@
+//! The streaming allocation-ceiling smoke (CI: `stream-smoke` job).
+//!
+//! Generates the 10⁶-element XMark bench corpus, serializes it, drops
+//! the arena, and evaluates the serving-shaped query family through
+//! `evaluate_reader` under a counting allocator.  It asserts, per query:
+//!
+//! * the classifier streamed it (no fallback);
+//! * the peak working set of the pass stayed under a ceiling that is a
+//!   small fraction of what the arena for this corpus costs — i.e.
+//!   memory is bounded by document depth + result size, not `|D|`;
+//! * `documents_built()` is unchanged — the arena was *never* built.
+//!
+//! ```text
+//! cargo run --release -p minctx-bench --bin stream_smoke [-- elements [ceiling-mb]]
+//! ```
+
+use minctx_bench::{xmark_doc, CountingAllocator, XmarkConfig};
+use minctx_core::{Engine, Strategy};
+use minctx_stream::{StreamValue, StreamingEngine};
+use minctx_xml::serialize::to_xml_string;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+fn main() {
+    let mut args = std::env::args().skip(1).filter(|a| !a.starts_with("--"));
+    let elements: usize = args
+        .next()
+        .map(|a| a.parse().expect("elements must be a number"))
+        .unwrap_or(1_000_000);
+    let ceiling_mb: usize = args
+        .next()
+        .map(|a| a.parse().expect("ceiling must be a number"))
+        .unwrap_or(64);
+
+    let doc = xmark_doc(&XmarkConfig::sized(elements));
+    let arena_nodes = doc.len();
+    let xml = to_xml_string(&doc);
+    drop(doc);
+    println!(
+        "corpus: {elements} elements ({arena_nodes} arena nodes), {:.1} MB of XML text",
+        xml.len() as f64 / (1024.0 * 1024.0)
+    );
+
+    let engine = Engine::new(Strategy::Streaming);
+    let built_before = minctx_xml::builder::documents_built();
+    let ceiling = ceiling_mb * 1024 * 1024;
+    for q in [
+        "//item",
+        "//item[@id]",
+        "//item/@id",
+        "count(//item[@id])",
+        "boolean(//nosuchlabel)",
+    ] {
+        let query = minctx_syntax::parse_xpath(q).unwrap();
+        let live = ALLOC.live();
+        ALLOC.reset_peak();
+        // The io::Read path: sliding-window tokenization end to end.
+        let out = engine
+            .evaluate_reader(&query, xml.as_bytes())
+            .unwrap_or_else(|e| panic!("{q}: {e}"));
+        let peak = ALLOC.peak().saturating_sub(live);
+        let value = out
+            .streamed()
+            .unwrap_or_else(|| panic!("{q}: fell back ({:?})", out.fallback_reason()));
+        let size = match value {
+            StreamValue::Nodes(ms) => ms.len().to_string(),
+            StreamValue::Number(n) => format!("={n}"),
+            StreamValue::Boolean(b) => format!("={b}"),
+        };
+        println!(
+            "  {q:<24} result {size:>8}   peak {:>8.2} MB (ceiling {ceiling_mb} MB)",
+            peak as f64 / (1024.0 * 1024.0)
+        );
+        assert!(
+            peak <= ceiling,
+            "{q}: streaming peak {peak} bytes exceeds the {ceiling}-byte ceiling"
+        );
+    }
+    assert_eq!(
+        minctx_xml::builder::documents_built(),
+        built_before,
+        "a Document arena was built on the streamable path"
+    );
+    println!("stream smoke OK: no arena built, all passes under the allocation ceiling");
+}

@@ -18,13 +18,20 @@
 
 use minctx_bench::{
     exponential_doc, exponential_family, fmt_ms, time, time_strategy, time_strategy_opt, wide_doc,
-    xmark_doc, XmarkConfig, CORE_XPATH_QUERIES, FULL_XPATH_QUERIES, WADLER_QUERIES,
+    xmark_doc, CountingAllocator, XmarkConfig, CORE_XPATH_QUERIES, FULL_XPATH_QUERIES,
+    WADLER_QUERIES,
 };
-use minctx_core::Strategy;
+use minctx_core::{Engine, Strategy};
+use minctx_stream::StreamingEngine;
 use minctx_xml::axes::{axis_image, Axis, NodeTest};
+use minctx_xml::serialize::to_xml_string;
 use minctx_xml::{Document, NodeSet};
 
 const NAIVE_BUDGET: u64 = 50_000_000;
+
+/// Byte counters behind the `stream/*/alloc-*` rows.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -37,10 +44,21 @@ fn main() {
     let snapshot_elements = if quick { 20_000 } else { 100_000 };
     let snapshot_runs = if quick { 3 } else { 5 };
 
+    // Streaming tiers: a comparison corpus the arena evaluators handle,
+    // and a 10⁶-element scale corpus beyond their 2²¹-node capacity
+    // (streaming has no such cap — that is its point).
+    let (stream_compare, stream_scale) = if quick {
+        (20_000, 100_000)
+    } else {
+        (100_000, 1_000_000)
+    };
+
     if let Some(path) = json_path {
         let cfg = XmarkConfig::sized(snapshot_elements);
         let doc = xmark_doc(&cfg);
-        let entries = axis_snapshot(&doc, snapshot_runs);
+        let mut entries = axis_snapshot(&doc, snapshot_runs);
+        entries.extend(stream_snapshot(stream_compare, snapshot_runs));
+        entries.extend(stream_snapshot(stream_scale, snapshot_runs));
         print_snapshot(&doc, &entries);
         std::fs::write(&path, snapshot_json(&cfg, &doc, &entries))
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
@@ -102,6 +120,91 @@ fn main() {
     let doc = xmark_doc(&cfg);
     let entries = axis_snapshot(&doc, snapshot_runs);
     print_snapshot(&doc, &entries);
+
+    banner("Streaming vs arena (one-pass evaluate_reader)");
+    for elements in [stream_compare, stream_scale] {
+        let entries = stream_snapshot(elements, snapshot_runs);
+        for (key, v) in &entries {
+            println!("  {key:<52} {v:>10.4}");
+        }
+    }
+}
+
+/// The streaming rows: wall-time of `evaluate_reader` over serialized
+/// XMark text vs. the arena pipeline (parse + MINCONTEXT evaluate) on
+/// the same text, plus bytes-allocated / peak-working-set for the
+/// streamed pass.  Keys carry the element count so tiers diff cleanly.
+fn stream_snapshot(elements: usize, runs: usize) -> Vec<(String, f64)> {
+    use minctx_stream::StreamOutcome;
+    let mut out: Vec<(String, f64)> = Vec::new();
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
+    let cfg = XmarkConfig::sized(elements);
+    let doc = xmark_doc(&cfg);
+    let xml = to_xml_string(&doc);
+    // The arena evaluators pack memo keys into 21-bit fields; past that
+    // capacity only the streaming path can answer at all.
+    let arena_fits = doc.len() < (1 << 21);
+    let tag = format!("{}k", elements / 1000);
+    out.push((
+        format!("stream/{tag}/arena-parse"),
+        ms(time(runs, || minctx_xml::parse(&xml).unwrap())),
+    ));
+    drop(doc);
+    let engine = Engine::new(Strategy::Streaming);
+    let arena = Engine::new(Strategy::MinContext);
+    // One reparse for the whole arena comparison (its cost is the
+    // `arena-parse` row above).
+    let arena_doc = arena_fits.then(|| minctx_xml::parse(&xml).unwrap());
+    for q in ["//item", "//item[@id]", "count(//item)"] {
+        let query = minctx_syntax::parse_xpath(q).unwrap();
+        let streamed = engine.evaluate_reader_str(&query, &xml).unwrap();
+        assert!(
+            streamed.is_streamed(),
+            "{q} fell back: {:?}",
+            streamed.fallback_reason()
+        );
+        out.push((
+            format!("stream/{tag}/stream/{q}"),
+            ms(time(runs, || {
+                engine.evaluate_reader_str(&query, &xml).unwrap()
+            })),
+        ));
+        // One instrumented pass for the allocation story.
+        let live = ALLOC.live();
+        let total_before = ALLOC.total();
+        ALLOC.reset_peak();
+        let outc = engine.evaluate_reader_str(&query, &xml).unwrap();
+        let peak = ALLOC.peak().saturating_sub(live);
+        let total = ALLOC.total() - total_before;
+        std::hint::black_box(&outc);
+        out.push((format!("stream/{tag}/alloc-peak-mb/{q}"), mb(peak)));
+        out.push((format!("stream/{tag}/alloc-total-mb/{q}"), mb(total)));
+        if let Some(doc) = &arena_doc {
+            // Arena wall-time on a prebuilt document (the steady-state
+            // serving shape; `arena-parse` above is the build cost).
+            let t = time(runs, || arena.evaluate(doc, &query).unwrap());
+            out.push((format!("stream/{tag}/arena-eval/{q}"), ms(t)));
+            if let StreamOutcome::Streamed(v) = &streamed {
+                let want = arena.evaluate(doc, &query).unwrap();
+                let agree = match (v, &want) {
+                    (minctx_stream::StreamValue::Nodes(msv), minctx_core::Value::NodeSet(ns)) => {
+                        msv.len() == ns.len()
+                            && msv
+                                .iter()
+                                .zip(ns.iter())
+                                .all(|(m, n)| m.ordinal as usize == n.index())
+                    }
+                    (minctx_stream::StreamValue::Number(x), minctx_core::Value::Number(y)) => {
+                        x == y
+                    }
+                    _ => false,
+                };
+                assert!(agree, "{q}: stream/arena divergence on the bench corpus");
+            }
+        }
+    }
+    out
 }
 
 /// Times the name-test axis kernels and a handful of serving-shaped engine
@@ -183,8 +286,11 @@ fn print_snapshot(doc: &Document, entries: &[(String, f64)]) {
         doc.len(),
         doc.element_count()
     );
-    for (key, ms) in entries {
-        println!("  {key:<42} {ms:>10.4} ms");
+    for (key, v) in entries {
+        // Keys carry their unit: `…/alloc-*-mb/…` rows are megabytes,
+        // everything else is median milliseconds.
+        let unit = if key.contains("-mb/") { "MB" } else { "ms" };
+        println!("  {key:<52} {v:>10.4} {unit}");
     }
 }
 

@@ -240,6 +240,323 @@ pub const FULL_XPATH_QUERIES: &[&str] = &[
     "sum(//@v) > 100",
 ];
 
+/// The cross-suite differential corpus: documents and queries shared by
+/// the arena differential oracle (`crates/core/tests/differential.rs`)
+/// and the streaming differential suite
+/// (`crates/stream/tests/differential.rs`), so every query construct is
+/// exercised by both.
+pub mod corpus {
+    use super::uniform_tree;
+    use minctx_xml::{parse, Document};
+
+    /// Corpus documents: hand-written shapes plus generated trees.
+    pub fn documents() -> Vec<(String, Document)> {
+        let mut docs = vec![
+            (
+                "books".to_string(),
+                parse(concat!(
+                    r#"<library xml:lang="en">"#,
+                    r#"<book id="b1" year="1994"><title>TCP/IP</title><price>65.95</price></book>"#,
+                    r#"<book id="b2" year="2000"><title>Data on the Web</title><price>39.95</price></book>"#,
+                    r#"<book id="b3" year="2000" ref="b1"><title>XML</title><price>100</price></book>"#,
+                    r#"<!-- catalogue -->"#,
+                    r#"<?render fast?>"#,
+                    r#"<magazine id="m1"><title>XML</title><price>8</price></magazine>"#,
+                    r#"</library>"#,
+                ))
+                .unwrap(),
+            ),
+            (
+                "numbers".to_string(),
+                parse(
+                    "<t><n>1</n><n>2</n><n>3</n><n>100</n><m>2.5</m><m>-4</m>\
+                     <mixed>7seven</mixed><empty/></t>",
+                )
+                .unwrap(),
+            ),
+            (
+                "idchain".to_string(),
+                parse(
+                    r#"<g id="g"><p id="p1">p2 p3</p><p id="p2">p3</p><p id="p3">done</p></g>"#,
+                )
+                .unwrap(),
+            ),
+        ];
+        // A generated three-level tree (40 elements) — the same generator
+        // the benches use, so the oracle covers the benchmarked shape.
+        docs.push(("tree-3-3".to_string(), uniform_tree(3, 3)));
+        docs
+    }
+
+    /// The query corpus: ≥40 queries spanning axes, predicates, positional
+    /// functions, arithmetic, unions, strings, and `id()`.
+    pub const QUERIES: &[&str] = &[
+        // Plain paths and axes.
+        "/",
+        "/*",
+        "/child::*/child::*",
+        "//title",
+        "//*",
+        "/descendant-or-self::node()",
+        "//price/text()",
+        "//comment()",
+        "//processing-instruction()",
+        "//book/attribute::year",
+        "//@id",
+        "//book/..",
+        "//title/parent::*/child::price",
+        "//price/ancestor::*",
+        "//book[1]/following-sibling::*",
+        "//magazine/preceding-sibling::*",
+        "//book[2]/following::node()",
+        "//magazine/preceding::price",
+        "//odd/even",
+        "//even[odd]",
+        // following/preceding spec-expansion chains: the rewriter fuses
+        // these onto single sliced-postings steps (PR 4); the raw runs
+        // keep the unfused evaluation honest.
+        "//book[1]/ancestor-or-self::node()/following-sibling::node()/descendant-or-self::price",
+        "//magazine/ancestor-or-self::node()/preceding-sibling::node()/descendant-or-self::title",
+        "/library/book/following::node()/descendant-or-self::price",
+        "//price/preceding::node()/descendant-or-self::text()",
+        "//book[2]/following::price",
+        "//magazine/preceding::title",
+        "//@id/ancestor-or-self::node()/following-sibling::node()/descendant-or-self::title",
+        // Predicates, position(), last().
+        "//book[1]",
+        "//book[last()]",
+        "//book[position() = 2]",
+        "//book[position() != last()]",
+        "//*[position() = 2]",
+        "//book[price > 40]",
+        "//book[title = 'XML']",
+        "//book[@year = 2000][2]",
+        "//book[@year = 2000 and price > 50]",
+        "//book[not(@ref)]",
+        "//book[@year = 2000]",
+        "//book[@id = 'b2' or @ref = 'b1']",
+        "//*[count(*) > 1]",
+        "//*[position() > last() * 0.5]",
+        "/descendant::*[position() > last()*0.5 or self::* = 100]",
+        "//even[position() mod 2 = 1]",
+        "//n[. > 1][position() < 3]",
+        // Positional predicates over reverse axes count in reverse document
+        // order — a classic divergence spot between evaluators.
+        "//magazine/preceding-sibling::*[1]",
+        "//price/ancestor::*[2]",
+        "//magazine/preceding::node()[3]",
+        "//book[last() - 1]",
+        // Filters on primaries.
+        "(//book)[2]",
+        "(//title | //price)[last()]",
+        "id('b1 b3')[2]",
+        // Unions.
+        "//title | //price",
+        "//book | //magazine | //book",
+        "//n | //m",
+        // id().
+        "id('b2')",
+        "id('p1')",
+        "id(//book[3]/@ref)",
+        "//p[id(.)]",
+        // Scalars: numbers, strings, booleans.
+        "count(//book)",
+        "count(//book[price < 50]) + count(//magazine)",
+        "sum(//n)",
+        "sum(//m) * 2",
+        "1 div 0",
+        "-3 mod 2",
+        "string(//book[1]/title)",
+        "concat(name(//book[1]), '-', //book[1]/@id)",
+        "normalize-space(string(//mixed))",
+        "substring(string(//title[1]), 2, 3)",
+        "string-length(string(//book[2]/title))",
+        "translate(string(//title[3]), 'XML', 'xml')",
+        "starts-with(string(//book[1]/@id), 'b')",
+        "contains(string(/), 'Web')",
+        "boolean(//book)",
+        "boolean(//nosuch)",
+        "not(//magazine)",
+        "//book = //magazine",
+        "//n < //m",
+        // Node-set vs boolean converts the whole set (§3.4), so an *empty*
+        // set equals false() — not the existential member rule.
+        "//nosuch = false()",
+        "count(//book[nosuch = false()])",
+        "//book != true()",
+        "//nosuch < true()",
+        // Attribute nodes as predicate targets and as context nodes: these
+        // pinned down real divergences (backward propagation leaking
+        // attributes through node() tests; attribute origins of reverse and
+        // or-self axes; descendant-or-self of an attribute context).
+        "//*[node() = 'XML']",
+        "//*[node()]",
+        "//book/@year/descendant-or-self::node()",
+        "//@id/ancestor-or-self::node()",
+        "//@*[following::magazine]",
+        "//@*[ancestor::library]",
+        "//@id[self::node() = 'b2']",
+        "number(//empty)",
+        "floor(sum(//m)) + ceiling(1.2) + round(2.5)",
+        "string(number('x'))",
+        "lang('en')",
+        "local-name(//*[last()])",
+        // ---- Function-library edge cases: NaN, signed zero, infinities ----
+        // (most of these also constant-fold, so the rewritten run checks the
+        // folder against all four live evaluators).
+        "0 div 0",
+        "-0.5 mod 2",
+        "0 mod 0",
+        "1 div -0",
+        "string(1 div -0)",
+        "-1 div 0",
+        "0 * (1 div 0)",
+        "(1 div 0) + (-1 div 0)",
+        "1 div (1 div 0)",
+        "(0 div 0) = (0 div 0)",
+        "(0 div 0) != (0 div 0)",
+        "(0 div 0) < 1",
+        "0 = -0",
+        "string(-0)",
+        "boolean(-0)",
+        "boolean(0 div 0)",
+        "not(0 div 0)",
+        // round/floor/ceiling at the §4.4 signed-zero edges.
+        "1 div round(-0.2)",
+        "string(round(-0.2))",
+        "round(-0.5)",
+        "1 div round(-0.5)",
+        "round(0.5)",
+        "string(round(0 div 0))",
+        "round(1 div 0)",
+        "round(-1 div 0)",
+        "1 div ceiling(-0.3)",
+        "floor(-0.5)",
+        "//n[. > round(-0.2)]",
+        // substring with NaN / infinite start and length (§4.2).
+        "substring('12345', 1 div 0)",
+        "substring('12345', -1 div 0)",
+        "substring('12345', -1 div 0, 1 div 0)",
+        "substring('12345', 2, 1 div 0)",
+        "substring('12345', 0 div 0, 3)",
+        "substring('12345', 2, 0 div 0)",
+        "substring('12345', -42, 1 div 0)",
+        "substring(string(//title[1]), 1 div 0)",
+        // substring-before/-after with empty patterns and subjects.
+        "substring-before('abc', '')",
+        "substring-after('abc', '')",
+        "substring-before('', 'x')",
+        "substring-after('', '')",
+        "substring-before(string(//mixed), '')",
+        // Empty-node-set inputs to the node-set functions.
+        "name(//nosuch)",
+        "local-name(//nosuch)",
+        "namespace-uri(//nosuch)",
+        "sum(//nosuch)",
+        "string(sum(//nosuch) div count(//nosuch))",
+        "number(//nosuch)",
+        "string(//nosuch)",
+        "string-length(string(//nosuch))",
+        "count(//book[sum(nosuch) = 0])",
+        // String→number strictness interacting with comparisons.
+        "'' = 0",
+        "number('') = number('')",
+        "//mixed != //mixed",
+    ];
+}
+
+/// A byte-counting [`GlobalAlloc`](std::alloc::GlobalAlloc) wrapper over
+/// the system allocator, for the streaming allocation-ceiling smoke and
+/// the `stream/*` bench rows: tracks total bytes ever allocated and the
+/// peak live working set.  Install it in a binary with
+/// `#[global_allocator] static A: CountingAllocator = CountingAllocator::new();`.
+pub struct CountingAllocator {
+    live: std::sync::atomic::AtomicUsize,
+    peak: std::sync::atomic::AtomicUsize,
+    total: std::sync::atomic::AtomicUsize,
+}
+
+impl CountingAllocator {
+    /// A fresh counter (all gauges zero).
+    pub const fn new() -> CountingAllocator {
+        use std::sync::atomic::AtomicUsize;
+        CountingAllocator {
+            live: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            total: AtomicUsize::new(0),
+        }
+    }
+
+    /// Currently live heap bytes.
+    pub fn live(&self) -> usize {
+        self.live.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// High-water mark of live bytes since the last [`reset_peak`].
+    ///
+    /// [`reset_peak`]: CountingAllocator::reset_peak
+    pub fn peak(&self) -> usize {
+        self.peak.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total bytes ever allocated (monotone).
+    pub fn total(&self) -> usize {
+        self.total.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Restarts the peak gauge from the current live size (call before
+    /// the measured region).
+    pub fn reset_peak(&self) {
+        use std::sync::atomic::Ordering;
+        self.peak
+            .store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    fn record_alloc(&self, size: usize) {
+        use std::sync::atomic::Ordering;
+        self.total.fetch_add(size, Ordering::Relaxed);
+        let live = self.live.fetch_add(size, Ordering::Relaxed) + size;
+        self.peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn record_dealloc(&self, size: usize) {
+        self.live
+            .fetch_sub(size, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        CountingAllocator::new()
+    }
+}
+
+// SAFETY: delegates allocation to `System` unchanged; only counters are
+// maintained around it.
+unsafe impl std::alloc::GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        let p = unsafe { std::alloc::System.alloc(layout) };
+        if !p.is_null() {
+            self.record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) };
+        self.record_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { std::alloc::System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            self.record_dealloc(layout.size());
+            self.record_alloc(new_size);
+        }
+        p
+    }
+}
+
 /// Median-of-`runs` wall-clock time of `f`.
 pub fn time<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
     assert!(runs > 0);

@@ -70,11 +70,21 @@ pub enum Strategy {
     /// OPTMINCONTEXT (Section 4): MINCONTEXT plus backward axis
     /// propagation for existential predicates.
     OptMinContext,
+    /// One-pass SAX-style streaming over XML text without materializing
+    /// the arena, for the forward-axis fragment (the `minctx-stream`
+    /// crate's `evaluate_reader`).  As an *arena* evaluator — i.e. when a
+    /// [`Document`] has already been built and `evaluate` is called — this
+    /// strategy delegates to [`Strategy::MinContext`], which is also the
+    /// streaming differential suite's oracle.
+    Streaming,
 }
 
 impl Strategy {
-    /// All strategies, in baseline-to-best order (handy for differential
-    /// tests and benchmark sweeps).
+    /// The arena strategies, in baseline-to-best order (handy for
+    /// differential tests and benchmark sweeps).  [`Strategy::Streaming`]
+    /// is deliberately excluded: it is not a distinct arena algorithm
+    /// (its arena path delegates to MINCONTEXT; the streaming path lives
+    /// in `minctx-stream`).
     pub const ALL: [Strategy; 4] = [
         Strategy::Naive,
         Strategy::ContextValueTable,
@@ -89,6 +99,7 @@ impl Strategy {
             Strategy::ContextValueTable => "cvt",
             Strategy::MinContext => "mincontext",
             Strategy::OptMinContext => "optmincontext",
+            Strategy::Streaming => "streaming",
         }
     }
 
@@ -99,6 +110,7 @@ impl Strategy {
             "cvt" => Strategy::ContextValueTable,
             "mincontext" => Strategy::MinContext,
             "optmincontext" => Strategy::OptMinContext,
+            "streaming" => Strategy::Streaming,
             _ => return None,
         })
     }
@@ -264,7 +276,11 @@ impl Engine {
                 budget: self.budget,
             }),
             Strategy::ContextValueTable => Box::new(ContextValueTables),
-            Strategy::MinContext => Box::new(MinContext { optimized: false }),
+            // Arena evaluation under the streaming strategy uses
+            // MINCONTEXT — the same evaluator the streaming differential
+            // suite uses as its oracle — so `evaluate_reader`'s arena
+            // fallback and a direct `evaluate` agree by construction.
+            Strategy::MinContext | Strategy::Streaming => Box::new(MinContext { optimized: false }),
             Strategy::OptMinContext => Box::new(MinContext { optimized: true }),
         }
     }
@@ -391,10 +407,23 @@ mod tests {
 
     #[test]
     fn strategy_name_round_trip() {
-        for s in Strategy::ALL {
+        for s in Strategy::ALL.into_iter().chain([Strategy::Streaming]) {
             assert_eq!(Strategy::from_str_opt(s.as_str()), Some(s));
         }
         assert_eq!(Strategy::from_str_opt("quantum"), None);
+    }
+
+    #[test]
+    fn streaming_strategy_delegates_arena_evaluation_to_mincontext() {
+        // Strategy::Streaming is the evaluate_reader marker; on an already
+        // materialized document it evaluates via MINCONTEXT (the streaming
+        // suite's oracle), not some fifth arena walker.
+        let doc = parse("<a><b/><b/></a>").unwrap();
+        let v = Engine::new(Strategy::Streaming)
+            .evaluate_str(&doc, "count(//b)")
+            .unwrap();
+        assert_eq!(v, Value::Number(2.0));
+        assert!(!Strategy::ALL.contains(&Strategy::Streaming));
     }
 
     #[test]

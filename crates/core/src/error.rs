@@ -1,6 +1,7 @@
 //! Evaluation errors.
 
 use minctx_syntax::ParseError;
+use minctx_xml::XmlError;
 use std::fmt;
 
 /// An error produced while compiling or evaluating an XPath query.
@@ -8,6 +9,11 @@ use std::fmt;
 pub enum EvalError {
     /// The query string failed to lex / parse / normalize.
     Parse(ParseError),
+    /// The XML input failed to parse (document construction, or a
+    /// malformed token met mid-stream by the `minctx-stream` one-pass
+    /// evaluator — which may surface *after* partial results were seen,
+    /// since streaming discovers malformedness only when it reaches it).
+    Xml(XmlError),
     /// A value had the wrong type for the operation (cannot happen for
     /// queries produced by the normalizer, which makes all conversions
     /// explicit; kept for defense in depth and for [`crate::Value`]
@@ -44,6 +50,7 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::Parse(e) => write!(f, "{e}"),
+            EvalError::Xml(e) => write!(f, "{e}"),
             EvalError::Type { expected, got } => {
                 write!(f, "type error: expected {expected}, got {got}")
             }
@@ -67,6 +74,7 @@ impl std::error::Error for EvalError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EvalError::Parse(e) => Some(e),
+            EvalError::Xml(e) => Some(e),
             _ => None,
         }
     }
@@ -75,6 +83,12 @@ impl std::error::Error for EvalError {
 impl From<ParseError> for EvalError {
     fn from(e: ParseError) -> Self {
         EvalError::Parse(e)
+    }
+}
+
+impl From<XmlError> for EvalError {
+    fn from(e: XmlError) -> Self {
+        EvalError::Xml(e)
     }
 }
 

@@ -238,7 +238,7 @@ impl Rewriter<'_> {
                 predicates: self.rebuild_predicates(&s.predicates),
             })
             .collect();
-        self.optimize_steps(&mut steps);
+        self.optimize_steps(&start, &mut steps);
         if existential {
             self.existential_tail(&mut steps);
         }
@@ -260,9 +260,10 @@ impl Rewriter<'_> {
         out
     }
 
-    /// The step-level rules: `self::node()` elimination, `//`-fusion, and
-    /// the `child/parent` flip.  Loops until no rule fires.
-    fn optimize_steps(&mut self, steps: &mut Vec<Step>) {
+    /// The step-level rules: `self::node()` elimination, `//`-fusion, the
+    /// `child/parent` flip, and the `following`/`preceding` chain fusions.
+    /// Loops until no rule fires.
+    fn optimize_steps(&mut self, start: &PathStart, steps: &mut Vec<Step>) {
         loop {
             // A predicate-free `self::node()` step is the identity.
             if let Some(i) = steps.iter().position(|s| {
@@ -273,7 +274,67 @@ impl Rewriter<'_> {
             }
             let mut changed = false;
             for i in 0..steps.len().saturating_sub(1) {
+                // `ancestor-or-self::node()/following-sibling::node()/
+                // descendant-or-self::t[p…]` is the spec's expansion of
+                // `following::t[p…]` (dually `preceding-sibling` /
+                // `preceding`): fusing it onto one step lands the name
+                // test on the sliced postings kernel.  Exact only for
+                // non-attribute origins — this document model gives an
+                // attribute's `following` the whole tail after the
+                // attribute itself, which the chain (routed through the
+                // owner element's siblings) cannot see — so the preceding
+                // step (or a `Root` start) must rule attributes out.
+                // Position-free predicates only: the fused step renumbers
+                // proximity positions (one merged candidate list instead
+                // of per-`descendant-or-self`-origin lists).
+                if i + 2 < steps.len() {
+                    let (a, b, c) = (&steps[i], &steps[i + 1], &steps[i + 2]);
+                    if a.axis == Axis::AncestorOrSelf
+                        && a.test == NodeTest::AnyNode
+                        && a.predicates.is_empty()
+                        && matches!(b.axis, Axis::FollowingSibling | Axis::PrecedingSibling)
+                        && b.test == NodeTest::AnyNode
+                        && b.predicates.is_empty()
+                        && c.axis == Axis::DescendantOrSelf
+                        && c.predicates.iter().all(|&p| self.position_free(p))
+                        && origin_excludes_attributes(start, steps, i)
+                    {
+                        let axis = if b.axis == Axis::FollowingSibling {
+                            Axis::Following
+                        } else {
+                            Axis::Preceding
+                        };
+                        steps[i] = Step {
+                            axis,
+                            test: c.test.clone(),
+                            predicates: c.predicates.clone(),
+                        };
+                        steps.drain(i + 1..i + 3);
+                        changed = true;
+                        break;
+                    }
+                }
                 let (a, b) = (&steps[i], &steps[i + 1]);
+                // `following::node()/descendant-or-self::t` ≡ `following::t`:
+                // the `following` set is closed under descendants and every
+                // member is its own descendant-or-self (dually `preceding`).
+                // Unconditional — the or-self step applies to the already
+                // attribute-free `following` result.
+                if matches!(a.axis, Axis::Following | Axis::Preceding)
+                    && a.test == NodeTest::AnyNode
+                    && a.predicates.is_empty()
+                    && b.axis == Axis::DescendantOrSelf
+                    && b.predicates.iter().all(|&p| self.position_free(p))
+                {
+                    steps[i] = Step {
+                        axis: a.axis,
+                        test: b.test.clone(),
+                        predicates: b.predicates.clone(),
+                    };
+                    steps.remove(i + 1);
+                    changed = true;
+                    break;
+                }
                 // `descendant-or-self::node()/child::t` ≡ `descendant::t`
                 // (every proper descendant is a child of a descendant-or-
                 // self node and vice versa); same argument fuses a following
@@ -462,6 +523,33 @@ impl Rewriter<'_> {
     }
 }
 
+/// Whether the origin set feeding `steps[i]` can contain attribute nodes.
+/// `false` is required for the `following`/`preceding` chain fusion: the
+/// fusion is exact on non-attribute origins only.
+fn origin_excludes_attributes(start: &PathStart, steps: &[Step], i: usize) -> bool {
+    if i > 0 {
+        step_excludes_attributes(&steps[i - 1])
+    } else {
+        // An absolute path starts at the root node; a relative or filter
+        // start could be (or contain) an attribute node.
+        matches!(start, PathStart::Root)
+    }
+}
+
+/// Whether a step's result set can never contain attribute nodes.  The
+/// tree axes exclude attributes outright; the or-self and `self` axes
+/// pass an attribute origin through `node()` tests (name and kind tests
+/// on non-attribute axes only ever match elements/text/comments/PIs).
+fn step_excludes_attributes(s: &Step) -> bool {
+    match s.axis {
+        Axis::Attribute => false,
+        Axis::SelfAxis | Axis::DescendantOrSelf | Axis::AncestorOrSelf => {
+            s.test != NodeTest::AnyNode
+        }
+        _ => true,
+    }
+}
+
 /// The constant value of a literal node, if it is one.
 fn literal_value(node: &Node) -> Option<Value> {
     match node {
@@ -571,6 +659,52 @@ mod tests {
         assert_rewrites_to("//x[a[b]/ancestor::c]", "/descendant::x[a[b][ancestor::c]]");
         // Fully predicate-free paths stay whole for OPTMINCONTEXT.
         assert_fixed("child::x[boolean(child::a/ancestor::c)]");
+    }
+
+    #[test]
+    fn following_and_preceding_chains_fuse_onto_one_step() {
+        // The spec expansion of `following::t` fuses back onto the single
+        // sliced-postings step (ROADMAP leftover from PR 2/3).
+        assert_rewrites_to(
+            "/a/ancestor-or-self::node()/following-sibling::node()/descendant-or-self::item",
+            "/child::a/following::item",
+        );
+        assert_rewrites_to(
+            "/a/b/ancestor-or-self::node()/preceding-sibling::node()/descendant-or-self::*",
+            "/child::a/child::b/preceding::*",
+        );
+        // An explicit or-self hop after following/preceding folds in too.
+        assert_rewrites_to(
+            "/a/following::node()/descendant-or-self::item",
+            "/child::a/following::item",
+        );
+        assert_rewrites_to(
+            "/a/preceding::node()/descendant-or-self::text()",
+            "/child::a/preceding::text()",
+        );
+        // Position-free predicates ride along…
+        assert_rewrites_to(
+            "/a/ancestor-or-self::node()/following-sibling::node()/descendant-or-self::item[@id]",
+            "/child::a/following::item[@id]",
+        );
+        // …but positional ones veto the fusion (positions renumber).
+        assert_fixed(
+            "/child::a/ancestor-or-self::node()\
+             /following-sibling::node()/descendant-or-self::item[(position() = 2)]",
+        );
+        // Chains whose origin may be an attribute stay put: this model
+        // gives an attribute's `following` the whole tail after the
+        // attribute, which the sibling chain cannot express.
+        assert_fixed(
+            "/child::a/attribute::x/ancestor-or-self::node()\
+             /following-sibling::node()/descendant-or-self::item",
+        );
+        assert_fixed("ancestor-or-self::node()/following-sibling::node()/descendant-or-self::item");
+        // The root start is attribute-free, so a leading chain fuses.
+        assert_rewrites_to(
+            "/ancestor-or-self::node()/following-sibling::node()/descendant-or-self::item",
+            "/following::item",
+        );
     }
 
     #[test]

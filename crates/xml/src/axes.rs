@@ -355,9 +355,13 @@ fn image_into(
     // per-candidate predicate paths the evaluators memoize are exactly
     // this shape.  Excluded: the id axis, whose single-node walk
     // tokenizes the *concatenated* string value while the set kernel
-    // tokenizes per text node (see DESIGN.md).
+    // tokenizes per text node (see DESIGN.md); and name-tested
+    // `following`/`preceding`, where the sliced postings kernel is
+    // sublinear while the single-node walk scans the whole tail.
     if let [single] = x {
-        if axis != Axis::Id {
+        let sliced_name_test =
+            matches!(axis, Axis::Following | Axis::Preceding) && matches!(t, ResolvedTest::Name(_));
+        if axis != Axis::Id && !sliced_name_test {
             let tmp = &mut scratch.tmp;
             doc.axis_nodes_into(axis, *single, t, tmp);
             if axis.is_reverse() {

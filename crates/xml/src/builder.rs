@@ -16,6 +16,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Source of [`Document::stamp`] values; see [`Document::stamp`].
 static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
 
+/// Number of [`Document`]s fully built process-wide (monotone).
+///
+/// Diagnostics hook: the streaming allocation smoke asserts this is
+/// unchanged across `evaluate_reader` on streamable queries — direct
+/// proof that the one-pass path never materializes an arena.
+pub fn documents_built() -> u64 {
+    NEXT_STAMP.load(Ordering::Relaxed) - 1
+}
+
 /// Incremental builder for [`Document`]s.
 ///
 /// # Example

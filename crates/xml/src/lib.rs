@@ -41,6 +41,7 @@ pub mod node;
 pub mod nodeset;
 pub mod parser;
 pub mod serialize;
+pub mod token;
 
 pub use axes::{Axis, NodeTest, ResolvedTest, Scratch};
 pub use builder::DocumentBuilder;
@@ -49,4 +50,7 @@ pub use error::{XmlError, XmlErrorKind};
 pub use name::{Name, NameTable};
 pub use node::{NodeId, NodeKind};
 pub use nodeset::{DenseSet, NodeSet};
-pub use parser::{parse, parse_with_options, ParseOptions};
+pub use parser::{
+    parse, parse_reader, parse_reader_with_options, parse_with_options, ParseOptions,
+};
+pub use token::{Tokenizer, XmlEvent};

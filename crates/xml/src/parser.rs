@@ -1,57 +1,22 @@
-//! A from-scratch, non-validating XML parser.
+//! The DOM-building XML parser: a thin fold of the shared pull
+//! [`Tokenizer`](crate::token::Tokenizer) into a [`DocumentBuilder`].
 //!
-//! Supports the XML subset needed by the engine and its workloads:
-//! elements, attributes, character data with entity and character
-//! references, CDATA sections, comments, processing instructions, an
-//! optional XML declaration, and a skipped-over DOCTYPE declaration
-//! (without internal-subset markup declarations).  Namespaces are treated
-//! as plain names with colons, matching the paper's model which omits the
-//! namespace axis.
-//!
-//! The parser drives a [`DocumentBuilder`], so it shares every structural
-//! invariant with programmatically built documents.
+//! All lexing — elements, attributes, character data with entity and
+//! character references, CDATA sections, comments, processing
+//! instructions, the optional XML declaration and the skipped-over
+//! DOCTYPE — lives in [`crate::token`]; this module only maps events to
+//! builder calls, so the DOM parser and the streaming evaluator
+//! (`minctx-stream`) are guaranteed to agree on what the nodes of a
+//! document are.  Namespaces are treated as plain names with colons,
+//! matching the paper's model which omits the namespace axis.
 
 use crate::builder::DocumentBuilder;
 use crate::document::Document;
-use crate::error::{XmlError, XmlErrorKind};
+use crate::error::XmlError;
+use crate::token::{Tokenizer, XmlEvent};
+use std::io::Read;
 
-/// Options controlling document construction.
-#[derive(Debug, Clone)]
-pub struct ParseOptions {
-    /// Drop text nodes consisting entirely of XML whitespace.  This matches
-    /// the paper's examples (Figure 2 is pretty-printed; its `dom` contains
-    /// no whitespace nodes).  Default: `false`.
-    pub strip_whitespace_text: bool,
-    /// Drop comment nodes.  Default: `false`.
-    pub keep_comments: bool,
-    /// Drop processing-instruction nodes.  Default: `false`.
-    pub keep_processing_instructions: bool,
-    /// Attribute name supplying element ids for `id()` (DTDs, the standard
-    /// source of ID-typed attributes, are not interpreted).  Default: `id`.
-    pub id_attribute: String,
-}
-
-impl Default for ParseOptions {
-    fn default() -> Self {
-        ParseOptions {
-            strip_whitespace_text: false,
-            keep_comments: true,
-            keep_processing_instructions: true,
-            id_attribute: "id".to_string(),
-        }
-    }
-}
-
-impl ParseOptions {
-    /// Options matching the paper's data model: whitespace-only text
-    /// stripped, comments and PIs kept.
-    pub fn paper_model() -> Self {
-        ParseOptions {
-            strip_whitespace_text: true,
-            ..Default::default()
-        }
-    }
-}
+pub use crate::token::ParseOptions;
 
 /// Parses an XML document with default options.
 pub fn parse(input: &str) -> Result<Document, XmlError> {
@@ -60,431 +25,68 @@ pub fn parse(input: &str) -> Result<Document, XmlError> {
 
 /// Parses an XML document with explicit [`ParseOptions`].
 pub fn parse_with_options(input: &str, opts: &ParseOptions) -> Result<Document, XmlError> {
-    let mut p = Parser::new(input, opts);
-    p.parse_document()?;
-    p.builder.finish()
+    build(
+        Tokenizer::with_options(input, opts.clone()),
+        opts,
+        input.len() / 16,
+    )
 }
 
-struct Parser<'a> {
-    input: &'a str,
-    bytes: &'a [u8],
-    pos: usize,
-    opts: &'a ParseOptions,
-    builder: DocumentBuilder,
-    open_names: Vec<String>,
-    text_buf: String,
+/// Parses an XML document from a reader with default options.  The
+/// tokenizer's sliding window keeps peak lexing memory proportional to
+/// the largest single token; the arena, of course, holds the document.
+pub fn parse_reader(reader: impl Read) -> Result<Document, XmlError> {
+    parse_reader_with_options(reader, &ParseOptions::default())
 }
 
-impl<'a> Parser<'a> {
-    fn new(input: &'a str, opts: &'a ParseOptions) -> Self {
-        let mut builder = DocumentBuilder::with_capacity(input.len() / 16);
-        builder.id_attribute(&opts.id_attribute);
-        Parser {
-            input,
-            bytes: input.as_bytes(),
-            pos: 0,
-            opts,
-            builder,
-            open_names: Vec::new(),
-            text_buf: String::new(),
-        }
-    }
-
-    fn err(&self, kind: XmlErrorKind) -> XmlError {
-        self.err_at(kind, self.pos)
-    }
-
-    fn err_at(&self, kind: XmlErrorKind, offset: usize) -> XmlError {
-        let mut line = 1u32;
-        let mut col = 1u32;
-        for c in self.input[..offset.min(self.input.len())].chars() {
-            if c == '\n' {
-                line += 1;
-                col = 1;
-            } else {
-                col += 1;
-            }
-        }
-        XmlError::new(kind, offset, line, col)
-    }
-
-    #[inline]
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    #[inline]
-    fn starts_with(&self, s: &str) -> bool {
-        self.input[self.pos..].starts_with(s)
-    }
-
-    fn skip_whitespace(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, s: &str) -> Result<(), XmlError> {
-        if self.starts_with(s) {
-            self.pos += s.len();
-            Ok(())
-        } else if self.pos >= self.input.len() {
-            Err(self.err(XmlErrorKind::UnexpectedEof))
-        } else {
-            let c = self.input[self.pos..].chars().next().expect("in bounds");
-            Err(self.err(XmlErrorKind::UnexpectedChar(c)))
-        }
-    }
-
-    fn parse_document(&mut self) -> Result<(), XmlError> {
-        // Optional XML declaration.
-        if self.starts_with("<?xml") {
-            let close = self.input[self.pos..]
-                .find("?>")
-                .ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))?;
-            self.pos += close + 2;
-        }
-        // Misc (comments, PIs, whitespace), optional DOCTYPE, misc, element,
-        // misc.
-        let mut seen_element = false;
-        loop {
-            self.skip_whitespace();
-            if self.pos >= self.input.len() {
-                break;
-            }
-            if self.starts_with("<!--") {
-                self.parse_comment()?;
-            } else if self.starts_with("<!DOCTYPE") {
-                self.skip_doctype()?;
-            } else if self.starts_with("<?") {
-                self.parse_pi()?;
-            } else if self.peek() == Some(b'<') {
-                if seen_element {
-                    return Err(self.err(XmlErrorKind::TrailingContent));
-                }
-                self.parse_element()?;
-                seen_element = true;
-            } else {
-                return Err(self.err(XmlErrorKind::TrailingContent));
-            }
-        }
-        if !seen_element {
-            return Err(self.err(XmlErrorKind::NoRootElement));
-        }
-        Ok(())
-    }
-
-    fn skip_doctype(&mut self) -> Result<(), XmlError> {
-        // "<!DOCTYPE" ... '>' with possible [...] internal subset (skipped,
-        // not interpreted) and quoted system/public literals.
-        self.pos += "<!DOCTYPE".len();
-        let mut depth = 0usize;
-        while let Some(b) = self.peek() {
-            match b {
-                b'[' => {
-                    depth += 1;
-                    self.pos += 1;
-                }
-                b']' => {
-                    depth = depth.saturating_sub(1);
-                    self.pos += 1;
-                }
-                b'"' | b'\'' => {
-                    let quote = b;
-                    self.pos += 1;
-                    while let Some(c) = self.peek() {
-                        self.pos += 1;
-                        if c == quote {
-                            break;
-                        }
-                    }
-                }
-                b'>' if depth == 0 => {
-                    self.pos += 1;
-                    return Ok(());
-                }
-                _ => self.pos += 1,
-            }
-        }
-        Err(self.err(XmlErrorKind::UnexpectedEof))
-    }
-
-    fn parse_name(&mut self) -> Result<&'a str, XmlError> {
-        let start = self.pos;
-        let rest = &self.input[self.pos..];
-        let mut chars = rest.char_indices();
-        match chars.next() {
-            Some((_, c)) if is_name_start(c) => {}
-            Some((_, c)) => return Err(self.err(XmlErrorKind::UnexpectedChar(c))),
-            None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
-        }
-        let mut end = rest.len();
-        for (i, c) in chars {
-            if !is_name_char(c) {
-                end = i;
-                break;
-            }
-        }
-        self.pos = start + end;
-        Ok(&rest[..end])
-    }
-
-    fn parse_element(&mut self) -> Result<(), XmlError> {
-        self.expect("<")?;
-        let name = self.parse_name()?;
-        let mut attrs: Vec<(&str, String)> = Vec::new();
-        loop {
-            self.skip_whitespace();
-            match self.peek() {
-                Some(b'>') => {
-                    self.pos += 1;
-                    self.start_element(name, &attrs);
-                    self.open_names.push(name.to_string());
-                    self.parse_content()?;
-                    return Ok(());
-                }
-                Some(b'/') => {
-                    self.expect("/>")?;
-                    self.start_element(name, &attrs);
-                    self.builder.end_element();
-                    return Ok(());
-                }
-                Some(_) => {
-                    let at = self.pos;
-                    let aname = self.parse_name()?;
-                    if attrs.iter().any(|(n, _)| *n == aname) {
-                        return Err(
-                            self.err_at(XmlErrorKind::DuplicateAttribute(aname.to_string()), at)
-                        );
-                    }
-                    self.skip_whitespace();
-                    self.expect("=")?;
-                    self.skip_whitespace();
-                    let value = self.parse_attribute_value()?;
-                    attrs.push((aname, value));
-                }
-                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
-            }
-        }
-    }
-
-    fn start_element(&mut self, name: &str, attrs: &[(&str, String)]) {
-        let borrowed: Vec<(&str, &str)> = attrs.iter().map(|(n, v)| (*n, v.as_str())).collect();
-        self.builder.start_element(name, &borrowed);
-    }
-
-    fn parse_attribute_value(&mut self) -> Result<String, XmlError> {
-        let quote = match self.peek() {
-            Some(q @ (b'"' | b'\'')) => q,
-            Some(_) => {
-                let c = self.input[self.pos..].chars().next().expect("in bounds");
-                return Err(self.err(XmlErrorKind::UnexpectedChar(c)));
-            }
-            None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
-        };
-        self.pos += 1;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                Some(q) if q == quote => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'<') => {
-                    return Err(self.err(XmlErrorKind::Malformed(
-                        "'<' in attribute value".to_string(),
-                    )))
-                }
-                Some(b'&') => {
-                    let c = self.parse_reference()?;
-                    out.push_str(&c);
-                }
-                Some(_) => {
-                    let c = self.input[self.pos..].chars().next().expect("in bounds");
-                    // Attribute-value normalization: whitespace → space.
-                    out.push(if matches!(c, '\t' | '\n' | '\r') {
-                        ' '
-                    } else {
-                        c
-                    });
-                    self.pos += c.len_utf8();
-                }
-                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
-            }
-        }
-    }
-
-    /// Parses `&...;` (named entity or character reference); returns the
-    /// replacement text.
-    fn parse_reference(&mut self) -> Result<String, XmlError> {
-        let start = self.pos;
-        self.expect("&")?;
-        let semi = self.input[self.pos..]
-            .find(';')
-            .ok_or_else(|| self.err_at(XmlErrorKind::BadEntity("&".to_string()), start))?;
-        let body = &self.input[self.pos..self.pos + semi];
-        if body.len() > 32 {
-            return Err(self.err_at(XmlErrorKind::BadEntity(body.to_string()), start));
-        }
-        let replacement = if let Some(num) = body.strip_prefix('#') {
-            let code = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
-                u32::from_str_radix(hex, 16)
-            } else {
-                num.parse::<u32>()
-            }
-            .map_err(|_| self.err_at(XmlErrorKind::BadEntity(body.to_string()), start))?;
-            match char::from_u32(code) {
-                Some(c) => c.to_string(),
-                None => return Err(self.err_at(XmlErrorKind::BadEntity(body.to_string()), start)),
-            }
-        } else {
-            match body {
-                "lt" => "<".to_string(),
-                "gt" => ">".to_string(),
-                "amp" => "&".to_string(),
-                "apos" => "'".to_string(),
-                "quot" => "\"".to_string(),
-                _ => return Err(self.err_at(XmlErrorKind::BadEntity(body.to_string()), start)),
-            }
-        };
-        self.pos += semi + 1;
-        Ok(replacement)
-    }
-
-    fn flush_text(&mut self) {
-        if self.text_buf.is_empty() {
-            return;
-        }
-        let keep = !self.opts.strip_whitespace_text
-            || self.text_buf.chars().any(|c| !c.is_ascii_whitespace());
-        if keep {
-            let text = std::mem::take(&mut self.text_buf);
-            self.builder.text(&text);
-        } else {
-            self.text_buf.clear();
-        }
-    }
-
-    fn parse_content(&mut self) -> Result<(), XmlError> {
-        loop {
-            match self.peek() {
-                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
-                Some(b'<') => {
-                    if self.starts_with("</") {
-                        self.flush_text();
-                        self.pos += 2;
-                        let at = self.pos;
-                        let name = self.parse_name()?;
-                        self.skip_whitespace();
-                        self.expect(">")?;
-                        let open = self.open_names.pop().ok_or_else(|| {
-                            self.err_at(XmlErrorKind::UnmatchedClose(name.to_string()), at)
-                        })?;
-                        if open != name {
-                            return Err(self.err_at(
-                                XmlErrorKind::MismatchedTag {
-                                    open,
-                                    close: name.to_string(),
-                                },
-                                at,
-                            ));
-                        }
-                        self.builder.end_element();
-                        return Ok(());
-                    } else if self.starts_with("<!--") {
-                        self.flush_text();
-                        self.parse_comment()?;
-                    } else if self.starts_with("<![CDATA[") {
-                        self.parse_cdata()?;
-                    } else if self.starts_with("<?") {
-                        self.flush_text();
-                        self.parse_pi()?;
-                    } else {
-                        self.flush_text();
-                        self.parse_element()?;
-                    }
-                }
-                Some(b'&') => {
-                    let c = self.parse_reference()?;
-                    self.text_buf.push_str(&c);
-                }
-                Some(_) => {
-                    let rest = &self.input[self.pos..];
-                    let stop = rest.find(['<', '&']).unwrap_or(rest.len());
-                    let chunk = &rest[..stop];
-                    if let Some(i) = chunk.find("]]>") {
-                        return Err(self.err_at(
-                            XmlErrorKind::Malformed("']]>' in character data".to_string()),
-                            self.pos + i,
-                        ));
-                    }
-                    self.text_buf.push_str(chunk);
-                    self.pos += stop;
-                }
-            }
-        }
-    }
-
-    fn parse_comment(&mut self) -> Result<(), XmlError> {
-        self.expect("<!--")?;
-        let rest = &self.input[self.pos..];
-        let end = rest
-            .find("-->")
-            .ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))?;
-        let body = &rest[..end];
-        if body.contains("--") {
-            return Err(self.err(XmlErrorKind::Malformed("'--' in comment".to_string())));
-        }
-        if self.opts.keep_comments && !self.open_names.is_empty() {
-            self.builder.comment(body);
-        }
-        self.pos += end + 3;
-        Ok(())
-    }
-
-    fn parse_cdata(&mut self) -> Result<(), XmlError> {
-        self.expect("<![CDATA[")?;
-        let rest = &self.input[self.pos..];
-        let end = rest
-            .find("]]>")
-            .ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))?;
-        self.text_buf.push_str(&rest[..end]);
-        self.pos += end + 3;
-        Ok(())
-    }
-
-    fn parse_pi(&mut self) -> Result<(), XmlError> {
-        self.expect("<?")?;
-        let target = self.parse_name()?;
-        if target.eq_ignore_ascii_case("xml") {
-            return Err(self.err(XmlErrorKind::Malformed(
-                "'<?xml' only allowed at document start".to_string(),
-            )));
-        }
-        let rest = &self.input[self.pos..];
-        let end = rest
-            .find("?>")
-            .ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))?;
-        let body = rest[..end].trim_start();
-        if self.opts.keep_processing_instructions && !self.open_names.is_empty() {
-            self.builder.processing_instruction(target, body);
-        }
-        self.pos += end + 2;
-        Ok(())
-    }
+/// [`parse_reader`] with explicit [`ParseOptions`].
+pub fn parse_reader_with_options(
+    reader: impl Read,
+    opts: &ParseOptions,
+) -> Result<Document, XmlError> {
+    build(Tokenizer::from_reader(reader, opts.clone()), opts, 0)
 }
 
-fn is_name_start(c: char) -> bool {
-    c.is_alphabetic() || c == '_' || c == ':'
-}
-
-fn is_name_char(c: char) -> bool {
-    c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.' | '\u{b7}')
+/// Folds the event stream into a document.
+fn build(
+    mut tok: Tokenizer<'_>,
+    opts: &ParseOptions,
+    capacity_hint: usize,
+) -> Result<Document, XmlError> {
+    let mut b = DocumentBuilder::with_capacity(capacity_hint);
+    b.id_attribute(&opts.id_attribute);
+    while let Some(ev) = tok.next_event()? {
+        match ev {
+            XmlEvent::StartElement { name, attrs } => {
+                let borrowed: Vec<(&str, &str)> = attrs
+                    .iter()
+                    .map(|(n, v)| (n.as_str(), v.as_str()))
+                    .collect();
+                b.start_element(name, &borrowed);
+            }
+            XmlEvent::EndElement { .. } => {
+                b.end_element();
+            }
+            XmlEvent::Text(t) => {
+                b.text(t);
+            }
+            XmlEvent::Comment(c) => {
+                b.comment(c);
+            }
+            XmlEvent::Pi { target, data } => {
+                b.processing_instruction(target, data);
+            }
+        }
+    }
+    // The tokenizer has already validated completeness; `finish` re-checks
+    // the same invariants structurally.
+    b.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::XmlErrorKind;
     use crate::node::NodeKind;
 
     #[test]
@@ -669,5 +271,32 @@ mod tests {
         // the root node itself).
         let doc = parse("<?style x?><a/><!--after-->").unwrap();
         assert_eq!(doc.len(), 2);
+    }
+
+    #[test]
+    fn parse_reader_round_trips_parse() {
+        // The same lexer backs both entry points, so the arenas must be
+        // structurally identical.
+        let input = r#"<?xml version="1.0"?><a id="r"><b x="1">t&amp;</b><!--c--><?p d?></a>"#;
+        let from_str = parse(input).unwrap();
+        let from_reader = parse_reader(input.as_bytes()).unwrap();
+        assert_eq!(from_str.debug_tree(), from_reader.debug_tree());
+        // Options are honored through the reader path too.
+        let noisy = "<a>\n  <b>x</b>\n</a>";
+        let clean =
+            parse_reader_with_options(noisy.as_bytes(), &ParseOptions::paper_model()).unwrap();
+        assert_eq!(
+            clean.len(),
+            parse_with_options(noisy, &ParseOptions::paper_model())
+                .unwrap()
+                .len()
+        );
+    }
+
+    #[test]
+    fn parse_reader_reports_errors_with_positions() {
+        let err = parse_reader("<a>\n<b></c>\n</a>".as_bytes()).unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::MismatchedTag { .. }));
+        assert_eq!(err.line(), 2);
     }
 }

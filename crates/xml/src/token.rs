@@ -1,0 +1,1066 @@
+//! The pull-based XML tokenizer — the workspace's one and only XML lexer.
+//!
+//! [`Tokenizer`] turns XML text into a stream of [`XmlEvent`]s
+//! (start/end-element with attributes, merged text runs, comments,
+//! processing instructions), handling entity and character references,
+//! CDATA sections, the XML declaration, DOCTYPE skipping, and the
+//! [`ParseOptions`] filters.  Two consumers sit on top of it:
+//!
+//! * the DOM builder ([`parse`](crate::parse) /
+//!   [`parse_reader`](crate::parser::parse_reader)) folds the events into a
+//!   [`DocumentBuilder`](crate::DocumentBuilder), and
+//! * the streaming evaluator (`minctx-stream`) runs its stack automaton
+//!   directly over the events without materializing a document.
+//!
+//! Because both consume the *same* event stream under the same options,
+//! the streamer can mirror the arena's pre-order node numbering exactly:
+//! one `StartElement` is one element node followed by one node per
+//! attribute, one `Text`/`Comment`/`Pi` event is one node.  Text runs are
+//! merged exactly as the DOM parser merges them (CDATA joins the
+//! surrounding character data; comments and PIs split runs even when the
+//! options drop them).
+//!
+//! The input can be a borrowed `&str` (zero-copy names and bodies) or any
+//! [`io::Read`] ([`Tokenizer::from_reader`]): reader mode keeps a sliding
+//! window that is refilled on demand and compacted as events are
+//! consumed, so tokenizing a multi-gigabyte feed holds memory proportional
+//! to the largest single token, not the input.
+
+use crate::error::{XmlError, XmlErrorKind};
+use std::io::Read;
+
+/// Options controlling document construction and event filtering.
+#[derive(Debug, Clone)]
+pub struct ParseOptions {
+    /// Drop text nodes consisting entirely of XML whitespace.  This matches
+    /// the paper's examples (Figure 2 is pretty-printed; its `dom` contains
+    /// no whitespace nodes).  Default: `false`.
+    pub strip_whitespace_text: bool,
+    /// Drop comment nodes.  Default: `false`.
+    pub keep_comments: bool,
+    /// Drop processing-instruction nodes.  Default: `false`.
+    pub keep_processing_instructions: bool,
+    /// Attribute name supplying element ids for `id()` (DTDs, the standard
+    /// source of ID-typed attributes, are not interpreted).  Default: `id`.
+    pub id_attribute: String,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            strip_whitespace_text: false,
+            keep_comments: true,
+            keep_processing_instructions: true,
+            id_attribute: "id".to_string(),
+        }
+    }
+}
+
+impl ParseOptions {
+    /// Options matching the paper's data model: whitespace-only text
+    /// stripped, comments and PIs kept.
+    pub fn paper_model() -> Self {
+        ParseOptions {
+            strip_whitespace_text: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// One lexical event of an XML document, in document order.
+///
+/// Borrowed data is valid until the next [`Tokenizer::next_event`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XmlEvent<'t> {
+    /// An element opens.  Attribute values are fully decoded and
+    /// whitespace-normalized; a self-closing element is followed
+    /// immediately by its [`XmlEvent::EndElement`].
+    StartElement {
+        name: &'t str,
+        attrs: &'t [(String, String)],
+    },
+    /// The most recently opened element closes.
+    EndElement { name: &'t str },
+    /// A maximal run of character data (entities decoded, CDATA merged);
+    /// never empty, never whitespace-only when the options strip it.
+    Text(&'t str),
+    /// A comment inside the document element (prolog/epilog comments are
+    /// skipped, matching the tree model which roots content at `/`).
+    Comment(&'t str),
+    /// A processing instruction inside the document element.
+    Pi { target: &'t str, data: &'t str },
+}
+
+/// Reader-mode refill granularity.
+const READ_CHUNK: usize = 16 * 1024;
+/// Reader-mode window compaction threshold: once this many bytes are
+/// consumed they are dropped from the front of the window (line/column
+/// bookkeeping is carried over).
+const COMPACT_AT: usize = 64 * 1024;
+/// Longest entity body the lexer accepts (`&#x10FFFF;` needs 9).
+const MAX_ENTITY: usize = 32;
+
+/// Where the tokenizer's bytes come from: a borrowed string (all data
+/// present up front) or a reader with a sliding window.
+enum Source<'a> {
+    Str {
+        input: &'a str,
+        pos: usize,
+    },
+    Reader {
+        rd: Box<dyn Read + 'a>,
+        /// The current (decoded) window; `pos` indexes into it.
+        buf: String,
+        pos: usize,
+        /// No more bytes will ever be appended to `buf`.
+        eof: bool,
+        /// Raw bytes read but not yet validated as UTF-8 (an incomplete
+        /// trailing sequence, at most 3 bytes plus one unappended chunk).
+        raw: Vec<u8>,
+        /// Bytes dropped from the front of the window so far.
+        drained: usize,
+        /// Newlines inside the drained prefix.
+        drained_lines: u32,
+        /// Characters after the last newline of the drained prefix.
+        drained_cols: u32,
+    },
+}
+
+impl Source<'_> {
+    fn window(&self) -> &str {
+        match self {
+            Source::Str { input, .. } => input,
+            Source::Reader { buf, .. } => buf,
+        }
+    }
+
+    fn pos(&self) -> usize {
+        match self {
+            Source::Str { pos, .. } | Source::Reader { pos, .. } => *pos,
+        }
+    }
+
+    fn advance(&mut self, n: usize) {
+        match self {
+            Source::Str { pos, .. } | Source::Reader { pos, .. } => *pos += n,
+        }
+    }
+
+    /// Appends more data to the window.  Returns `false` once the input is
+    /// exhausted (repeated calls after EOF stay `false`).
+    fn refill(&mut self) -> Result<bool, XmlError> {
+        // Read/decode with the fields borrowed; errors carry only a kind
+        // here and are positioned (line/column at the end of the decoded
+        // window) below, where `self` is borrowable again.
+        let r: Result<bool, XmlErrorKind> = (|| {
+            let (rd, buf, eof, raw) = match self {
+                Source::Str { .. } => return Ok(false),
+                Source::Reader {
+                    rd, buf, eof, raw, ..
+                } => {
+                    if *eof {
+                        return Ok(false);
+                    }
+                    (rd, buf, eof, raw)
+                }
+            };
+            let mut chunk = [0u8; READ_CHUNK];
+            let n = rd
+                .read(&mut chunk)
+                .map_err(|e| XmlErrorKind::Malformed(format!("read error: {e}")))?;
+            if n == 0 {
+                *eof = true;
+                if !raw.is_empty() {
+                    return Err(XmlErrorKind::Malformed(
+                        "invalid UTF-8 in input".to_string(),
+                    ));
+                }
+                return Ok(false);
+            }
+            raw.extend_from_slice(&chunk[..n]);
+            match std::str::from_utf8(raw) {
+                Ok(s) => {
+                    buf.push_str(s);
+                    raw.clear();
+                }
+                Err(e) => {
+                    if e.error_len().is_some() {
+                        return Err(XmlErrorKind::Malformed(
+                            "invalid UTF-8 in input".to_string(),
+                        ));
+                    }
+                    let valid = e.valid_up_to();
+                    let s = std::str::from_utf8(&raw[..valid]).expect("validated prefix");
+                    buf.push_str(s);
+                    raw.drain(..valid);
+                }
+            }
+            Ok(true)
+        })();
+        r.map_err(|kind| {
+            let end = self.window().len();
+            self.err_at(kind, end)
+        })
+    }
+
+    /// Makes at least `n` bytes available past the cursor, or reaches EOF.
+    fn ensure(&mut self, n: usize) -> Result<(), XmlError> {
+        while self.window().len() - self.pos() < n {
+            if !self.refill()? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops the consumed window prefix (reader mode), carrying line and
+    /// column counts so error positions stay exact.
+    fn compact(&mut self) {
+        if let Source::Reader {
+            buf,
+            pos,
+            drained,
+            drained_lines,
+            drained_cols,
+            ..
+        } = self
+        {
+            if *pos >= COMPACT_AT {
+                for c in buf[..*pos].chars() {
+                    if c == '\n' {
+                        *drained_lines += 1;
+                        *drained_cols = 0;
+                    } else {
+                        *drained_cols += 1;
+                    }
+                }
+                *drained += *pos;
+                buf.drain(..*pos);
+                *pos = 0;
+            }
+        }
+    }
+
+    fn err_here(&self, kind: XmlErrorKind) -> XmlError {
+        self.err_at(kind, self.pos())
+    }
+
+    /// Builds an error positioned at window-local offset `local`.
+    fn err_at(&self, kind: XmlErrorKind, local: usize) -> XmlError {
+        let (base_off, mut line, mut col) = match self {
+            Source::Str { .. } => (0, 1u32, 1u32),
+            Source::Reader {
+                drained,
+                drained_lines,
+                drained_cols,
+                ..
+            } => (*drained, 1 + drained_lines, 1 + drained_cols),
+        };
+        let prefix = &self.window()[..local.min(self.window().len())];
+        for c in prefix.chars() {
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        XmlError::new(kind, base_off + local, line, col)
+    }
+
+    // ---- lexing primitives -------------------------------------------
+
+    fn peek_byte(&mut self) -> Result<Option<u8>, XmlError> {
+        self.ensure(1)?;
+        Ok(self.window().as_bytes().get(self.pos()).copied())
+    }
+
+    fn peek_char(&mut self) -> Result<Option<char>, XmlError> {
+        self.ensure(4)?;
+        Ok(self.window()[self.pos()..].chars().next())
+    }
+
+    fn at_end(&mut self) -> Result<bool, XmlError> {
+        Ok(self.peek_byte()?.is_none())
+    }
+
+    fn starts_with(&mut self, s: &str) -> Result<bool, XmlError> {
+        self.ensure(s.len())?;
+        Ok(self.window()[self.pos()..].starts_with(s))
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), XmlError> {
+        if self.starts_with(s)? {
+            self.advance(s.len());
+            Ok(())
+        } else {
+            match self.peek_char()? {
+                Some(c) => Err(self.err_here(XmlErrorKind::UnexpectedChar(c))),
+                None => Err(self.err_here(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn skip_whitespace(&mut self) -> Result<(), XmlError> {
+        while matches!(self.peek_byte()?, Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.advance(1);
+        }
+        Ok(())
+    }
+
+    /// Window-local offset (relative to the cursor) of `pat`, refilling as
+    /// needed; `None` only at EOF.  `pat` must be ASCII.
+    fn find(&mut self, pat: &str) -> Result<Option<usize>, XmlError> {
+        let needle = pat.as_bytes();
+        let mut from = 0usize;
+        loop {
+            let hay = &self.window().as_bytes()[self.pos()..];
+            if hay.len() >= needle.len() {
+                if let Some(i) = hay[from..].windows(needle.len()).position(|w| w == needle) {
+                    return Ok(Some(from + i));
+                }
+                // Re-scan only the tail that could still complete a match.
+                from = hay.len() - (needle.len() - 1);
+            }
+            if !self.refill()? {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Lexes an XML name; returns its window-local byte range (valid until
+    /// the next consuming call — refills only append).
+    fn lex_name(&mut self) -> Result<(usize, usize), XmlError> {
+        let start = self.pos();
+        match self.peek_char()? {
+            Some(c) if is_name_start(c) => self.advance(c.len_utf8()),
+            Some(c) => return Err(self.err_here(XmlErrorKind::UnexpectedChar(c))),
+            None => return Err(self.err_here(XmlErrorKind::UnexpectedEof)),
+        }
+        loop {
+            match self.peek_char()? {
+                Some(c) if is_name_char(c) => self.advance(c.len_utf8()),
+                _ => break,
+            }
+        }
+        Ok((start, self.pos()))
+    }
+
+    /// Lexes `&...;` (named entity or character reference), appending the
+    /// replacement text to `out`.
+    fn lex_reference(&mut self, out: &mut String) -> Result<(), XmlError> {
+        let start = self.pos();
+        self.expect("&")?;
+        self.ensure(MAX_ENTITY + 2)?;
+        let w = &self.window()[self.pos()..];
+        let semi = w
+            .as_bytes()
+            .iter()
+            .take(MAX_ENTITY + 2)
+            .position(|&b| b == b';');
+        let Some(semi) = semi else {
+            // No terminator in sight: report the would-be body (or the bare
+            // ampersand when nothing readable follows).
+            let body: String = w.chars().take(MAX_ENTITY + 1).collect();
+            let shown = if body.is_empty() {
+                "&".to_string()
+            } else {
+                body
+            };
+            return Err(self.err_at(XmlErrorKind::BadEntity(shown), start));
+        };
+        let body = &w[..semi];
+        if body.len() > MAX_ENTITY {
+            return Err(self.err_at(XmlErrorKind::BadEntity(body.to_string()), start));
+        }
+        if let Some(num) = body.strip_prefix('#') {
+            let code = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+                u32::from_str_radix(hex, 16)
+            } else {
+                num.parse::<u32>()
+            };
+            let code = code
+                .ok()
+                .and_then(char::from_u32)
+                .ok_or_else(|| self.err_at(XmlErrorKind::BadEntity(body.to_string()), start))?;
+            out.push(code);
+        } else {
+            let rep = match body {
+                "lt" => '<',
+                "gt" => '>',
+                "amp" => '&',
+                "apos" => '\'',
+                "quot" => '"',
+                _ => return Err(self.err_at(XmlErrorKind::BadEntity(body.to_string()), start)),
+            };
+            out.push(rep);
+        }
+        self.advance(semi + 1);
+        Ok(())
+    }
+
+    /// Lexes a quoted attribute value into `out`, decoding references and
+    /// normalizing whitespace characters to spaces.
+    fn lex_attr_value(&mut self, out: &mut String) -> Result<(), XmlError> {
+        let quote = match self.peek_byte()? {
+            Some(q @ (b'"' | b'\'')) => q,
+            Some(_) => {
+                let c = self.peek_char()?.expect("byte present");
+                return Err(self.err_here(XmlErrorKind::UnexpectedChar(c)));
+            }
+            None => return Err(self.err_here(XmlErrorKind::UnexpectedEof)),
+        };
+        self.advance(1);
+        loop {
+            match self.peek_byte()? {
+                Some(q) if q == quote => {
+                    self.advance(1);
+                    return Ok(());
+                }
+                Some(b'<') => {
+                    return Err(self.err_here(XmlErrorKind::Malformed(
+                        "'<' in attribute value".to_string(),
+                    )))
+                }
+                Some(b'&') => self.lex_reference(out)?,
+                Some(_) => {
+                    let c = self.peek_char()?.expect("byte present");
+                    out.push(if matches!(c, '\t' | '\n' | '\r') {
+                        ' '
+                    } else {
+                        c
+                    });
+                    self.advance(c.len_utf8());
+                }
+                None => return Err(self.err_here(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    /// Skips `<!DOCTYPE ... >` including a bracketed internal subset and
+    /// quoted literals.
+    fn skip_doctype(&mut self) -> Result<(), XmlError> {
+        self.advance("<!DOCTYPE".len());
+        let mut depth = 0usize;
+        loop {
+            match self.peek_byte()? {
+                Some(b'[') => {
+                    depth += 1;
+                    self.advance(1);
+                }
+                Some(b']') => {
+                    depth = depth.saturating_sub(1);
+                    self.advance(1);
+                }
+                Some(q @ (b'"' | b'\'')) => {
+                    self.advance(1);
+                    loop {
+                        match self.peek_byte()? {
+                            Some(c) => {
+                                self.advance(1);
+                                if c == q {
+                                    break;
+                                }
+                            }
+                            None => return Err(self.err_here(XmlErrorKind::UnexpectedEof)),
+                        }
+                    }
+                }
+                Some(b'>') if depth == 0 => {
+                    self.advance(1);
+                    return Ok(());
+                }
+                Some(_) => self.advance(1),
+                None => return Err(self.err_here(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+}
+
+/// The pull tokenizer.  Obtain events with [`Tokenizer::next_event`] until
+/// it returns `Ok(None)` (clean end of document) or an error.
+pub struct Tokenizer<'a> {
+    src: Source<'a>,
+    opts: ParseOptions,
+    /// Open-element name stack; only the first `open_live` slots are
+    /// active (slots are reused to avoid per-element allocation).
+    open: Vec<String>,
+    open_live: usize,
+    /// Current element / close-tag / PI-target name.
+    name_buf: String,
+    /// Attribute slots of the current start tag; first `attrs_live` valid.
+    attrs: Vec<(String, String)>,
+    attrs_live: usize,
+    /// The text run being accumulated (entities decoded, CDATA merged).
+    text_buf: String,
+    /// A self-closing element's `EndElement` is due before reading on.
+    pending_end: bool,
+    /// The optional XML declaration has been consumed.
+    started: bool,
+    /// A complete top-level element has been seen.
+    seen_root: bool,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Tokenizes a borrowed string with default options.
+    pub fn new(input: &'a str) -> Tokenizer<'a> {
+        Tokenizer::with_options(input, ParseOptions::default())
+    }
+
+    /// Tokenizes a borrowed string.
+    pub fn with_options(input: &'a str, opts: ParseOptions) -> Tokenizer<'a> {
+        Tokenizer::build(Source::Str { input, pos: 0 }, opts)
+    }
+
+    /// Tokenizes from a reader through a sliding window; memory stays
+    /// proportional to the largest single token, not the input.
+    pub fn from_reader(rd: impl Read + 'a, opts: ParseOptions) -> Tokenizer<'a> {
+        Tokenizer::build(
+            Source::Reader {
+                rd: Box::new(rd),
+                buf: String::new(),
+                pos: 0,
+                eof: false,
+                raw: Vec::new(),
+                drained: 0,
+                drained_lines: 0,
+                drained_cols: 0,
+            },
+            opts,
+        )
+    }
+
+    fn build(src: Source<'a>, opts: ParseOptions) -> Tokenizer<'a> {
+        Tokenizer {
+            src,
+            opts,
+            open: Vec::new(),
+            open_live: 0,
+            name_buf: String::new(),
+            attrs: Vec::new(),
+            attrs_live: 0,
+            text_buf: String::new(),
+            pending_end: false,
+            started: false,
+            seen_root: false,
+        }
+    }
+
+    /// The options this tokenizer filters events with.
+    pub fn options(&self) -> &ParseOptions {
+        &self.opts
+    }
+
+    /// Number of currently open elements.
+    pub fn depth(&self) -> usize {
+        self.open_live + usize::from(self.pending_end)
+    }
+
+    /// The next event, or `Ok(None)` at the clean end of the document.
+    ///
+    /// Borrowed event data is valid until the next call.
+    pub fn next_event(&mut self) -> Result<Option<XmlEvent<'_>>, XmlError> {
+        if self.pending_end {
+            self.pending_end = false;
+            if self.open_live == 0 {
+                self.seen_root = true;
+            }
+            return Ok(Some(XmlEvent::EndElement {
+                name: &self.name_buf,
+            }));
+        }
+        self.text_buf.clear();
+        if !self.started {
+            self.started = true;
+            if self.src.starts_with("<?xml")? {
+                match self.src.find("?>")? {
+                    Some(i) => self.src.advance(i + 2),
+                    None => return Err(self.src.err_here(XmlErrorKind::UnexpectedEof)),
+                }
+            }
+        }
+        loop {
+            self.src.compact();
+            if self.open_live == 0 {
+                // Prolog or epilog: misc items only; content is rejected.
+                self.src.skip_whitespace()?;
+                if self.src.at_end()? {
+                    return if self.seen_root {
+                        Ok(None)
+                    } else {
+                        Err(self.src.err_here(XmlErrorKind::NoRootElement))
+                    };
+                }
+                if self.src.starts_with("<!--")? {
+                    self.consume_comment()?; // always dropped outside the root
+                    continue;
+                }
+                if self.src.starts_with("<!DOCTYPE")? {
+                    self.src.skip_doctype()?;
+                    continue;
+                }
+                if self.src.starts_with("<?")? {
+                    self.consume_pi()?; // always dropped outside the root
+                    continue;
+                }
+                if self.src.peek_byte()? == Some(b'<') {
+                    if self.seen_root {
+                        return Err(self.src.err_here(XmlErrorKind::TrailingContent));
+                    }
+                    return self.start_element().map(Some);
+                }
+                return Err(self.src.err_here(XmlErrorKind::TrailingContent));
+            }
+            // Element content.
+            match self.src.peek_byte()? {
+                None => return Err(self.src.err_here(XmlErrorKind::UnexpectedEof)),
+                Some(b'<') => {
+                    if self.src.starts_with("</")? {
+                        if self.text_ready() {
+                            return Ok(Some(XmlEvent::Text(&self.text_buf)));
+                        }
+                        return self.end_element().map(Some);
+                    } else if self.src.starts_with("<!--")? {
+                        // Comments split text runs even when dropped.
+                        if self.text_ready() {
+                            return Ok(Some(XmlEvent::Text(&self.text_buf)));
+                        }
+                        if let Some((a, b)) = self.consume_comment()? {
+                            return Ok(Some(XmlEvent::Comment(&self.src.window()[a..b])));
+                        }
+                        continue;
+                    } else if self.src.starts_with("<![CDATA[")? {
+                        self.consume_cdata()?; // merges into the text run
+                        continue;
+                    } else if self.src.starts_with("<?")? {
+                        if self.text_ready() {
+                            return Ok(Some(XmlEvent::Text(&self.text_buf)));
+                        }
+                        if let Some((a, b)) = self.consume_pi()? {
+                            let data = self.src.window()[a..b].trim_start();
+                            return Ok(Some(XmlEvent::Pi {
+                                target: &self.name_buf,
+                                data,
+                            }));
+                        }
+                        continue;
+                    } else {
+                        if self.text_ready() {
+                            return Ok(Some(XmlEvent::Text(&self.text_buf)));
+                        }
+                        return self.start_element().map(Some);
+                    }
+                }
+                Some(b'&') => self.src.lex_reference(&mut self.text_buf)?,
+                Some(_) => self.consume_text_chunk()?,
+            }
+        }
+    }
+
+    /// Whether the accumulated text run should be emitted (clears runs the
+    /// whitespace-stripping option discards).
+    fn text_ready(&mut self) -> bool {
+        if self.text_buf.is_empty() {
+            return false;
+        }
+        let keep = !self.opts.strip_whitespace_text
+            || self.text_buf.chars().any(|c| !c.is_ascii_whitespace());
+        if !keep {
+            self.text_buf.clear();
+        }
+        keep
+    }
+
+    /// Consumes a `<tag attr="v"…>` or `<tag…/>` start tag.
+    fn start_element(&mut self) -> Result<XmlEvent<'_>, XmlError> {
+        self.src.advance(1); // '<'
+        let (a, b) = self.src.lex_name()?;
+        self.name_buf.clear();
+        self.name_buf.push_str(&self.src.window()[a..b]);
+        self.attrs_live = 0;
+        loop {
+            self.src.skip_whitespace()?;
+            match self.src.peek_byte()? {
+                Some(b'>') => {
+                    self.src.advance(1);
+                    if self.open.len() == self.open_live {
+                        self.open.push(String::new());
+                    }
+                    let slot = &mut self.open[self.open_live];
+                    slot.clear();
+                    slot.push_str(&self.name_buf);
+                    self.open_live += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.src.expect("/>")?;
+                    self.pending_end = true;
+                    break;
+                }
+                Some(_) => {
+                    let at = self.src.pos();
+                    let (na, nb) = self.src.lex_name()?;
+                    {
+                        let aname = &self.src.window()[na..nb];
+                        if self.attrs[..self.attrs_live]
+                            .iter()
+                            .any(|(n, _)| n == aname)
+                        {
+                            return Err(self
+                                .src
+                                .err_at(XmlErrorKind::DuplicateAttribute(aname.to_string()), at));
+                        }
+                        if self.attrs.len() == self.attrs_live {
+                            self.attrs.push((String::new(), String::new()));
+                        }
+                        let slot = &mut self.attrs[self.attrs_live];
+                        slot.0.clear();
+                        slot.0.push_str(aname);
+                        slot.1.clear();
+                    }
+                    self.src.skip_whitespace()?;
+                    self.src.expect("=")?;
+                    self.src.skip_whitespace()?;
+                    let mut value = std::mem::take(&mut self.attrs[self.attrs_live].1);
+                    self.src.lex_attr_value(&mut value)?;
+                    self.attrs[self.attrs_live].1 = value;
+                    self.attrs_live += 1;
+                }
+                None => return Err(self.src.err_here(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+        Ok(XmlEvent::StartElement {
+            name: &self.name_buf,
+            attrs: &self.attrs[..self.attrs_live],
+        })
+    }
+
+    /// Consumes a `</tag>` close tag, validating nesting.
+    fn end_element(&mut self) -> Result<XmlEvent<'_>, XmlError> {
+        self.src.advance(2); // "</"
+        let at = self.src.pos();
+        let (a, b) = self.src.lex_name()?;
+        self.name_buf.clear();
+        self.name_buf.push_str(&self.src.window()[a..b]);
+        self.src.skip_whitespace()?;
+        self.src.expect(">")?;
+        if self.open_live == 0 {
+            return Err(self
+                .src
+                .err_at(XmlErrorKind::UnmatchedClose(self.name_buf.clone()), at));
+        }
+        let open = &self.open[self.open_live - 1];
+        if *open != self.name_buf {
+            return Err(self.src.err_at(
+                XmlErrorKind::MismatchedTag {
+                    open: open.clone(),
+                    close: self.name_buf.clone(),
+                },
+                at,
+            ));
+        }
+        self.open_live -= 1;
+        if self.open_live == 0 {
+            self.seen_root = true;
+        }
+        Ok(XmlEvent::EndElement {
+            name: &self.name_buf,
+        })
+    }
+
+    /// Consumes a comment; returns the body's window range when the
+    /// options keep comments (and we are inside the root element).
+    fn consume_comment(&mut self) -> Result<Option<(usize, usize)>, XmlError> {
+        self.src.advance(4); // "<!--"
+        let end = match self.src.find("-->")? {
+            Some(i) => i,
+            None => return Err(self.src.err_here(XmlErrorKind::UnexpectedEof)),
+        };
+        let start = self.src.pos();
+        if self.src.window()[start..start + end].contains("--") {
+            return Err(self
+                .src
+                .err_here(XmlErrorKind::Malformed("'--' in comment".to_string())));
+        }
+        self.src.advance(end + 3);
+        let keep = self.opts.keep_comments && self.open_live > 0;
+        Ok(keep.then_some((start, start + end)))
+    }
+
+    /// Consumes a CDATA section into the current text run.
+    fn consume_cdata(&mut self) -> Result<(), XmlError> {
+        self.src.advance("<![CDATA[".len());
+        let end = match self.src.find("]]>")? {
+            Some(i) => i,
+            None => return Err(self.src.err_here(XmlErrorKind::UnexpectedEof)),
+        };
+        let start = self.src.pos();
+        self.text_buf
+            .push_str(&self.src.window()[start..start + end]);
+        self.src.advance(end + 3);
+        Ok(())
+    }
+
+    /// Consumes a processing instruction; returns the data's window range
+    /// when the options keep PIs (and we are inside the root element).
+    /// The target is left in `name_buf`.
+    fn consume_pi(&mut self) -> Result<Option<(usize, usize)>, XmlError> {
+        self.src.advance(2); // "<?"
+        let (a, b) = self.src.lex_name()?;
+        self.name_buf.clear();
+        self.name_buf.push_str(&self.src.window()[a..b]);
+        if self.name_buf.eq_ignore_ascii_case("xml") {
+            return Err(self.src.err_here(XmlErrorKind::Malformed(
+                "'<?xml' only allowed at document start".to_string(),
+            )));
+        }
+        let end = match self.src.find("?>")? {
+            Some(i) => i,
+            None => return Err(self.src.err_here(XmlErrorKind::UnexpectedEof)),
+        };
+        let start = self.src.pos();
+        self.src.advance(end + 2);
+        let keep = self.opts.keep_processing_instructions && self.open_live > 0;
+        Ok(keep.then_some((start, start + end)))
+    }
+
+    /// Consumes a run of plain character data up to the next markup or
+    /// reference, rejecting a bare `]]>`.
+    fn consume_text_chunk(&mut self) -> Result<(), XmlError> {
+        let pos = self.src.pos();
+        let w = &self.src.window()[pos..];
+        let stop = w.as_bytes().iter().position(|&b| b == b'<' || b == b'&');
+        // How much character data to take this round: up to the stop, or —
+        // with a reader that may still produce bytes — all but a 2-byte
+        // guard band so a `]]>` or stop split across refills is still seen
+        // whole on the next round.
+        let all_present = stop.is_some()
+            || matches!(&self.src, Source::Str { .. })
+            || matches!(&self.src, Source::Reader { eof, .. } if *eof);
+        let take = match stop {
+            Some(i) => i,
+            None if all_present => w.len(),
+            None => {
+                let mut t = w.len().saturating_sub(2);
+                while t > 0 && !w.is_char_boundary(t) {
+                    t -= 1;
+                }
+                t
+            }
+        };
+        // Scan for a bare `]]>` over everything known to be character
+        // data — up to the stop when there is one, else the whole window
+        // (NOT just the guard-trimmed `take` prefix: a `]]>` ending
+        // exactly at the window edge would otherwise lose its first `]`
+        // to this round's consumption and never re-form).
+        let scannable = &w[..stop.unwrap_or(w.len())];
+        if let Some(i) = scannable.find("]]>") {
+            return Err(self.src.err_at(
+                XmlErrorKind::Malformed("']]>' in character data".to_string()),
+                pos + i,
+            ));
+        }
+        if take == 0 {
+            // Window too small to make progress: grow it.
+            self.src.refill()?;
+        } else {
+            self.text_buf.push_str(&w[..take]);
+            self.src.advance(take);
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+pub(crate) fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.' | '\u{b7}')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Collects `(kind, detail)` descriptions of every event.
+    fn trace(input: &str) -> Result<Vec<String>, XmlError> {
+        trace_opts(input, ParseOptions::default())
+    }
+
+    fn trace_opts(input: &str, opts: ParseOptions) -> Result<Vec<String>, XmlError> {
+        let mut tok = Tokenizer::with_options(input, opts);
+        let mut out = Vec::new();
+        while let Some(ev) = tok.next_event()? {
+            out.push(describe(&ev));
+        }
+        Ok(out)
+    }
+
+    fn describe(ev: &XmlEvent<'_>) -> String {
+        match ev {
+            XmlEvent::StartElement { name, attrs } => {
+                let attrs: Vec<String> = attrs.iter().map(|(n, v)| format!("{n}={v}")).collect();
+                format!("<{name} [{}]", attrs.join(","))
+            }
+            XmlEvent::EndElement { name } => format!(">{name}"),
+            XmlEvent::Text(t) => format!("t:{t}"),
+            XmlEvent::Comment(c) => format!("c:{c}"),
+            XmlEvent::Pi { target, data } => format!("pi:{target}:{data}"),
+        }
+    }
+
+    #[test]
+    fn event_stream_shapes() {
+        assert_eq!(
+            trace(r#"<a x="1"><b/>hi<!--c--><?p d?></a>"#).unwrap(),
+            vec!["<a [x=1]", "<b []", ">b", "t:hi", "c:c", "pi:p:d", ">a"]
+        );
+    }
+
+    #[test]
+    fn cdata_merges_comments_split() {
+        assert_eq!(
+            trace("<a>x<![CDATA[<&]]>y<!--c-->z</a>").unwrap(),
+            vec!["<a []", "t:x<&y", "c:c", "t:z", ">a"]
+        );
+        // A dropped comment still splits the run.
+        let opts = ParseOptions {
+            keep_comments: false,
+            ..Default::default()
+        };
+        assert_eq!(
+            trace_opts("<a>x<!--c-->z</a>", opts).unwrap(),
+            vec!["<a []", "t:x", "t:z", ">a"]
+        );
+    }
+
+    #[test]
+    fn whitespace_stripping_filters_text_events() {
+        assert_eq!(
+            trace_opts("<a>\n  <b> x </b>\n</a>", ParseOptions::paper_model()).unwrap(),
+            vec!["<a []", "<b []", "t: x ", ">b", ">a"]
+        );
+    }
+
+    #[test]
+    fn reader_mode_matches_str_mode() {
+        // A reader that trickles 3 bytes at a time exercises every refill
+        // boundary; the event stream must be byte-identical.
+        struct Trickle<'a>(&'a [u8]);
+        impl Read for Trickle<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.0.len().min(out.len()).min(3);
+                out[..n].copy_from_slice(&self.0[..n]);
+                self.0 = &self.0[n..];
+                Ok(n)
+            }
+        }
+        let input = "<?xml version=\"1.0\"?><!DOCTYPE a><a häuser=\"größe\">héllo \
+                     ☃<![CDATA[<raw>]]>&amp;<!--co--><b x='1' y=\"2\"/><?pi data?></a>";
+        let want = trace(input).unwrap();
+        let mut tok = Tokenizer::from_reader(Trickle(input.as_bytes()), ParseOptions::default());
+        let mut got = Vec::new();
+        while let Some(ev) = tok.next_event().unwrap() {
+            got.push(describe(&ev));
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reader_mode_reports_positions() {
+        let input = "<a>\n<b></c>\n</a>";
+        let mut tok = Tokenizer::from_reader(input.as_bytes(), ParseOptions::default());
+        let err = loop {
+            match tok.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("expected an error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err.kind(), XmlErrorKind::MismatchedTag { .. }));
+        assert_eq!(err.line(), 2);
+        assert!(err.column() > 1);
+    }
+
+    #[test]
+    fn reader_mode_rejects_cdata_end_at_chunk_boundary() {
+        // A `]]>` whose `>` is the last byte of a read chunk once slipped
+        // past the guard band (the first `]` was consumed before the
+        // needle could re-form): str and reader modes must agree.
+        struct Chunks<'a>(Vec<&'a [u8]>);
+        impl Read for Chunks<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                if self.0.is_empty() {
+                    return Ok(0);
+                }
+                let c = self.0.remove(0);
+                out[..c.len()].copy_from_slice(c);
+                Ok(c.len())
+            }
+        }
+        let mut tok =
+            Tokenizer::from_reader(Chunks(vec![b"<a>xx]]>", b"y</a>"]), ParseOptions::default());
+        let err = loop {
+            match tok.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("expected an error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(err.kind(), XmlErrorKind::Malformed(m) if m.contains("]]>")),
+            "{err}"
+        );
+        assert!(trace("<a>xx]]>y</a>").is_err());
+    }
+
+    #[test]
+    fn reader_mode_rejects_invalid_utf8() {
+        let bytes: &[u8] = b"<a>\xff</a>";
+        let mut tok = Tokenizer::from_reader(bytes, ParseOptions::default());
+        let err = loop {
+            match tok.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("expected an error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err.kind(), XmlErrorKind::Malformed(_)));
+    }
+
+    #[test]
+    fn big_documents_compact_the_window() {
+        // > COMPACT_AT of input through a reader: the window must shrink
+        // (indirectly observed: positions stay correct past the threshold).
+        let mut input = String::from("<a>");
+        while input.len() < COMPACT_AT + 10_000 {
+            input.push_str("<b>text</b>");
+        }
+        input.push_str("<b></c>"); // mismatch far past the threshold
+        input.push_str("</a>");
+        let mut tok = Tokenizer::from_reader(input.as_bytes(), ParseOptions::default());
+        let err = loop {
+            match tok.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("expected an error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err.kind(), XmlErrorKind::MismatchedTag { .. }));
+        assert_eq!(err.line(), 1);
+        assert!(err.offset() > COMPACT_AT);
+    }
+
+    #[test]
+    fn depth_tracks_open_elements() {
+        let mut tok = Tokenizer::new("<a><b/></a>");
+        assert_eq!(tok.depth(), 0);
+        tok.next_event().unwrap(); // <a>
+        assert_eq!(tok.depth(), 1);
+        tok.next_event().unwrap(); // <b/> start
+        assert_eq!(tok.depth(), 2);
+        tok.next_event().unwrap(); // b end
+        assert_eq!(tok.depth(), 1);
+    }
+}

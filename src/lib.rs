@@ -94,6 +94,29 @@
 //! assert_eq!(v.into_node_set().unwrap().len(), 2);
 //! ```
 //!
+//! ## Streaming
+//!
+//! For read-once workloads, [`stream`] evaluates the forward-axis
+//! fragment in one SAX-style pass over XML *text* — no document arena is
+//! built, and memory stays proportional to document depth plus the
+//! result:
+//!
+//! ```
+//! use minctx::prelude::*;
+//!
+//! let engine = Engine::new(Strategy::Streaming);
+//! let query = parse_xpath("count(//b[@id])").unwrap();
+//! let out = engine
+//!     .evaluate_reader_str(&query, r#"<a><b id="1"/><b/></a>"#)
+//!     .unwrap();
+//! assert_eq!(out.streamed(), Some(&StreamValue::Number(1.0)));
+//! ```
+//!
+//! Queries outside the streamable fragment (reverse axes the optimizer
+//! cannot normalize away, positional predicates, `id()`, …) fall back to
+//! parse-then-evaluate, and the outcome reports which construct forced
+//! the fallback — see [`stream::classify`].
+//!
 //! ## Benchmarks
 //!
 //! `cargo run --release -p minctx-bench --bin tables` prints the paper's
@@ -102,12 +125,16 @@
 //! `thm13_corexpath`, `exp_query_size`, `axes`).
 
 pub use minctx_core as engine;
+pub use minctx_stream as stream;
 pub use minctx_syntax as syntax;
 pub use minctx_xml as xml;
 
 /// The most common imports, bundled.
 pub mod prelude {
     pub use minctx_core::{CompiledQuery, Context, Engine, EvalError, Evaluator, Strategy, Value};
+    pub use minctx_stream::{
+        classify, StreamMatch, StreamOutcome, StreamValue, Streamability, StreamingEngine,
+    };
     pub use minctx_syntax::parse_xpath;
     pub use minctx_xml::{parse as parse_xml, Document, NodeId, NodeSet, Scratch};
 }
