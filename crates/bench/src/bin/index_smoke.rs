@@ -1,0 +1,114 @@
+//! Persistent-index smoke: proves `open_snapshot` is what it claims —
+//! **zero-copy and parser-free** — on the benchmark corpus.
+//!
+//! ```text
+//! cargo run --release -p minctx-bench --bin index_smoke [elements]
+//! ```
+//!
+//! Builds the XMark-style corpus (10⁶ elements by default, matching the
+//! stream smoke's tier), snapshots it, drops the arena, reopens the
+//! snapshot, and asserts:
+//!
+//! * `minctx_xml::tokenizers_created()` did not move — the open never
+//!   lexed a byte of XML (no re-parse, structurally impossible to fake);
+//! * `minctx_xml::builder::documents_built()` did not move — no arena
+//!   was re-built either, the columns were adopted in place;
+//! * total bytes allocated during the open stay under a fixed ceiling
+//!   (1 MiB) that is orders of magnitude below the document's own
+//!   footprint — only the name table and the document shell may
+//!   allocate, never an `O(|D|)` column copy;
+//! * a query answered from the reopened snapshot agrees with the answer
+//!   computed on the original arena, and the snapshot stamp round-trips.
+//!
+//! The CI `index-smoke` job runs this binary; see DESIGN.md "Persistent
+//! index".
+
+use minctx_bench::{values_agree, xmark_doc, CountingAllocator, XmarkConfig};
+use minctx_core::{open_snapshot, write_snapshot, Engine, Strategy};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+/// Bytes `open_snapshot` may allocate: name table + document shell +
+/// file handles.  The 10⁶-element corpus itself is ~10⁸ bytes, so this
+/// ceiling is what makes "zero-copy" falsifiable.  (The heap fallback
+/// for platforms without `mmap` would blow straight through it — by
+/// design; this smoke pins the mapped path.)
+const OPEN_ALLOC_CEILING: usize = 1 << 20;
+
+fn main() {
+    let elements: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_000_000);
+    let cfg = XmarkConfig::sized(elements);
+
+    let build_start = Instant::now();
+    let doc = xmark_doc(&cfg);
+    let nodes = doc.len();
+    println!(
+        "corpus: {nodes} nodes ({elements} elements), built in {:.1?}",
+        build_start.elapsed()
+    );
+
+    let engine = Engine::new(Strategy::OptMinContext);
+    let expected = engine.evaluate_str(&doc, "count(//item)").unwrap();
+
+    let path = std::env::temp_dir().join(format!("minctx-index-smoke-{}.mctx", std::process::id()));
+    let write_start = Instant::now();
+    let info = write_snapshot(&doc, &path).unwrap();
+    println!(
+        "snapshot: {} bytes written in {:.1?} (stamp {:#018x})",
+        info.file_len,
+        write_start.elapsed(),
+        info.stamp
+    );
+    drop(doc);
+
+    let docs_before = minctx_xml::builder::documents_built();
+    let toks_before = minctx_xml::tokenizers_created();
+    let alloc_before = ALLOC.total();
+    let open_start = Instant::now();
+    let snap = open_snapshot(&path).unwrap();
+    let open_time = open_start.elapsed();
+    let open_alloc = ALLOC.total() - alloc_before;
+
+    assert_eq!(
+        minctx_xml::tokenizers_created(),
+        toks_before,
+        "open_snapshot constructed a Tokenizer: the snapshot was re-lexed"
+    );
+    assert_eq!(
+        minctx_xml::builder::documents_built(),
+        docs_before,
+        "open_snapshot ran the DocumentBuilder: the arena was re-built"
+    );
+    assert!(
+        open_alloc <= OPEN_ALLOC_CEILING,
+        "open_snapshot allocated {open_alloc} bytes (ceiling {OPEN_ALLOC_CEILING}): \
+         a column was copied instead of mapped"
+    );
+
+    let got = engine.evaluate_str(&snap, "count(//item)").unwrap();
+    assert!(
+        values_agree(&got, &expected),
+        "snapshot answer {got:?} != arena answer {expected:?}"
+    );
+    assert_eq!(
+        minctx_xml::tokenizers_created(),
+        toks_before,
+        "evaluating on a snapshot lexed XML"
+    );
+    assert_eq!(
+        snap.stamp(),
+        info.stamp,
+        "stamp did not survive the round trip"
+    );
+
+    println!(
+        "open_snapshot: {open_time:.1?}, {open_alloc} bytes allocated \
+         (ceiling {OPEN_ALLOC_CEILING}); count(//item) = {got:?} — OK"
+    );
+    std::fs::remove_file(&path).ok();
+}

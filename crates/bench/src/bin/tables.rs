@@ -11,10 +11,15 @@
 //! budget tripped or a strategy was skipped as hopeless at that size),
 //! followed by the axis-step section on an XMark-style corpus.
 //!
-//! `--json PATH` runs *only* the axis-step snapshot (10⁵-element corpus;
-//! 2·10⁴ with `--quick`) and writes machine-diffable JSON to `PATH` —
-//! `BENCH_baseline.json` at the repo root is one such committed snapshot;
-//! regenerate and diff against it before landing axis-kernel changes.
+//! `--json PATH` skips the strategy tables and runs the regression
+//! snapshot — the axis-step section (10⁵-element corpus; 2·10⁴ with
+//! `--quick`), the `stream/*` rows (streaming vs arena at the 10⁵ and
+//! 10⁶ tiers; quick: 2·10⁴/10⁵), and the `index/*` rows (snapshot
+//! write / zero-copy open vs re-parse / cold first-query at the same
+//! tiers) — writing machine-diffable JSON to `PATH`.
+//! `BENCH_baseline.json` at the repo root is one such committed
+//! snapshot; regenerate and diff against it before landing kernel,
+//! streaming or snapshot-format changes.
 
 use minctx_bench::{
     exponential_doc, exponential_family, fmt_ms, time, time_strategy, time_strategy_opt, wide_doc,
@@ -44,9 +49,10 @@ fn main() {
     let snapshot_elements = if quick { 20_000 } else { 100_000 };
     let snapshot_runs = if quick { 3 } else { 5 };
 
-    // Streaming tiers: a comparison corpus the arena evaluators handle,
-    // and a 10⁶-element scale corpus beyond their 2²¹-node capacity
-    // (streaming has no such cap — that is its point).
+    // Streaming tiers: a comparison corpus and a 10⁶-element scale
+    // corpus (streaming's memory stays bounded by depth + result there —
+    // that is its point; since PR 5 the arena evaluators run at this
+    // scale too, so the comparison covers both tiers).
     let (stream_compare, stream_scale) = if quick {
         (20_000, 100_000)
     } else {
@@ -59,6 +65,8 @@ fn main() {
         let mut entries = axis_snapshot(&doc, snapshot_runs);
         entries.extend(stream_snapshot(stream_compare, snapshot_runs));
         entries.extend(stream_snapshot(stream_scale, snapshot_runs));
+        entries.extend(index_snapshot(stream_compare, snapshot_runs));
+        entries.extend(index_snapshot(stream_scale, snapshot_runs));
         print_snapshot(&doc, &entries);
         std::fs::write(&path, snapshot_json(&cfg, &doc, &entries))
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
@@ -128,6 +136,61 @@ fn main() {
             println!("  {key:<52} {v:>10.4}");
         }
     }
+
+    banner("Persistent index (snapshot write / zero-copy open)");
+    for elements in [stream_compare, stream_scale] {
+        let entries = index_snapshot(elements, snapshot_runs);
+        for (key, v) in &entries {
+            println!("  {key:<52} {v:>10.4}");
+        }
+    }
+}
+
+/// The `index/*` rows: snapshot write time, zero-copy open time vs the
+/// XML re-parse it replaces (the acceptance ratio: open must be ≥ 5×
+/// faster at the 10⁶ tier), and cold first-query latency — open a fresh
+/// snapshot, compile and answer one serving query end to end.
+fn index_snapshot(elements: usize, runs: usize) -> Vec<(String, f64)> {
+    use minctx_core::{open_snapshot, write_snapshot};
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let tag = format!("{}k", elements / 1000);
+    let cfg = XmarkConfig::sized(elements);
+    let doc = xmark_doc(&cfg);
+    let xml = to_xml_string(&doc);
+    let path = std::env::temp_dir().join(format!(
+        "minctx-tables-index-{}-{tag}.mctx",
+        std::process::id()
+    ));
+    let mut out: Vec<(String, f64)> = Vec::new();
+    out.push((
+        format!("index/{tag}/write-snapshot"),
+        ms(time(runs, || write_snapshot(&doc, &path).unwrap())),
+    ));
+    drop(doc);
+    out.push((
+        format!("index/{tag}/arena-parse"),
+        ms(time(runs, || minctx_xml::parse(&xml).unwrap())),
+    ));
+    drop(xml);
+    out.push((
+        format!("index/{tag}/open-snapshot"),
+        ms(time(runs, || open_snapshot(&path).unwrap())),
+    ));
+    for q in ["//item", "//item[@id]", "count(//item)"] {
+        let query = minctx_syntax::parse_xpath(q).unwrap();
+        // Cold serve: fresh open, fresh engine (compile included).
+        out.push((
+            format!("index/{tag}/first-query/{q}"),
+            ms(time(runs, || {
+                let snap = open_snapshot(&path).unwrap();
+                Engine::new(Strategy::MinContext)
+                    .evaluate(&snap, &query)
+                    .unwrap()
+            })),
+        ));
+    }
+    std::fs::remove_file(&path).ok();
+    out
 }
 
 /// The streaming rows: wall-time of `evaluate_reader` over serialized
@@ -142,9 +205,6 @@ fn stream_snapshot(elements: usize, runs: usize) -> Vec<(String, f64)> {
     let cfg = XmarkConfig::sized(elements);
     let doc = xmark_doc(&cfg);
     let xml = to_xml_string(&doc);
-    // The arena evaluators pack memo keys into 21-bit fields; past that
-    // capacity only the streaming path can answer at all.
-    let arena_fits = doc.len() < (1 << 21);
     let tag = format!("{}k", elements / 1000);
     out.push((
         format!("stream/{tag}/arena-parse"),
@@ -154,8 +214,11 @@ fn stream_snapshot(elements: usize, runs: usize) -> Vec<(String, f64)> {
     let engine = Engine::new(Strategy::Streaming);
     let arena = Engine::new(Strategy::MinContext);
     // One reparse for the whole arena comparison (its cost is the
-    // `arena-parse` row above).
-    let arena_doc = arena_fits.then(|| minctx_xml::parse(&xml).unwrap());
+    // `arena-parse` row above).  PR 5 widened the arena memo keys to
+    // u128, so the arena evaluators run at every tier (the old 2²¹-node
+    // packed-key cap excluded the 10⁶ tier, whose rows used to stop at
+    // the parse cost).
+    let arena_doc = minctx_xml::parse(&xml).unwrap();
     for q in ["//item", "//item[@id]", "count(//item)"] {
         let query = minctx_syntax::parse_xpath(q).unwrap();
         let streamed = engine.evaluate_reader_str(&query, &xml).unwrap();
@@ -180,28 +243,24 @@ fn stream_snapshot(elements: usize, runs: usize) -> Vec<(String, f64)> {
         std::hint::black_box(&outc);
         out.push((format!("stream/{tag}/alloc-peak-mb/{q}"), mb(peak)));
         out.push((format!("stream/{tag}/alloc-total-mb/{q}"), mb(total)));
-        if let Some(doc) = &arena_doc {
-            // Arena wall-time on a prebuilt document (the steady-state
-            // serving shape; `arena-parse` above is the build cost).
-            let t = time(runs, || arena.evaluate(doc, &query).unwrap());
-            out.push((format!("stream/{tag}/arena-eval/{q}"), ms(t)));
-            if let StreamOutcome::Streamed(v) = &streamed {
-                let want = arena.evaluate(doc, &query).unwrap();
-                let agree = match (v, &want) {
-                    (minctx_stream::StreamValue::Nodes(msv), minctx_core::Value::NodeSet(ns)) => {
-                        msv.len() == ns.len()
-                            && msv
-                                .iter()
-                                .zip(ns.iter())
-                                .all(|(m, n)| m.ordinal as usize == n.index())
-                    }
-                    (minctx_stream::StreamValue::Number(x), minctx_core::Value::Number(y)) => {
-                        x == y
-                    }
-                    _ => false,
-                };
-                assert!(agree, "{q}: stream/arena divergence on the bench corpus");
-            }
+        // Arena wall-time on a prebuilt document (the steady-state
+        // serving shape; `arena-parse` above is the build cost).
+        let t = time(runs, || arena.evaluate(&arena_doc, &query).unwrap());
+        out.push((format!("stream/{tag}/arena-eval/{q}"), ms(t)));
+        if let StreamOutcome::Streamed(v) = &streamed {
+            let want = arena.evaluate(&arena_doc, &query).unwrap();
+            let agree = match (v, &want) {
+                (minctx_stream::StreamValue::Nodes(msv), minctx_core::Value::NodeSet(ns)) => {
+                    msv.len() == ns.len()
+                        && msv
+                            .iter()
+                            .zip(ns.iter())
+                            .all(|(m, n)| m.ordinal as usize == n.index())
+                }
+                (minctx_stream::StreamValue::Number(x), minctx_core::Value::Number(y)) => x == y,
+                _ => false,
+            };
+            assert!(agree, "{q}: stream/arena divergence on the bench corpus");
         }
     }
     out

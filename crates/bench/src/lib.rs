@@ -362,6 +362,26 @@ pub mod corpus {
         // Scalars: numbers, strings, booleans.
         "count(//book)",
         "count(//book[price < 50]) + count(//magazine)",
+        // count(π) RelOp c existence shapes: rewritten to boolean(π) /
+        // not(π) by the optimizer (PR 5), so the raw runs keep the
+        // counting evaluation honest and the rewritten runs exercise the
+        // backward-propagatable boolean(π) form.
+        "count(//book) > 0",
+        "count(//nosuch) != 0",
+        "count(//book[price > 40]) >= 1",
+        "count(//nosuch) = 0",
+        "count(//book) < 1",
+        "count(//magazine) <= 0",
+        "0 < count(//price)",
+        "1 > count(//nosuch)",
+        "0 = count(//comment())",
+        "//*[count(*) > 0]",
+        "//book[count(nosuch) = 0]",
+        "//*[count(../*) >= 1]",
+        // Near-miss thresholds that must keep counting.
+        "count(//book) > 1",
+        "count(//book) >= 2",
+        "count(//nosuch) <= 1",
         "sum(//n)",
         "sum(//m) * 2",
         "1 div 0",

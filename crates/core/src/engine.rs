@@ -343,6 +343,39 @@ impl Engine {
         self.evaluate_at(doc, query, Context::document(doc))
     }
 
+    /// Opens a persistent document snapshot (see `minctx-index`) and
+    /// evaluates `query` against it — a stored corpus is queried without
+    /// ever touching the XML parser.
+    ///
+    /// This is the one-shot convenience: each call pays the snapshot's
+    /// open-time integrity scan.  Serving loops should call
+    /// [`minctx_index::open_snapshot`] once and [`Engine::evaluate`] the
+    /// returned [`Document`] many times — snapshot stamps are stable
+    /// across reopens, so the engine's compiled-query cache keeps
+    /// hitting either way.
+    pub fn evaluate_snapshot(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        query: &Query,
+    ) -> Result<Value, EvalError> {
+        let doc = minctx_index::open_snapshot(path)
+            .map_err(|e| EvalError::Snapshot(std::sync::Arc::new(e)))?;
+        self.evaluate(&doc, query)
+    }
+
+    /// [`Engine::evaluate_snapshot`] for an unparsed XPath string (the
+    /// string is lowered afresh per call, exactly like
+    /// [`Engine::evaluate_str`]).
+    pub fn evaluate_snapshot_str(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        query: &str,
+    ) -> Result<Value, EvalError> {
+        let doc = minctx_index::open_snapshot(path)
+            .map_err(|e| EvalError::Snapshot(std::sync::Arc::new(e)))?;
+        self.evaluate_str(&doc, query)
+    }
+
     /// Evaluates a lowered query at an explicit context.
     ///
     /// The context must be valid for the document: its node in range and
@@ -605,6 +638,37 @@ mod tests {
             e.evaluate_compiled(&other, &cq, Context::document(&other)),
             Err(EvalError::InvalidContext { .. })
         ));
+    }
+
+    #[test]
+    fn evaluate_snapshot_queries_a_stored_corpus() {
+        let doc = parse(r#"<a><b id="x">1</b><b>2</b></a>"#).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "minctx-engine-snapshot-{}.mctx",
+            std::process::id()
+        ));
+        crate::write_snapshot(&doc, &path).unwrap();
+        let q = minctx_syntax::parse_xpath("count(//b)").unwrap();
+        for s in Strategy::ALL {
+            let e = Engine::new(s);
+            assert_eq!(
+                e.evaluate_snapshot(&path, &q).unwrap(),
+                Value::Number(2.0),
+                "strategy {s}"
+            );
+            assert_eq!(
+                e.evaluate_snapshot_str(&path, "string(id('x'))").unwrap(),
+                Value::String("1".into()),
+                "strategy {s}"
+            );
+        }
+        // A missing snapshot surfaces as EvalError::Snapshot.
+        let missing = std::env::temp_dir().join("minctx-engine-snapshot-missing.mctx");
+        assert!(matches!(
+            Engine::new(Strategy::MinContext).evaluate_snapshot(&missing, &q),
+            Err(EvalError::Snapshot(_))
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

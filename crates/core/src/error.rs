@@ -30,7 +30,8 @@ pub enum EvalError {
         budget: u64,
     },
     /// The document exceeds an evaluator's structural capacity (e.g. the
-    /// MINCONTEXT memo keys pack node ids into fixed-width fields).
+    /// streaming engine's `u32` pre-order ordinals, kept in lockstep with
+    /// arena `NodeId`s).
     DocumentTooLarge {
         /// Node count of the offending document.
         nodes: usize,
@@ -44,6 +45,11 @@ pub enum EvalError {
         /// What was wrong with it.
         reason: &'static str,
     },
+    /// Opening a persistent document snapshot failed (missing file,
+    /// truncation, checksum mismatch, version skew — see
+    /// [`minctx_index::SnapshotError`] for the full taxonomy).  Arc'd so
+    /// evaluation errors stay cheaply clonable.
+    Snapshot(std::sync::Arc<minctx_index::SnapshotError>),
 }
 
 impl fmt::Display for EvalError {
@@ -66,6 +72,7 @@ impl fmt::Display for EvalError {
             EvalError::InvalidContext { reason } => {
                 write!(f, "invalid evaluation context: {reason}")
             }
+            EvalError::Snapshot(e) => write!(f, "{e}"),
         }
     }
 }
@@ -75,6 +82,7 @@ impl std::error::Error for EvalError {
         match self {
             EvalError::Parse(e) => Some(e),
             EvalError::Xml(e) => Some(e),
+            EvalError::Snapshot(e) => Some(&**e),
             _ => None,
         }
     }

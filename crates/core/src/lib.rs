@@ -46,6 +46,10 @@ pub use compile::CompiledQuery;
 pub use engine::{Context, Engine, Evaluator, Strategy};
 pub use error::EvalError;
 pub use mincontext::MinContext;
+// The persistent-index backend, re-exported so engine users reach
+// `open_snapshot`/`write_snapshot` (the serving pair behind
+// `Engine::evaluate_snapshot`) without a separate dependency.
+pub use minctx_index::{open_snapshot, write_snapshot, SnapshotError, SnapshotInfo};
 pub use naive::Naive;
 pub use rewrite::rewrite;
 pub use tables::ContextValueTables;

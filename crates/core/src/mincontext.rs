@@ -67,15 +67,6 @@ impl Evaluator for MinContext {
         ctx: Context,
         scratch: &mut Scratch,
     ) -> Result<Value, EvalError> {
-        // Memo keys pack node id / position / size into 21-bit fields; a
-        // larger document would silently alias distinct contexts, so
-        // refuse it outright (in every build profile).
-        if doc.len() >= MAX_NODES {
-            return Err(EvalError::DocumentTooLarge {
-                nodes: doc.len(),
-                limit: MAX_NODES,
-            });
-        }
         let mut run = Run {
             doc,
             query,
@@ -93,7 +84,7 @@ struct Run<'d, 'q, 's> {
     query: &'q CompiledQuery,
     opt: bool,
     /// Per expression node: relevant-context key → value.
-    memo: Vec<HashMap<u64, Value>>,
+    memo: Vec<HashMap<u128, Value>>,
     /// OPTMINCONTEXT: per predicate node, the set of context nodes for
     /// which the predicate holds (computed by one backward pass).
     backward: Vec<Option<NodeSet>>,
@@ -101,25 +92,24 @@ struct Run<'d, 'q, 's> {
     scratch: &'s mut Scratch,
 }
 
-/// Hard capacity of the packed memo keys: 21 bits per context component.
-/// [`MinContext::evaluate`] rejects larger documents up front.
-const MAX_NODES: usize = 1 << 21;
-
 /// Packs the *relevant* components of a context into a memo key; the
 /// irrelevant components are zeroed so contexts that agree on `Relev(N)`
-/// share an entry.  Positions and sizes are bounded by the document's
-/// node count, so the [`MAX_NODES`] guard covers all three fields.
-fn memo_key(relev: Relev, ctx: Context) -> u64 {
-    debug_assert!(ctx.node.index() < MAX_NODES && ctx.position < MAX_NODES && ctx.size < MAX_NODES);
-    let mut key = 0u64;
+/// share an entry.  42-bit fields: node ids are `u32` by construction,
+/// and positions/sizes are bounded by the document's node count, so any
+/// document the arena can represent fits without aliasing (the previous
+/// `u64` key packed 21-bit fields and had to refuse documents past 2²¹
+/// nodes — the 10⁶-element XMark tier among them).
+fn memo_key(relev: Relev, ctx: Context) -> u128 {
+    debug_assert!(ctx.position <= u32::MAX as usize && ctx.size <= u32::MAX as usize);
+    let mut key = 0u128;
     if relev.node() {
-        key |= ctx.node.index() as u64;
+        key |= ctx.node.index() as u128;
     }
     if relev.position() {
-        key |= (ctx.position as u64) << 21;
+        key |= (ctx.position as u128) << 42;
     }
     if relev.size() {
-        key |= (ctx.size as u64) << 42;
+        key |= (ctx.size as u128) << 84;
     }
     key
 }

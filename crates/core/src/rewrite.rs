@@ -56,7 +56,7 @@
 use crate::funcs;
 use crate::naive::arith;
 use crate::value::{compare_scalars, Value};
-use minctx_syntax::{ExprId, Func, Node, PathStart, Query, QueryBuilder, Step};
+use minctx_syntax::{CmpOp, ExprId, Func, Node, PathStart, Query, QueryBuilder, Step, ValueType};
 use minctx_xml::axes::{Axis, NodeTest};
 use minctx_xml::Document;
 use std::collections::HashMap;
@@ -139,6 +139,9 @@ impl Rewriter<'_> {
                 let (op, a, b) = (*op, *a, *b);
                 let a2 = self.rebuild(a);
                 let b2 = self.rebuild(b);
+                if let Some(folded) = self.count_existence(op, a2, b2) {
+                    return folded;
+                }
                 match (
                     literal_value(self.b.node(a2)),
                     literal_value(self.b.node(b2)),
@@ -503,6 +506,65 @@ impl Rewriter<'_> {
         Some(value_to_node(v))
     }
 
+    /// Rewrites the existence shapes of `count(π) RelOp c` (ROADMAP
+    /// leftover from PR 3): a cardinality that is only compared against
+    /// an existence threshold never needs counting —
+    ///
+    /// ```text
+    /// count(π) > 0   count(π) != 0   count(π) >= 1   →  boolean(π)
+    /// count(π) = 0   count(π) <  1   count(π) <= 0   →  not(boolean(π))
+    /// ```
+    ///
+    /// (and the mirrored `c RelOp count(π)` forms via the swapped
+    /// operator).  Sound because `count` of a node-set is a non-negative
+    /// integer and both sides are position-independent; guarded on the
+    /// argument's *static* type being a node-set, so an ill-typed
+    /// `count('x')` keeps its runtime error instead of becoming a
+    /// successful `boolean('x')`.  Besides skipping the count, the
+    /// `boolean(π)` form is exactly the shape OPTMINCONTEXT answers with
+    /// one backward pass and the fixpoint's existential-tail rules
+    /// simplify further.
+    fn count_existence(&mut self, op: CmpOp, lhs: ExprId, rhs: ExprId) -> Option<ExprId> {
+        let count_arg = |rw: &Self, id: ExprId| match rw.b.node(id) {
+            Node::Call(Func::Count, args) => match args[..] {
+                [arg] if rw.b.value_type(arg) == ValueType::NodeSet => Some(arg),
+                _ => None,
+            },
+            _ => None,
+        };
+        let (op, arg, c) = match (count_arg(self, lhs), literal_value(self.b.node(rhs))) {
+            (Some(arg), Some(Value::Number(c))) => (op, arg, c),
+            _ => match (literal_value(self.b.node(lhs)), count_arg(self, rhs)) {
+                (Some(Value::Number(c)), Some(arg)) => (op.swapped(), arg, c),
+                _ => return None,
+            },
+        };
+        // `c == 0.0` also accepts -0.0, for which the shapes hold just
+        // the same; NaN thresholds satisfy neither comparison and are
+        // left alone.
+        let exists = if c == 0.0 {
+            match op {
+                CmpOp::Gt | CmpOp::Neq => true,
+                CmpOp::Eq | CmpOp::Le => false,
+                _ => return None,
+            }
+        } else if c == 1.0 {
+            match op {
+                CmpOp::Ge => true,
+                CmpOp::Lt => false,
+                _ => return None,
+            }
+        } else {
+            return None;
+        };
+        let boolean = self.b.push(Node::Call(Func::Boolean, vec![arg]));
+        Some(if exists {
+            boolean
+        } else {
+            self.b.push(Node::Call(Func::Not, vec![boolean]))
+        })
+    }
+
     fn literal_bool(&self, id: ExprId) -> Option<bool> {
         match self.b.node(id) {
             Node::Call(Func::True, _) => Some(true),
@@ -731,11 +793,55 @@ mod tests {
     }
 
     #[test]
+    fn count_existence_shapes_rewrite_to_boolean_or_not() {
+        // Positive shapes → boolean(π) (which is what OPTMINCONTEXT's
+        // backward pass answers); the targets are spelled in their own
+        // fully rewritten forms.
+        assert_rewrites_to("count(//a) > 0", "boolean(/descendant::a)");
+        assert_rewrites_to("count(//a) != 0", "boolean(/descendant::a)");
+        assert_rewrites_to("count(//a) >= 1", "boolean(/descendant::a)");
+        assert_rewrites_to("0 < count(//a)", "boolean(/descendant::a)");
+        assert_rewrites_to("1 <= count(//a)", "boolean(/descendant::a)");
+        assert_rewrites_to("0 != count(//a)", "boolean(/descendant::a)");
+        // Negative shapes → not(π).
+        assert_rewrites_to("count(//a) = 0", "not(/descendant::a)");
+        assert_rewrites_to("count(//a) < 1", "not(/descendant::a)");
+        assert_rewrites_to("count(//a) <= 0", "not(/descendant::a)");
+        assert_rewrites_to("0 = count(//a)", "not(/descendant::a)");
+        assert_rewrites_to("1 > count(//a)", "not(/descendant::a)");
+        // Inside predicates, and composed with the existential tail rules
+        // (the boolean() argument drops its trailing total or-self step).
+        assert_rewrites_to("//x[count(a) > 0]", "/descendant::x[a]");
+        assert_rewrites_to(
+            "//x[count(a/descendant-or-self::node()) != 0]",
+            "/descendant::x[a]",
+        );
+        // -0.0 thresholds behave like 0.0.
+        assert_rewrites_to("count(//a) > -0", "boolean(/descendant::a)");
+        // Non-existence thresholds are left alone…
+        assert_fixed("count(/descendant::a) > 1");
+        assert_fixed("count(/descendant::a) = 2");
+        assert_fixed("count(/descendant::a) >= 0"); // constant true, but not an existence shape
+                                                    // …as are comparisons of two counts.
+        assert_fixed("count(/descendant::a) = count(/descendant::b)");
+    }
+
+    #[test]
+    fn count_existence_rewriting_is_idempotent() {
+        for src in ["count(//a) > 0", "count(//a) = 0", "//x[count(a) >= 1]"] {
+            let once = rw(src);
+            assert_eq!(once, rewrite(&once), "{src:?} not idempotent");
+        }
+    }
+
+    #[test]
     fn true_predicates_vanish_and_constants_hoist() {
         assert_rewrites_to("a[true()]", "child::a");
         assert_rewrites_to("a[1 = 1]/b[not(false())]", "child::a/child::b");
-        // A context-independent predicate moves to the first step.
-        assert_rewrites_to("a/b[count(/c) = 0]", "child::a[count(/c) = 0]/child::b");
+        // A context-independent predicate moves to the first step (the
+        // count-existence pass also rewrites it to `not(/c)` en route).
+        assert_rewrites_to("a/b[count(/c) = 0]", "child::a[not(/c)]/child::b");
+        assert_rewrites_to("a/b[count(/c) > 1]", "child::a[count(/c) > 1]/child::b");
         // Context-dependent predicates stay put.
         assert_fixed("child::a/child::b[c]");
     }

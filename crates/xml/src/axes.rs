@@ -338,6 +338,9 @@ pub fn axis_image_into(
     image_into(doc, axis, x.as_slice(), t, scratch, out);
 }
 
+// The sweeps below are index-driven by design: the loop index *is* the
+// pre-order NodeId, and each iteration reads several parallel columns.
+#[allow(clippy::needless_range_loop)]
 fn image_into(
     doc: &Document,
     axis: Axis,
@@ -387,10 +390,11 @@ fn image_into(
         Axis::SelfAxis => out.vec_mut().extend(x.iter().copied().filter(|&m| keep(m))),
         Axis::Child => {
             mark(marked, x);
+            let parent = doc.parent_raw();
             let o = out.vec_mut();
             for i in 0..n {
                 let y = NodeId::from_index(i);
-                let p = doc.parent[i];
+                let p = parent[i];
                 if p != NONE && marked.contains(NodeId(p)) && !doc.kind(y).is_attribute() && keep(y)
                 {
                     o.push(y);
@@ -399,8 +403,9 @@ fn image_into(
         }
         Axis::Parent => {
             flag.clear();
+            let parent = doc.parent_raw();
             for &m in x {
-                let p = doc.parent[m.index()];
+                let p = parent[m.index()];
                 if p != NONE {
                     flag.insert(NodeId(p));
                 }
@@ -418,8 +423,9 @@ fn image_into(
             // flag: some proper ancestor is in X.  Parents precede children
             // in pre-order, so a single forward sweep suffices.
             flag.clear();
+            let parent = doc.parent_raw();
             for i in 1..n {
-                let p = NodeId(doc.parent[i]);
+                let p = NodeId(parent[i]);
                 if marked.contains(p) || flag.contains(p) {
                     flag.insert(NodeId::from_index(i));
                 }
@@ -443,10 +449,11 @@ fn image_into(
             // flag: some proper descendant is in X.  Children follow
             // parents in pre-order, so a single backward sweep suffices.
             flag.clear();
+            let parent = doc.parent_raw();
             for i in (1..n).rev() {
                 let y = NodeId::from_index(i);
                 if marked.contains(y) || flag.contains(y) {
-                    flag.insert(NodeId(doc.parent[i]));
+                    flag.insert(NodeId(parent[i]));
                 }
             }
             let or_self = axis == Axis::AncestorOrSelf;
@@ -485,13 +492,14 @@ fn image_into(
             // flag[p]: a marked child of p has already occurred in the
             // pre-order sweep (siblings occur in document order).
             flag.clear();
+            let parent = doc.parent_raw();
             let o = out.vec_mut();
             for i in 1..n {
                 let y = NodeId::from_index(i);
                 if doc.kind(y).is_attribute() {
                     continue;
                 }
-                let p = NodeId(doc.parent[i]);
+                let p = NodeId(parent[i]);
                 if flag.contains(p) && keep(y) {
                     o.push(y);
                 }
@@ -503,13 +511,14 @@ fn image_into(
         Axis::PrecedingSibling => {
             mark(marked, x);
             flag.clear();
+            let parent = doc.parent_raw();
             let o = out.vec_mut();
             for i in (1..n).rev() {
                 let y = NodeId::from_index(i);
                 if doc.kind(y).is_attribute() {
                     continue;
                 }
-                let p = NodeId(doc.parent[i]);
+                let p = NodeId(parent[i]);
                 if flag.contains(p) && keep(y) {
                     o.push(y);
                 }
@@ -521,10 +530,11 @@ fn image_into(
         }
         Axis::Attribute => {
             mark(marked, x);
+            let parent = doc.parent_raw();
             let o = out.vec_mut();
             for i in 0..n {
                 let y = NodeId::from_index(i);
-                let p = doc.parent[i];
+                let p = parent[i];
                 if doc.kind(y).is_attribute() && p != NONE && marked.contains(NodeId(p)) && keep(y)
                 {
                     o.push(y);
@@ -537,8 +547,9 @@ fn image_into(
             // dereferenced through the id index.  O(|D| + text).
             mark(marked, x);
             flag.clear(); // flag: under an element/root member of X
+            let parent = doc.parent_raw();
             for i in 0..n {
-                let p = doc.parent[i];
+                let p = parent[i];
                 let from_parent = p != NONE && {
                     let pid = NodeId(p);
                     (flag.contains(pid) || marked.contains(pid))
@@ -594,9 +605,10 @@ fn name_image_fast(
     match axis {
         Axis::Child => {
             mark(marked, x);
+            let parent = doc.parent_raw();
             let o = out.vec_mut();
             for &p in doc.element_postings(nm) {
-                let par = doc.parent[p.index()];
+                let par = parent[p.index()];
                 if par != NONE && marked.contains(NodeId(par)) {
                     o.push(p);
                 }
@@ -605,9 +617,10 @@ fn name_image_fast(
         }
         Axis::Attribute => {
             mark(marked, x);
+            let parent = doc.parent_raw();
             let o = out.vec_mut();
             for &a in doc.attribute_postings(nm) {
-                let par = doc.parent[a.index()];
+                let par = parent[a.index()];
                 if par != NONE && marked.contains(NodeId(par)) {
                     o.push(a);
                 }
@@ -668,8 +681,9 @@ fn name_image_fast(
         }
         Axis::Parent => {
             tmp.clear();
+            let parent = doc.parent_raw();
             for &m in x {
-                let p = doc.parent[m.index()];
+                let p = parent[m.index()];
                 if p != NONE && doc.kind(NodeId(p)) == NodeKind::Element(nm) {
                     tmp.push(NodeId(p));
                 }
@@ -727,6 +741,7 @@ pub fn axis_preimage(doc: &Document, axis: Axis, y: &NodeSet) -> NodeSet {
 
 /// The allocation-free core of [`axis_preimage`]: clears `out` and fills
 /// it with `χ⁻¹(Y)` in document order.
+#[allow(clippy::needless_range_loop)] // index-driven pre-order sweeps; the index is the NodeId
 pub fn axis_preimage_into(
     doc: &Document,
     axis: Axis,
@@ -837,8 +852,9 @@ pub fn axis_preimage_into(
             let Scratch { marked, flag, .. } = scratch;
             mark(marked, y.as_slice());
             flag.clear();
+            let parent = doc.parent_raw();
             for i in 1..n {
-                let p = NodeId(doc.parent[i]);
+                let p = NodeId(parent[i]);
                 if marked.contains(p) || flag.contains(p) {
                     flag.insert(NodeId::from_index(i));
                 }

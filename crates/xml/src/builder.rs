@@ -4,13 +4,14 @@
 //! `end_element`, …) and assembles the pre-order arena of a [`Document`].
 //! Both the XML parser and the synthetic workload generators build documents
 //! through this one code path, so every invariant (pre-order ids, subtree
-//! ranges, sibling links, id index) is enforced in a single place.
+//! ranges, sibling links, id index, text-heap spans, CSR postings) is
+//! enforced in a single place.
 
 use crate::document::{Document, NONE};
 use crate::error::{XmlError, XmlErrorKind};
 use crate::name::NameTable;
-use crate::node::{NodeId, NodeKind};
-use std::collections::HashMap;
+use crate::node::NodeKind;
+use crate::store::{Col, DocStore};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Source of [`Document::stamp`] values; see [`Document::stamp`].
@@ -20,10 +21,18 @@ static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
 ///
 /// Diagnostics hook: the streaming allocation smoke asserts this is
 /// unchanged across `evaluate_reader` on streamable queries — direct
-/// proof that the one-pass path never materializes an arena.
+/// proof that the one-pass path never materializes an arena — and the
+/// index smoke asserts the same across `open_snapshot` (reopening a
+/// snapshot never re-builds, just as it never re-lexes).
 pub fn documents_built() -> u64 {
     NEXT_STAMP.load(Ordering::Relaxed) - 1
 }
+
+/// Builder stamps are plain counter values with the high bit clear;
+/// snapshot-backed documents use content-derived stamps with the high bit
+/// set (`minctx-index`), so the two namespaces can never collide in a
+/// compiled-query cache.
+const STAMP_COUNTER_MASK: u64 = (1 << 63) - 1;
 
 /// Incremental builder for [`Document`]s.
 ///
@@ -42,16 +51,22 @@ pub fn documents_built() -> u64 {
 #[derive(Debug)]
 pub struct DocumentBuilder {
     names: NameTable,
-    kinds: Vec<NodeKind>,
+    /// Packed kind words ([`NodeKind::pack`]).
+    kinds: Vec<u32>,
     parent: Vec<u32>,
     first_child: Vec<u32>,
     last_child: Vec<u32>,
     next_sibling: Vec<u32>,
     prev_sibling: Vec<u32>,
     subtree_end: Vec<u32>,
-    content: Vec<Box<str>>,
-    id_index: HashMap<Box<str>, NodeId>,
-    text_bytes: usize,
+    /// Per-node content start offsets into `text_heap` (the final
+    /// `len + 1`-th offset is pushed at `finish`).
+    text_off: Vec<u32>,
+    /// All content bytes, appended in pre-order.
+    text_heap: String,
+    /// `(id attribute node, owner element)` in document order; sorted and
+    /// deduplicated (first occurrence wins) at `finish`.
+    id_pairs: Vec<(u32, u32)>,
     /// Stack of open elements (indices into the arena); root at bottom.
     open: Vec<u32>,
     /// Name of the attribute that provides element ids (`id` by default).
@@ -78,9 +93,9 @@ impl DocumentBuilder {
             next_sibling: Vec::new(),
             prev_sibling: Vec::new(),
             subtree_end: Vec::new(),
-            content: Vec::new(),
-            id_index: HashMap::new(),
-            text_bytes: 0,
+            text_off: Vec::new(),
+            text_heap: String::new(),
+            id_pairs: Vec::new(),
             open: Vec::new(),
             id_attribute: "id".to_string(),
             saw_document_element: false,
@@ -100,7 +115,7 @@ impl DocumentBuilder {
         b.next_sibling.reserve(n);
         b.prev_sibling.reserve(n);
         b.subtree_end.reserve(n);
-        b.content.reserve(n);
+        b.text_off.reserve(n + 1);
         b
     }
 
@@ -114,15 +129,16 @@ impl DocumentBuilder {
     /// chain of `parent` unless the node is an attribute.
     fn push_node(&mut self, kind: NodeKind, content: &str, parent: u32) -> u32 {
         let idx = u32::try_from(self.kinds.len()).expect("document larger than u32::MAX nodes");
-        self.kinds.push(kind);
+        self.kinds.push(kind.pack());
         self.parent.push(parent);
         self.first_child.push(NONE);
         self.last_child.push(NONE);
         self.next_sibling.push(NONE);
         self.prev_sibling.push(NONE);
         self.subtree_end.push(idx + 1);
-        self.content.push(content.into());
-        self.text_bytes += content.len();
+        self.text_off
+            .push(u32::try_from(self.text_heap.len()).expect("text heap larger than u32::MAX"));
+        self.text_heap.push_str(content);
         if parent != NONE && !kind.is_attribute() {
             let prev = self.last_child[parent as usize];
             if prev == NONE {
@@ -147,11 +163,9 @@ impl DocumentBuilder {
         let elem = self.push_node(NodeKind::Element(nm), "", parent);
         for (aname, avalue) in attrs {
             let an = self.names.intern(aname);
-            self.push_node(NodeKind::Attribute(an), avalue, elem);
+            let attr = self.push_node(NodeKind::Attribute(an), avalue, elem);
             if *aname == self.id_attribute {
-                self.id_index
-                    .entry((*avalue).into())
-                    .or_insert(NodeId(elem));
+                self.id_pairs.push((attr, elem));
             }
         }
         self.open.push(elem);
@@ -229,42 +243,92 @@ impl DocumentBuilder {
         }
         let end = u32::try_from(self.kinds.len()).expect("checked at push");
         self.subtree_end[0] = end;
-        // Label postings: one document-order pass; the arena is already in
-        // pre-order, so per-name pushes come out sorted.
-        let mut element_postings: Vec<Vec<NodeId>> = vec![Vec::new(); self.names.len()];
-        let mut attribute_postings: Vec<Vec<NodeId>> = vec![Vec::new(); self.names.len()];
-        for (i, kind) in self.kinds.iter().enumerate() {
-            match kind {
-                NodeKind::Element(nm) => element_postings[nm.index()].push(NodeId::from_index(i)),
-                NodeKind::Attribute(nm) => {
-                    attribute_postings[nm.index()].push(NodeId::from_index(i))
-                }
-                _ => {}
-            }
-        }
+        self.text_off
+            .push(u32::try_from(self.text_heap.len()).expect("checked at push"));
+
+        // CSR label postings: a counting sweep, a prefix sum, and a
+        // placement sweep.  No per-name allocation at all — in particular
+        // none for names that label zero nodes of a family (attribute-only
+        // names used to cost an empty element-postings `Vec` each).  The
+        // arena is in pre-order, so each name's slice comes out sorted.
+        let name_count = self.names.len();
+        let (elem_off, elem_post) = csr_postings(&self.kinds, name_count, crate::node::TAG_ELEMENT);
+        let (attr_off, attr_post) =
+            csr_postings(&self.kinds, name_count, crate::node::TAG_ATTRIBUTE);
+
+        // Id index: sort the (attribute, element) pairs by key bytes.  The
+        // pairs are collected in document order, so a stable sort keeps
+        // first occurrences first within equal keys and the dedup keeps
+        // them (matching the old hash map's first-insert-wins rule).
+        let heap = &self.text_heap;
+        let text_off = &self.text_off;
+        let key = |attr: u32| -> &str {
+            &heap[text_off[attr as usize] as usize..text_off[attr as usize + 1] as usize]
+        };
+        self.id_pairs.sort_by(|a, b| key(a.0).cmp(key(b.0)));
+        self.id_pairs
+            .dedup_by(|next, first| key(next.0) == key(first.0));
+        let (id_attrs, id_elems): (Vec<u32>, Vec<u32>) = self.id_pairs.iter().copied().unzip();
+
+        let store = DocStore {
+            kinds: Col::owned(self.kinds),
+            parent: Col::owned(self.parent),
+            first_child: Col::owned(self.first_child),
+            last_child: Col::owned(self.last_child),
+            next_sibling: Col::owned(self.next_sibling),
+            prev_sibling: Col::owned(self.prev_sibling),
+            subtree_end: Col::owned(self.subtree_end),
+            text_off: Col::owned(self.text_off),
+            text_heap: Col::owned(self.text_heap.into_bytes()),
+            elem_off: Col::owned(elem_off),
+            elem_post: Col::owned(elem_post),
+            attr_off: Col::owned(attr_off),
+            attr_post: Col::owned(attr_post),
+            id_attrs: Col::owned(id_attrs),
+            id_elems: Col::owned(id_elems),
+        };
         Ok(Document {
             names: self.names,
-            kinds: self.kinds,
-            parent: self.parent,
-            first_child: self.first_child,
-            last_child: self.last_child,
-            next_sibling: self.next_sibling,
-            prev_sibling: self.prev_sibling,
-            subtree_end: self.subtree_end,
-            content: self.content,
-            id_index: self.id_index,
-            text_bytes: self.text_bytes,
-            element_postings,
-            attribute_postings,
-            stamp: NEXT_STAMP.fetch_add(1, Ordering::Relaxed),
+            store,
+            stamp: NEXT_STAMP.fetch_add(1, Ordering::Relaxed) & STAMP_COUNTER_MASK,
         })
     }
+}
+
+/// Builds one CSR postings family for the nodes whose packed kind tag is
+/// `tag`: `off` has `name_count + 1` entries and `posts[off[i]..off[i+1]]`
+/// are the matching nodes named `i`, in document order.
+fn csr_postings(kinds: &[u32], name_count: usize, tag: u32) -> (Vec<u32>, Vec<u32>) {
+    use crate::node::{KIND_TAG_BITS, KIND_TAG_MASK};
+    // Counting sweep (off[i + 1] accumulates name i's count).
+    let mut off = vec![0u32; name_count + 1];
+    for &word in kinds {
+        if word & KIND_TAG_MASK == tag {
+            off[(word >> KIND_TAG_BITS) as usize + 1] += 1;
+        }
+    }
+    // Prefix sum: off[i] = start of name i's slice.
+    for i in 1..off.len() {
+        off[i] += off[i - 1];
+    }
+    // Placement sweep with a per-name cursor.
+    let mut cursor: Vec<u32> = off[..name_count].to_vec();
+    let mut posts = vec![0u32; off[name_count] as usize];
+    for (i, &word) in kinds.iter().enumerate() {
+        if word & KIND_TAG_MASK == tag {
+            let nm = (word >> KIND_TAG_BITS) as usize;
+            posts[cursor[nm] as usize] = i as u32;
+            cursor[nm] += 1;
+        }
+    }
+    (off, posts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::error::XmlErrorKind;
+    use crate::node::NodeId;
 
     #[test]
     fn build_simple_tree() {
@@ -397,6 +461,9 @@ mod tests {
         let d2 = b.finish().unwrap();
         assert_ne!(d1.stamp(), d2.stamp());
         assert_eq!(d1.stamp(), d1.clone().stamp());
+        // Builder stamps live in the counter namespace (high bit clear);
+        // the snapshot namespace (high bit set) can never collide.
+        assert_eq!(d1.stamp() >> 63, 0);
     }
 
     #[test]
@@ -414,5 +481,24 @@ mod tests {
         let attr = NodeId::from_index(a.index() + 1);
         assert!(doc.kind(attr).is_attribute());
         assert_eq!(doc.parent(attr), Some(a));
+    }
+
+    #[test]
+    fn text_heap_spans_match_contents() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a", &[("k", "vv")]);
+        b.text("first");
+        b.comment("note");
+        b.leaf("b", &[], "second");
+        b.end_element();
+        let doc = b.finish().unwrap();
+        // Per-node spans reconstruct every content string; elements and
+        // the root have empty spans.
+        let contents: Vec<&str> = doc.all_nodes().map(|n| doc.content(n)).collect();
+        assert_eq!(contents, vec!["", "", "vv", "first", "note", "", "second"]);
+        assert_eq!(
+            doc.text_bytes(),
+            "vv".len() + "first".len() + "note".len() + "second".len()
+        );
     }
 }

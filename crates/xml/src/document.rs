@@ -8,15 +8,25 @@
 //!   `x.index()+1 .. subtree_end(x)`,
 //! * per-node tables elsewhere in the engine are dense arrays.
 //!
+//! The arena is stored as flat, offset-based columns (see
+//! [`store`](crate::store)): packed kind words, structure links, one text
+//! heap with per-node spans, CSR label postings, and a sorted id index.
+//! Columns are either owned heap buffers (built by
+//! [`DocumentBuilder`](crate::DocumentBuilder)) or zero-copy views of a
+//! memory-mapped snapshot (`minctx-index`); every accessor below works
+//! identically on both backings.
+//!
 //! Attribute nodes (an extension over the paper's element-only examples) are
 //! stored inline immediately after their owner element and before its first
 //! child, which is exactly their XPath 1.0 document-order position.  They are
 //! excluded from all tree axes and reachable only via the `attribute` axis.
 
 use crate::name::{Name, NameTable};
-use crate::node::{NodeId, NodeKind};
+use crate::node::{self, NodeId, NodeKind};
 use crate::nodeset::NodeSet;
+use crate::store::{self, Col, ColumnError, DocStore, RawColumns, StableBytes};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 pub(crate) const NONE: u32 = u32::MAX;
 
@@ -24,28 +34,11 @@ pub(crate) const NONE: u32 = u32::MAX;
 #[derive(Debug, Clone)]
 pub struct Document {
     pub(crate) names: NameTable,
-    pub(crate) kinds: Vec<NodeKind>,
-    pub(crate) parent: Vec<u32>,
-    pub(crate) first_child: Vec<u32>,
-    pub(crate) last_child: Vec<u32>,
-    pub(crate) next_sibling: Vec<u32>,
-    pub(crate) prev_sibling: Vec<u32>,
-    pub(crate) subtree_end: Vec<u32>,
-    /// Content of text / comment / PI / attribute nodes; empty for others.
-    pub(crate) content: Vec<Box<str>>,
-    /// Map from `id` attribute values to their element.
-    pub(crate) id_index: HashMap<Box<str>, NodeId>,
-    /// Total size of the character data, counted into `|D|`.
-    pub(crate) text_bytes: usize,
-    /// Label postings: for each interned [`Name`], the element nodes with
-    /// that tag, sorted in document order.  Built once by the builder; the
-    /// axis kernels' name-test fast paths walk these instead of sweeping
-    /// `dom` (see DESIGN.md).
-    pub(crate) element_postings: Vec<Vec<NodeId>>,
-    /// Postings for attribute nodes, keyed by attribute name.
-    pub(crate) attribute_postings: Vec<Vec<NodeId>>,
+    pub(crate) store: DocStore,
     /// Process-unique identity of this document's *content* (clones share
-    /// it), used as a compiled-query cache key.
+    /// it), used as a compiled-query cache key.  Snapshot-backed documents
+    /// carry a content-derived stamp with the high bit set, disjoint from
+    /// the builder's counter stamps (see `minctx-index`).
     pub(crate) stamp: u64,
 }
 
@@ -54,19 +47,26 @@ impl Document {
     /// nodes).
     #[inline]
     pub fn len(&self) -> usize {
-        self.kinds.len()
+        self.store.len()
     }
 
     /// Whether the document is empty.  A well-formed document never is: it
     /// has at least the root node and the document element.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.kinds.is_empty()
+        self.store.len() == 0
     }
 
     /// The paper's `|D|`: node count plus character data size.
     pub fn size(&self) -> usize {
-        self.len() + self.text_bytes
+        self.len() + self.text_bytes()
+    }
+
+    /// Total size of the character data (the text heap), counted into
+    /// `|D|`.
+    #[inline]
+    pub fn text_bytes(&self) -> usize {
+        self.store.text_heap.len()
     }
 
     /// The document root node (the XPath `/` node).
@@ -85,13 +85,13 @@ impl Document {
     /// The kind of a node.
     #[inline]
     pub fn kind(&self, n: NodeId) -> NodeKind {
-        self.kinds[n.index()]
+        NodeKind::unpack(self.store.kinds[n.index()])
     }
 
     /// The interned label of an element / PI target / attribute name.
     #[inline]
     pub fn label(&self, n: NodeId) -> Option<Name> {
-        self.kinds[n.index()].name()
+        self.kind(n).name()
     }
 
     /// The label of a node as a string, if it has one.
@@ -123,24 +123,20 @@ impl Document {
     /// and yield the empty slice.
     #[inline]
     pub fn element_postings(&self, name: Name) -> &[NodeId] {
-        self.element_postings
-            .get(name.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        DocStore::postings(&self.store.elem_off, &self.store.elem_post, name.index())
     }
 
     /// The attribute nodes named `name`, sorted in document order.
     #[inline]
     pub fn attribute_postings(&self, name: Name) -> &[NodeId] {
-        self.attribute_postings
-            .get(name.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        DocStore::postings(&self.store.attr_off, &self.store.attr_post, name.index())
     }
 
     /// A process-unique identity for this document's content.  Clones keep
     /// the stamp (their arenas are identical); any two documents built
-    /// independently get distinct stamps.  Compiled-query caches key on it.
+    /// independently get distinct stamps, and snapshot-backed documents
+    /// carry their snapshot's content-derived stamp (stable across
+    /// reopens).  Compiled-query caches key on it.
     #[inline]
     pub fn stamp(&self) -> u64 {
         self.stamp
@@ -149,35 +145,35 @@ impl Document {
     /// The parent of a node; `None` for the root.
     #[inline]
     pub fn parent(&self, n: NodeId) -> Option<NodeId> {
-        let p = self.parent[n.index()];
+        let p = self.store.parent[n.index()];
         (p != NONE).then_some(NodeId(p))
     }
 
     /// First non-attribute child.
     #[inline]
     pub fn first_child(&self, n: NodeId) -> Option<NodeId> {
-        let c = self.first_child[n.index()];
+        let c = self.store.first_child[n.index()];
         (c != NONE).then_some(NodeId(c))
     }
 
     /// Last non-attribute child.
     #[inline]
     pub fn last_child(&self, n: NodeId) -> Option<NodeId> {
-        let c = self.last_child[n.index()];
+        let c = self.store.last_child[n.index()];
         (c != NONE).then_some(NodeId(c))
     }
 
     /// Next sibling (attribute nodes are not part of sibling chains).
     #[inline]
     pub fn next_sibling(&self, n: NodeId) -> Option<NodeId> {
-        let s = self.next_sibling[n.index()];
+        let s = self.store.next_sibling[n.index()];
         (s != NONE).then_some(NodeId(s))
     }
 
     /// Previous sibling.
     #[inline]
     pub fn prev_sibling(&self, n: NodeId) -> Option<NodeId> {
-        let s = self.prev_sibling[n.index()];
+        let s = self.store.prev_sibling[n.index()];
         (s != NONE).then_some(NodeId(s))
     }
 
@@ -185,7 +181,7 @@ impl Document {
     /// (attribute nodes included in the range).
     #[inline]
     pub fn subtree_end(&self, n: NodeId) -> usize {
-        self.subtree_end[n.index()] as usize
+        self.store.subtree_end[n.index()] as usize
     }
 
     /// Whether `a` is a proper ancestor of `d` — O(1).
@@ -198,14 +194,27 @@ impl Document {
     /// elements and the root).
     #[inline]
     pub fn content(&self, n: NodeId) -> &str {
-        &self.content[n.index()]
+        self.store.content_span(n.index())
+    }
+
+    /// The raw parent column (axis-kernel hot loops hoist this once per
+    /// sweep instead of re-deref'ing per node).
+    #[inline]
+    pub(crate) fn parent_raw(&self) -> &[u32] {
+        &self.store.parent
+    }
+
+    /// The raw packed-kind column (see [`NodeKind::pack`]).
+    #[inline]
+    pub(crate) fn kinds_raw(&self) -> &[u32] {
+        &self.store.kinds
     }
 
     /// Iterates the non-attribute children of `n` in document order.
     pub fn children(&self, n: NodeId) -> Children<'_> {
         Children {
             doc: self,
-            next: self.first_child[n.index()],
+            next: self.store.first_child[n.index()],
         }
     }
 
@@ -260,14 +269,38 @@ impl Document {
     pub fn string_value_into(&self, n: NodeId, out: &mut String) {
         match self.kind(n) {
             NodeKind::Root | NodeKind::Element(_) => {
-                for d in n.index() + 1..self.subtree_end(n) {
-                    if self.kinds[d].is_text() {
-                        out.push_str(&self.content[d]);
+                let range = n.index() + 1..self.subtree_end(n);
+                for (d, &word) in self.kinds_raw()[range.clone()].iter().enumerate() {
+                    if word & node::KIND_TAG_MASK == node::TAG_TEXT {
+                        out.push_str(self.store.content_span(range.start + d));
                     }
                 }
             }
             _ => out.push_str(self.content(n)),
         }
+    }
+
+    /// The sorted id-index entries `(key, element)` — the keys are the id
+    /// attributes' content spans in the text heap.
+    pub(crate) fn id_entries(&self) -> impl ExactSizeIterator<Item = (&str, NodeId)> {
+        self.store
+            .id_attrs
+            .iter()
+            .zip(self.store.id_elems.iter())
+            .map(|(&a, &e)| (self.store.content_span(a as usize), NodeId(e)))
+    }
+
+    /// Binary-searches the id index (sorted by key bytes).
+    fn id_entry(&self, key: &str) -> Option<usize> {
+        self.store
+            .id_attrs
+            .binary_search_by(|&a| {
+                self.store
+                    .content_span(a as usize)
+                    .as_bytes()
+                    .cmp(key.as_bytes())
+            })
+            .ok()
     }
 
     /// `deref_ids : string → 2^dom` (Section 2.1): interprets the input as a
@@ -276,8 +309,8 @@ impl Document {
     pub fn deref_ids(&self, s: &str) -> NodeSet {
         let mut out = Vec::new();
         for token in s.split_ascii_whitespace() {
-            if let Some(&n) = self.id_index.get(token) {
-                out.push(n);
+            if let Some(i) = self.id_entry(token) {
+                out.push(NodeId(self.store.id_elems[i]));
             }
         }
         NodeSet::from_unsorted(out)
@@ -285,7 +318,7 @@ impl Document {
 
     /// Looks up a single element by its `id` attribute value.
     pub fn element_by_id(&self, id: &str) -> Option<NodeId> {
-        self.id_index.get(id).copied()
+        self.id_entry(id).map(|i| NodeId(self.store.id_elems[i]))
     }
 
     /// The inverse of the `id` step: `{x ∈ dom | deref_ids(strval(x)) ∩ Y ≠ ∅}`,
@@ -300,7 +333,7 @@ impl Document {
     pub fn id_preimage(&self, targets: &NodeSet) -> NodeSet {
         // Which id strings resolve into `targets`?
         let mut wanted: HashMap<&str, ()> = HashMap::new();
-        for (key, &node) in &self.id_index {
+        for (key, node) in self.id_entries() {
             if targets.contains(node) {
                 wanted.insert(key, ());
             }
@@ -308,25 +341,28 @@ impl Document {
         if wanted.is_empty() {
             return NodeSet::new();
         }
+        let parent = self.parent_raw();
         let mut hit = vec![false; self.len()];
         for n in 0..self.len() {
-            if self.content[n].is_empty() {
+            if self.store.content_is_empty(n) {
                 continue;
             }
-            let matches = self.content[n]
+            let matches = self
+                .store
+                .content_span(n)
                 .split_ascii_whitespace()
                 .any(|tok| wanted.contains_key(tok));
             if !matches {
                 continue;
             }
-            match self.kinds[n] {
+            match self.kind(NodeId::from_index(n)) {
                 NodeKind::Text => {
                     // Contributes to the strval of every ancestor.
                     hit[n] = true;
-                    let mut p = self.parent[n];
+                    let mut p = parent[n];
                     while p != NONE && !hit[p as usize] {
                         hit[p as usize] = true;
-                        p = self.parent[p as usize];
+                        p = parent[p as usize];
                     }
                 }
                 NodeKind::Attribute(_) | NodeKind::Comment | NodeKind::Pi(_) => {
@@ -348,7 +384,97 @@ impl Document {
 
     /// Number of element nodes (the paper's `dom` in its examples).
     pub fn element_count(&self) -> usize {
-        self.kinds.iter().filter(|k| k.is_element()).count()
+        // The element postings index every element exactly once.
+        self.store.elem_post.len()
+    }
+
+    /// Borrowed views of every storage column — the exchange surface the
+    /// `minctx-index` snapshot writer serializes.  See
+    /// [`RawColumns`] for the per-column layout contract.
+    pub fn raw_columns(&self) -> RawColumns<'_> {
+        let s = &self.store;
+        RawColumns {
+            kinds: &s.kinds,
+            parent: &s.parent,
+            first_child: &s.first_child,
+            last_child: &s.last_child,
+            next_sibling: &s.next_sibling,
+            prev_sibling: &s.prev_sibling,
+            subtree_end: &s.subtree_end,
+            text_off: &s.text_off,
+            text_heap: &s.text_heap,
+            elem_off: &s.elem_off,
+            elem_post: &s.elem_post,
+            attr_off: &s.attr_off,
+            attr_post: &s.attr_post,
+            id_attrs: &s.id_attrs,
+            id_elems: &s.id_elems,
+        }
+    }
+
+    /// Adopts columns borrowed from a mapped byte region (`keep` must own
+    /// the memory all slices point into) — the zero-copy open path of
+    /// `minctx-index`.
+    ///
+    /// Every document invariant the accessors rely on is validated here,
+    /// in `O(|D|)`, so a column set that decodes structurally but
+    /// violates the data model (dangling links, non-monotone offsets,
+    /// invalid UTF-8, unsorted postings) is rejected with a
+    /// [`ColumnError`] instead of panicking later.
+    pub fn from_mapped_columns(
+        cols: RawColumns<'_>,
+        names: NameTable,
+        stamp: u64,
+        keep: Arc<dyn StableBytes>,
+    ) -> Result<Document, ColumnError> {
+        validate_columns(&cols, &names)?;
+        let region = keep.bytes();
+        let contained = store::slice_within(cols.text_heap, region)
+            && [
+                cols.kinds,
+                cols.parent,
+                cols.first_child,
+                cols.last_child,
+                cols.next_sibling,
+                cols.prev_sibling,
+                cols.subtree_end,
+                cols.text_off,
+                cols.elem_off,
+                cols.elem_post,
+                cols.attr_off,
+                cols.attr_post,
+                cols.id_attrs,
+                cols.id_elems,
+            ]
+            .iter()
+            .all(|s| store::slice_within(s, region));
+        if !contained {
+            return Err(ColumnError::new(
+                "a column slice lies outside the backing byte region",
+            ));
+        }
+        let store = DocStore {
+            kinds: Col::borrowed(cols.kinds, &keep),
+            parent: Col::borrowed(cols.parent, &keep),
+            first_child: Col::borrowed(cols.first_child, &keep),
+            last_child: Col::borrowed(cols.last_child, &keep),
+            next_sibling: Col::borrowed(cols.next_sibling, &keep),
+            prev_sibling: Col::borrowed(cols.prev_sibling, &keep),
+            subtree_end: Col::borrowed(cols.subtree_end, &keep),
+            text_off: Col::borrowed(cols.text_off, &keep),
+            text_heap: Col::borrowed(cols.text_heap, &keep),
+            elem_off: Col::borrowed(cols.elem_off, &keep),
+            elem_post: Col::borrowed(cols.elem_post, &keep),
+            attr_off: Col::borrowed(cols.attr_off, &keep),
+            attr_post: Col::borrowed(cols.attr_post, &keep),
+            id_attrs: Col::borrowed(cols.id_attrs, &keep),
+            id_elems: Col::borrowed(cols.id_elems, &keep),
+        };
+        Ok(Document {
+            names,
+            store,
+            stamp,
+        })
     }
 
     /// A debug rendering of the tree structure, one node per line.
@@ -397,6 +523,185 @@ impl Document {
     }
 }
 
+/// The full invariant sweep behind [`Document::from_mapped_columns`].
+fn validate_columns(cols: &RawColumns<'_>, names: &NameTable) -> Result<(), ColumnError> {
+    let err = |msg: String| Err(ColumnError::new(msg));
+    let n = cols.kinds.len();
+    if n < 2 {
+        return err(format!(
+            "document has {n} nodes; a well-formed document has at least root + document element"
+        ));
+    }
+    for (name, col) in [
+        ("parent", cols.parent),
+        ("first_child", cols.first_child),
+        ("last_child", cols.last_child),
+        ("next_sibling", cols.next_sibling),
+        ("prev_sibling", cols.prev_sibling),
+        ("subtree_end", cols.subtree_end),
+    ] {
+        if col.len() != n {
+            return err(format!(
+                "column {name} has {} entries, expected {n}",
+                col.len()
+            ));
+        }
+    }
+    // Structure links: in range or NONE; subtree ranges within the arena.
+    if cols.kinds[0] & node::KIND_TAG_MASK != node::TAG_ROOT || cols.parent[0] != NONE {
+        return err("node 0 is not a parentless root node".to_string());
+    }
+    let name_count = names.len() as u32;
+    for i in 0..n {
+        let word = cols.kinds[i];
+        let tag = word & node::KIND_TAG_MASK;
+        let nm = word >> node::KIND_TAG_BITS;
+        let named = matches!(tag, node::TAG_ELEMENT | node::TAG_PI | node::TAG_ATTRIBUTE);
+        if tag > node::TAG_ATTRIBUTE || (named && nm >= name_count) || (!named && nm != 0) {
+            return err(format!("node {i} has invalid packed kind word {word:#x}"));
+        }
+        // Pre-order direction, not just range: parents and previous
+        // siblings strictly precede a node, children and next siblings
+        // strictly follow it.  Beyond catching corruption, this is what
+        // makes every link *traversal* provably terminate — a crafted
+        // snapshot with a sibling or parent cycle must fail here, not
+        // hang the first `children()` walk.
+        let iu = i as u32;
+        for (what, v, forward) in [
+            ("parent", cols.parent[i], false),
+            ("first_child", cols.first_child[i], true),
+            ("last_child", cols.last_child[i], true),
+            ("next_sibling", cols.next_sibling[i], true),
+            ("prev_sibling", cols.prev_sibling[i], false),
+        ] {
+            if v == NONE {
+                continue;
+            }
+            if v as usize >= n || (forward && v <= iu) || (!forward && v >= iu) {
+                return err(format!(
+                    "node {i}: {what} link {v} out of range or against pre-order"
+                ));
+            }
+        }
+        let se = cols.subtree_end[i] as usize;
+        if se <= i || se > n {
+            return err(format!("node {i}: subtree_end {se} out of range"));
+        }
+    }
+    // Text heap: monotone offsets on UTF-8 char boundaries.
+    if cols.text_off.len() != n + 1 {
+        return err(format!(
+            "text_off has {} entries, expected {}",
+            cols.text_off.len(),
+            n + 1
+        ));
+    }
+    let heap = match std::str::from_utf8(cols.text_heap) {
+        Ok(h) => h,
+        Err(e) => return err(format!("text heap is not valid UTF-8: {e}")),
+    };
+    let mut prev = 0u32;
+    for (i, &off) in cols.text_off.iter().enumerate() {
+        if off < prev || off as usize > heap.len() || !heap.is_char_boundary(off as usize) {
+            return err(format!(
+                "text_off[{i}] = {off} is not a monotone char boundary"
+            ));
+        }
+        prev = off;
+    }
+    if cols.text_off[n] as usize != heap.len() {
+        return err("final text offset does not cover the text heap".to_string());
+    }
+    // CSR postings: offset arrays sized to the name table, monotone and
+    // covering; every entry sorted, in range, and naming a node of
+    // exactly this family and label; group sizes matching the per-name
+    // counts recomputed from the kinds column.  Membership + equal
+    // counts together mean each group is *exactly* the set of matching
+    // nodes — a crafted snapshot cannot make the name-test fast paths
+    // (or `element_count`) silently disagree with the kind sweeps.
+    for (what, tag, off, posts) in [
+        ("element", node::TAG_ELEMENT, cols.elem_off, cols.elem_post),
+        (
+            "attribute",
+            node::TAG_ATTRIBUTE,
+            cols.attr_off,
+            cols.attr_post,
+        ),
+    ] {
+        if off.len() != names.len() + 1 {
+            return err(format!(
+                "{what} postings offsets have {} entries, expected {}",
+                off.len(),
+                names.len() + 1
+            ));
+        }
+        let mut prev = 0u32;
+        for &o in off {
+            if o < prev || o as usize > posts.len() {
+                return err(format!("{what} postings offsets are not monotone"));
+            }
+            prev = o;
+        }
+        if off.last().copied().unwrap_or(0) as usize != posts.len() {
+            return err(format!("{what} postings offsets do not cover the postings"));
+        }
+        let mut last_in_group = None;
+        let mut group = 0usize;
+        for (i, &p) in posts.iter().enumerate() {
+            while off[group + 1] as usize <= i {
+                group += 1;
+                last_in_group = None;
+            }
+            let expected_word = tag | ((group as u32) << node::KIND_TAG_BITS);
+            if p as usize >= n
+                || cols.kinds[p as usize] != expected_word
+                || last_in_group.is_some_and(|l| p <= l)
+            {
+                return err(format!(
+                    "{what} postings entry {i} is out of range, unsorted, or not a \
+                     matching node"
+                ));
+            }
+            last_in_group = Some(p);
+        }
+        let mut counts = vec![0u32; names.len()];
+        for &word in cols.kinds {
+            if word & node::KIND_TAG_MASK == tag {
+                counts[(word >> node::KIND_TAG_BITS) as usize] += 1;
+            }
+        }
+        for (g, &c) in counts.iter().enumerate() {
+            if off[g + 1] - off[g] != c {
+                return err(format!(
+                    "{what} postings for name {g} have {} entries, the kinds column has {c}",
+                    off[g + 1] - off[g]
+                ));
+            }
+        }
+    }
+    // Id index: parallel, in-range, sorted (strictly — keys are unique)
+    // by key bytes.
+    if cols.id_attrs.len() != cols.id_elems.len() {
+        return err("id index columns have mismatched lengths".to_string());
+    }
+    let span = |a: u32| -> &str {
+        let s = cols.text_off[a as usize] as usize;
+        let e = cols.text_off[a as usize + 1] as usize;
+        &heap[s..e]
+    };
+    for (i, (&a, &e)) in cols.id_attrs.iter().zip(cols.id_elems).enumerate() {
+        if a as usize >= n || e as usize >= n {
+            return err(format!("id index entry {i} out of range"));
+        }
+        if i > 0 && span(cols.id_attrs[i - 1]) >= span(a) {
+            return err(format!(
+                "id index keys are not strictly sorted at entry {i}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Iterator over the non-attribute children of a node.
 pub struct Children<'d> {
     doc: &'d Document,
@@ -411,7 +716,7 @@ impl Iterator for Children<'_> {
             return None;
         }
         let cur = NodeId(self.next);
-        self.next = self.doc.next_sibling[cur.index()];
+        self.next = self.doc.store.next_sibling[cur.index()];
         Some(cur)
     }
 }

@@ -41,6 +41,7 @@ pub mod node;
 pub mod nodeset;
 pub mod parser;
 pub mod serialize;
+pub mod store;
 pub mod token;
 
 pub use axes::{Axis, NodeTest, ResolvedTest, Scratch};
@@ -53,4 +54,5 @@ pub use nodeset::{DenseSet, NodeSet};
 pub use parser::{
     parse, parse_reader, parse_reader_with_options, parse_with_options, ParseOptions,
 };
-pub use token::{Tokenizer, XmlEvent};
+pub use store::{ColumnError, RawColumns, StableBytes};
+pub use token::{tokenizers_created, Tokenizer, XmlEvent};

@@ -102,6 +102,14 @@ impl NameTable {
         &self.strings[n.index()]
     }
 
+    /// Iterates the interned strings in [`Name`] index order (the order
+    /// the snapshot writer serializes and the reader re-interns, so
+    /// indices — and therefore the packed kind words and postings
+    /// offsets — survive a round trip unchanged).
+    pub fn strings(&self) -> impl ExactSizeIterator<Item = &str> {
+        self.strings.iter().map(|s| &**s)
+    }
+
     /// Number of distinct names interned so far.
     pub fn len(&self) -> usize {
         self.strings.len()

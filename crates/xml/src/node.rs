@@ -12,7 +12,12 @@ use std::fmt;
 
 /// A node in a [`Document`](crate::Document), identified by its pre-order
 /// index.  Ordering of `NodeId`s *is* document order (`<doc`).
+///
+/// `repr(transparent)` over the raw index: postings columns store plain
+/// `u32`s (they serialize byte-for-byte into snapshots) and reinterpret
+/// as `&[NodeId]` at the accessor boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
@@ -66,7 +71,62 @@ pub enum NodeKind {
     Attribute(Name),
 }
 
+/// Packed-kind tag values (low [`KIND_TAG_BITS`] bits of a kind word).
+pub(crate) const TAG_ROOT: u32 = 0;
+pub(crate) const TAG_ELEMENT: u32 = 1;
+pub(crate) const TAG_TEXT: u32 = 2;
+pub(crate) const TAG_COMMENT: u32 = 3;
+pub(crate) const TAG_PI: u32 = 4;
+pub(crate) const TAG_ATTRIBUTE: u32 = 5;
+/// Bits of a packed kind word holding the tag; the rest is the name.
+pub(crate) const KIND_TAG_BITS: u32 = 3;
+pub(crate) const KIND_TAG_MASK: u32 = (1 << KIND_TAG_BITS) - 1;
+
 impl NodeKind {
+    /// Packs the kind into one `u32` word (tag in the low bits, interned
+    /// name index in the high bits) — the in-memory and on-disk format of
+    /// the document's `kinds` column.
+    ///
+    /// # Panics
+    /// Panics if the name index needs more than `32 - KIND_TAG_BITS`
+    /// bits (over 500M distinct names — unreachable for real documents,
+    /// whose names each label at least one node).
+    #[inline]
+    pub(crate) fn pack(self) -> u32 {
+        let (tag, name) = match self {
+            NodeKind::Root => (TAG_ROOT, 0),
+            NodeKind::Element(n) => (TAG_ELEMENT, n.0),
+            NodeKind::Text => (TAG_TEXT, 0),
+            NodeKind::Comment => (TAG_COMMENT, 0),
+            NodeKind::Pi(n) => (TAG_PI, n.0),
+            NodeKind::Attribute(n) => (TAG_ATTRIBUTE, n.0),
+        };
+        assert!(
+            name >> (32 - KIND_TAG_BITS) == 0,
+            "name index exceeds packed-kind capacity"
+        );
+        tag | (name << KIND_TAG_BITS)
+    }
+
+    /// The inverse of [`NodeKind::pack`].
+    ///
+    /// # Panics
+    /// Panics on an invalid tag; mapped documents validate every kind
+    /// word before adopting the column.
+    #[inline]
+    pub(crate) fn unpack(word: u32) -> NodeKind {
+        let name = Name(word >> KIND_TAG_BITS);
+        match word & KIND_TAG_MASK {
+            TAG_ROOT => NodeKind::Root,
+            TAG_ELEMENT => NodeKind::Element(name),
+            TAG_TEXT => NodeKind::Text,
+            TAG_COMMENT => NodeKind::Comment,
+            TAG_PI => NodeKind::Pi(name),
+            TAG_ATTRIBUTE => NodeKind::Attribute(name),
+            tag => panic!("invalid packed node kind tag {tag}"),
+        }
+    }
+
     /// Whether this node is an element.
     #[inline]
     pub fn is_element(self) -> bool {
@@ -128,5 +188,26 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(NodeId::from_index(5).to_string(), "n5");
+    }
+
+    #[test]
+    fn kind_packing_round_trips() {
+        for kind in [
+            NodeKind::Root,
+            NodeKind::Element(Name(0)),
+            NodeKind::Element(Name(12345)),
+            NodeKind::Text,
+            NodeKind::Comment,
+            NodeKind::Pi(Name(7)),
+            NodeKind::Attribute(Name(3)),
+        ] {
+            assert_eq!(NodeKind::unpack(kind.pack()), kind);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid packed node kind tag")]
+    fn unpack_rejects_invalid_tags() {
+        let _ = NodeKind::unpack(6);
     }
 }

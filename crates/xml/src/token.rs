@@ -477,6 +477,21 @@ impl Source<'_> {
     }
 }
 
+/// Number of [`Tokenizer`]s ever constructed process-wide (monotone).
+static TOKENIZERS_CREATED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many [`Tokenizer`]s this process has constructed (monotone).
+///
+/// Diagnostics hook, the lexing counterpart of
+/// [`documents_built`](crate::builder::documents_built): every path that
+/// reads XML *text* — the DOM parser and the streamer alike — goes
+/// through exactly one `Tokenizer`, so the index smoke asserts this
+/// counter does not move across `open_snapshot` (a reopened snapshot is
+/// adopted column-for-column, never re-lexed).
+pub fn tokenizers_created() -> u64 {
+    TOKENIZERS_CREATED.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// The pull tokenizer.  Obtain events with [`Tokenizer::next_event`] until
 /// it returns `Ok(None)` (clean end of document) or an error.
 pub struct Tokenizer<'a> {
@@ -531,6 +546,7 @@ impl<'a> Tokenizer<'a> {
     }
 
     fn build(src: Source<'a>, opts: ParseOptions) -> Tokenizer<'a> {
+        TOKENIZERS_CREATED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Tokenizer {
             src,
             opts,

@@ -117,6 +117,41 @@
 //! parse-then-evaluate, and the outcome reports which construct forced
 //! the fallback — see [`stream::classify`].
 //!
+//! ## Persistent snapshots
+//!
+//! For stored corpora, [`index`] snapshots a built document to disk and
+//! reopens it **zero-copy** via `mmap` — the flat columns (pre-order
+//! structure, packed kinds, CSR label postings, text heap, id index) are
+//! adopted in place after an integrity scan, so reopening skips the XML
+//! parser entirely (≥5× cheaper than re-parsing at the 10⁶-element
+//! bench tier; see the `index/*` rows in `BENCH_baseline.json`):
+//!
+//! ```
+//! use minctx::prelude::*;
+//!
+//! let doc = minctx::xml::parse(r#"<a><b id="k">7</b></a>"#).unwrap();
+//! let path = std::env::temp_dir().join(format!("minctx-facade-{}.mctx", std::process::id()));
+//! write_snapshot(&doc, &path).unwrap();
+//!
+//! // One-shot convenience: open + evaluate in one call…
+//! let engine = Engine::new(Strategy::OptMinContext);
+//! let q = parse_xpath("count(//b)").unwrap();
+//! assert_eq!(engine.evaluate_snapshot(&path, &q).unwrap(), Value::Number(1.0));
+//!
+//! // …or open once and serve many queries; snapshot stamps are stable
+//! // across reopens, so compiled-query caches keep hitting.
+//! let corpus = open_snapshot(&path).unwrap();
+//! assert_eq!(engine.evaluate_str(&corpus, "string(id('k'))").unwrap(),
+//!            Value::String("7".into()));
+//! # std::fs::remove_file(&path).ok();
+//! ```
+//!
+//! Truncated, bit-flipped or incompatible snapshot files are rejected
+//! with an actionable [`SnapshotError`](index::SnapshotError) — never a
+//! panic — and every corpus document round-trips exactly: owned and
+//! snapshot-backed evaluation agree query-for-query under all four
+//! arena strategies (`crates/bench/tests/snapshot_differential.rs`).
+//!
 //! ## Benchmarks
 //!
 //! `cargo run --release -p minctx-bench --bin tables` prints the paper's
@@ -125,6 +160,7 @@
 //! `thm13_corexpath`, `exp_query_size`, `axes`).
 
 pub use minctx_core as engine;
+pub use minctx_index as index;
 pub use minctx_stream as stream;
 pub use minctx_syntax as syntax;
 pub use minctx_xml as xml;
@@ -132,6 +168,7 @@ pub use minctx_xml as xml;
 /// The most common imports, bundled.
 pub mod prelude {
     pub use minctx_core::{CompiledQuery, Context, Engine, EvalError, Evaluator, Strategy, Value};
+    pub use minctx_index::{open_snapshot, write_snapshot, SnapshotError, SnapshotInfo};
     pub use minctx_stream::{
         classify, StreamMatch, StreamOutcome, StreamValue, Streamability, StreamingEngine,
     };
