@@ -14,9 +14,12 @@
 //! `--json PATH` skips the strategy tables and runs the regression
 //! snapshot — the axis-step section (10⁵-element corpus; 2·10⁴ with
 //! `--quick`), the `stream/*` rows (streaming vs arena at the 10⁵ and
-//! 10⁶ tiers; quick: 2·10⁴/10⁵), and the `index/*` rows (snapshot
+//! 10⁶ tiers; quick: 2·10⁴/10⁵), the `index/*` rows (snapshot
 //! write / zero-copy open vs re-parse / cold first-query at the same
-//! tiers) — writing machine-diffable JSON to `PATH`.
+//! tiers), and the `serve/*` rows (worker-pool qps and p50/p99 latency
+//! at 1/2/4/8 workers over a shared snapshot, plus a
+//! pathological-query injection run whose tail is bounded by the
+//! request deadline) — writing machine-diffable JSON to `PATH`.
 //! `BENCH_baseline.json` at the repo root is one such committed
 //! snapshot; regenerate and diff against it before landing kernel,
 //! streaming or snapshot-format changes.
@@ -67,6 +70,8 @@ fn main() {
         entries.extend(stream_snapshot(stream_scale, snapshot_runs));
         entries.extend(index_snapshot(stream_compare, snapshot_runs));
         entries.extend(index_snapshot(stream_scale, snapshot_runs));
+        entries.extend(serve_snapshot(stream_compare));
+        entries.extend(serve_snapshot(stream_scale));
         print_snapshot(&doc, &entries);
         std::fs::write(&path, snapshot_json(&cfg, &doc, &entries))
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
@@ -144,6 +149,135 @@ fn main() {
             println!("  {key:<52} {v:>10.4}");
         }
     }
+
+    banner("Concurrent service (shared-snapshot worker pool)");
+    for elements in [stream_compare, stream_scale] {
+        let entries = serve_snapshot(elements);
+        for (key, v) in &entries {
+            println!("  {key:<52} {v:>10.4}");
+        }
+    }
+}
+
+/// The `serve/*` rows: saturation throughput and latency of the
+/// `minctx-serve` worker pool on a shared snapshot.  16 client threads
+/// issue blocking round trips over a mixed scalar workload; rows record
+/// qps and p50/p99 latency at 1/2/4/8 workers (the scaling acceptance:
+/// ≥3× qps at 4 workers vs 1 on the 10⁵ tier), plus a run with a
+/// pathological `preceding::*` query injected at 1/100 density under a
+/// 100 ms deadline — its p99 must stay bounded by that deadline, not by
+/// the query's natural (multi-second) cost.
+fn serve_snapshot(elements: usize) -> Vec<(String, f64)> {
+    use minctx_core::{write_snapshot, Budget, EvalError};
+    use minctx_serve::{Corpus, ServeEngine, ServeError};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    const CLIENTS: usize = 16;
+    const MIX: &[&str] = &[
+        "count(//item)",
+        "count(//item[@id])",
+        "count(//parlist/listitem)",
+        "boolean(//listitem)",
+    ];
+    const PATHOLOGICAL: &str = "count(//*[count(preceding::*) > 1])";
+    const DEADLINE: Duration = Duration::from_millis(100);
+
+    let tag = format!("{}k", elements / 1000);
+    let per_client = (3_200_000 / elements.max(1)).clamp(8, 32);
+    let doc = xmark_doc(&XmarkConfig::sized(elements));
+    let path = std::env::temp_dir().join(format!(
+        "minctx-tables-serve-{}-{tag}.mctx",
+        std::process::id()
+    ));
+    write_snapshot(&doc, &path).unwrap();
+    drop(doc);
+
+    // One saturation run: `clients` threads in blocking round trips,
+    // returning (wall time, sorted per-request latencies, shed count).
+    let run = |workers: usize, inject: bool| -> (Duration, Vec<Duration>, usize) {
+        let serve = Arc::new(ServeEngine::builder().workers(workers).build());
+        for q in MIX {
+            serve
+                .query(Corpus::Snapshot(path.clone()), q)
+                .wait()
+                .unwrap();
+        }
+        let start = Instant::now();
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let serve = Arc::clone(&serve);
+                let path = path.clone();
+                std::thread::spawn(move || {
+                    let mut lats = Vec::with_capacity(per_client);
+                    let mut shed = 0usize;
+                    for i in 0..per_client {
+                        let n = c * per_client + i;
+                        let t0 = Instant::now();
+                        let res = if inject && n % 100 == 0 {
+                            serve.query_with_budget(
+                                Corpus::Snapshot(path.clone()),
+                                PATHOLOGICAL,
+                                Budget::timeout(DEADLINE),
+                            )
+                        } else {
+                            serve.query(Corpus::Snapshot(path.clone()), MIX[n % MIX.len()])
+                        }
+                        .wait();
+                        lats.push(t0.elapsed());
+                        match res {
+                            Ok(_) => {}
+                            Err(ServeError::Eval(EvalError::BudgetExhausted { .. })) => shed += 1,
+                            Err(e) => panic!("serve bench request failed: {e:?}"),
+                        }
+                    }
+                    (lats, shed)
+                })
+            })
+            .collect();
+        let mut lats = Vec::new();
+        let mut shed = 0;
+        for h in handles {
+            let (l, s) = h.join().unwrap();
+            lats.extend(l);
+            shed += s;
+        }
+        let wall = start.elapsed();
+        lats.sort_unstable();
+        (wall, lats, shed)
+    };
+
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let total = (CLIENTS * per_client) as f64;
+    let mut out: Vec<(String, f64)> = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let (wall, lats, _) = run(workers, false);
+        out.push((
+            format!("serve/{tag}/qps/w{workers}"),
+            total / wall.as_secs_f64(),
+        ));
+        out.push((
+            format!("serve/{tag}/p50-ms/w{workers}"),
+            ms(lats[lats.len() / 2]),
+        ));
+        out.push((
+            format!("serve/{tag}/p99-ms/w{workers}"),
+            ms(lats[lats.len() * 99 / 100]),
+        ));
+    }
+    // Pathological injection at 4 workers: the deadline bounds the tail.
+    let (wall, lats, shed) = run(4, true);
+    out.push((
+        format!("serve/{tag}/qps/w4-injected"),
+        total / wall.as_secs_f64(),
+    ));
+    out.push((
+        format!("serve/{tag}/p99-ms/w4-injected"),
+        ms(lats[lats.len() * 99 / 100]),
+    ));
+    out.push((format!("serve/{tag}/shed/w4-injected"), shed as f64));
+    std::fs::remove_file(&path).ok();
+    out
 }
 
 /// The `index/*` rows: snapshot write time, zero-copy open time vs the
@@ -347,8 +481,17 @@ fn print_snapshot(doc: &Document, entries: &[(String, f64)]) {
     );
     for (key, v) in entries {
         // Keys carry their unit: `…/alloc-*-mb/…` rows are megabytes,
-        // everything else is median milliseconds.
-        let unit = if key.contains("-mb/") { "MB" } else { "ms" };
+        // `serve/*/qps/*` requests per second, `serve/*/shed/*` a
+        // request count, everything else median milliseconds.
+        let unit = if key.contains("-mb/") {
+            "MB"
+        } else if key.contains("/qps/") {
+            "q/s"
+        } else if key.contains("/shed/") {
+            "req"
+        } else {
+            "ms"
+        };
         println!("  {key:<52} {v:>10.4} {unit}");
     }
 }

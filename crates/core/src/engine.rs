@@ -12,6 +12,8 @@
 //!   axis kernels' mark/flag sweeps perform no per-call `O(|D|)`
 //!   allocations in steady state.
 
+use crate::budget::{Budget, BudgetMeter};
+use crate::cache::LruCache;
 use crate::compile::CompiledQuery;
 use crate::error::EvalError;
 use crate::mincontext::MinContext;
@@ -20,9 +22,9 @@ use crate::tables::ContextValueTables;
 use crate::value::Value;
 use minctx_syntax::{parse_xpath, Query};
 use minctx_xml::{Document, NodeId, Scratch};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// An XPath 1.0 evaluation context: the triple `(x, k, n)` of Section 2.2
 /// — context node, context position, context size.
@@ -130,26 +132,29 @@ impl fmt::Display for Strategy {
 /// context)` to a [`Value`].
 ///
 /// Backends receive the query pre-compiled (node tests resolved, see
-/// [`CompiledQuery`]) and a caller-owned [`Scratch`] for the axis
-/// kernels' working memory.
+/// [`CompiledQuery`]), a caller-owned [`Scratch`] for the axis kernels'
+/// working memory, and a [`BudgetMeter`] they must charge their work
+/// against — every strategy honors fuel and deadline limits, surfacing
+/// [`EvalError::BudgetExhausted`] when one trips (see
+/// [`Budget`](crate::Budget) for the accounting contract).
 pub trait Evaluator {
     /// The strategy this evaluator implements (for diagnostics).
     fn strategy(&self) -> Strategy;
 
-    /// Evaluates a compiled query at a context.
+    /// Evaluates a compiled query at a context, charging work to `meter`.
     fn evaluate(
         &self,
         doc: &Document,
         query: &CompiledQuery,
         ctx: Context,
         scratch: &mut Scratch,
+        meter: &mut BudgetMeter,
     ) -> Result<Value, EvalError>;
 }
 
-/// Compiled-query cache entries beyond this are assumed to be churn (e.g.
-/// ad-hoc `evaluate_str` strings, each lowered afresh) and the cache is
-/// reset rather than grown without bound.
-const CACHE_CAP: usize = 256;
+/// Default compiled-query cache capacity; beyond it the least-recently
+/// used compilation is evicted (see [`Engine::with_cache_capacity`]).
+const DEFAULT_CACHE_CAPACITY: usize = 256;
 
 /// The query-evaluation entry point: a [`Strategy`] plus evaluation
 /// options, a compiled-query cache, and reusable evaluation scratch.
@@ -165,14 +170,15 @@ const CACHE_CAP: usize = 256;
 /// ```
 pub struct Engine {
     strategy: Strategy,
-    budget: Option<u64>,
+    budget: Budget,
     /// Run the [`rewrite`](crate::rewrite::rewrite) pipeline before
     /// compiling queries.  On by default; `MINCTX_NO_OPTIMIZER` in the
     /// environment flips the default off (the no-optimizer CI job), and
     /// [`Engine::with_optimizer`] overrides either way.
     optimize: bool,
-    /// `(query stamp, document stamp)` → compiled query.
-    cache: Mutex<HashMap<(u64, u64), Arc<CompiledQuery>>>,
+    /// `(query stamp, document stamp)` → compiled query, LRU-bounded at
+    /// [`Engine::cache_capacity`] entries.
+    cache: Mutex<LruCache<(u64, u64), Arc<CompiledQuery>>>,
     /// Reusable axis-kernel working memory for this engine's evaluations.
     /// Pool of scratch arenas: evaluations pop one and return it, so
     /// concurrent evaluations on a shared engine never serialize on the
@@ -223,20 +229,45 @@ impl Engine {
     pub fn new(strategy: Strategy) -> Engine {
         Engine {
             strategy,
-            budget: None,
+            budget: Budget::UNLIMITED,
             optimize: optimizer_default(),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(LruCache::new(DEFAULT_CACHE_CAPACITY)),
             scratch_pool: Mutex::new(Vec::new()),
         }
     }
 
-    /// Caps the abstract work units the evaluator may spend; exceeding the
-    /// cap yields [`EvalError::BudgetExceeded`].  Only [`Strategy::Naive`]
-    /// meters its work (it is the only strategy that can blow up); the
-    /// polynomial strategies ignore the budget.
-    pub fn with_budget(mut self, budget: u64) -> Engine {
-        self.budget = Some(budget);
+    /// Caps the abstract work units (fuel) an evaluation may spend;
+    /// exceeding the cap yields [`EvalError::BudgetExhausted`].  Every
+    /// strategy meters its work — including the polynomial ones, whose
+    /// charges bound worst-case latency on a shared serving engine, and
+    /// the streaming engine's per-event accounting.
+    pub fn with_budget(mut self, fuel: u64) -> Engine {
+        self.budget.fuel = Some(fuel);
         self
+    }
+
+    /// Caps the wall-clock time an evaluation may take; exceeding it
+    /// yields [`EvalError::BudgetExhausted`].  The deadline is polled
+    /// every ~50k charged work units, so enforcement granularity is well
+    /// under a millisecond of evaluator work.
+    pub fn with_timeout(mut self, timeout: Duration) -> Engine {
+        self.budget.timeout = Some(timeout);
+        self
+    }
+
+    /// Bounds the compiled-query cache at `capacity` entries (least
+    /// recently used compilations are evicted beyond it).  Clears the
+    /// cache.  The default is 256.
+    pub fn with_cache_capacity(self, capacity: usize) -> Engine {
+        Engine {
+            cache: Mutex::new(LruCache::new(capacity)),
+            ..self
+        }
+    }
+
+    /// The compiled-query cache's entry bound.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.lock().expect("engine cache poisoned").capacity()
     }
 
     /// Enables or disables the query-IR rewrite pipeline
@@ -264,17 +295,20 @@ impl Engine {
         self.strategy
     }
 
-    /// The configured work budget, if any.
+    /// The configured fuel cap, if any.
     pub fn budget(&self) -> Option<u64> {
+        self.budget.fuel
+    }
+
+    /// The full budget configuration (fuel and timeout).
+    pub fn budget_config(&self) -> Budget {
         self.budget
     }
 
     /// The pluggable backend for this engine's strategy.
     pub fn evaluator(&self) -> Box<dyn Evaluator> {
         match self.strategy {
-            Strategy::Naive => Box::new(Naive {
-                budget: self.budget,
-            }),
+            Strategy::Naive => Box::new(Naive),
             Strategy::ContextValueTable => Box::new(ContextValueTables),
             // Arena evaluation under the streaming strategy uses
             // MINCONTEXT — the same evaluator the streaming differential
@@ -293,7 +327,7 @@ impl Engine {
     pub fn compile(&self, doc: &Document, query: &Query) -> Arc<CompiledQuery> {
         let key = (query.stamp(), doc.stamp());
         {
-            let cache = self.cache.lock().expect("engine cache poisoned");
+            let mut cache = self.cache.lock().expect("engine cache poisoned");
             if let Some(cq) = cache.get(&key) {
                 return Arc::clone(cq);
             }
@@ -301,15 +335,17 @@ impl Engine {
         // Rewrite + compile outside the lock: both are pure, and losing a
         // race merely compiles the same query twice.
         let cq = Arc::new(self.compile_uncached(doc, query));
-        let mut cache = self.cache.lock().expect("engine cache poisoned");
-        if cache.len() >= CACHE_CAP {
-            cache.clear();
-        }
-        cache.insert(key, Arc::clone(&cq));
+        self.cache
+            .lock()
+            .expect("engine cache poisoned")
+            .insert(key, Arc::clone(&cq));
         cq
     }
 
-    fn compile_uncached(&self, doc: &Document, query: &Query) -> CompiledQuery {
+    /// Compiles without consulting or populating the engine's cache — for
+    /// callers that maintain their own compiled-query store (the
+    /// `minctx-serve` shared LRU) or evaluate ad-hoc strings.
+    pub fn compile_uncached(&self, doc: &Document, query: &Query) -> CompiledQuery {
         if self.optimize {
             CompiledQuery::new(doc, &crate::rewrite::rewrite(query))
         } else {
@@ -394,12 +430,28 @@ impl Engine {
 
     /// Evaluates an already-compiled query at an explicit context; the
     /// no-per-call-work entry point for serving loops that hold on to the
-    /// [`CompiledQuery`] themselves.
+    /// [`CompiledQuery`] themselves.  Metered under the engine's
+    /// configured [`Budget`].
     pub fn evaluate_compiled(
         &self,
         doc: &Document,
         compiled: &CompiledQuery,
         ctx: Context,
+    ) -> Result<Value, EvalError> {
+        let mut meter = self.budget.meter();
+        self.evaluate_compiled_metered(doc, compiled, ctx, &mut meter)
+    }
+
+    /// [`Engine::evaluate_compiled`] with a caller-supplied meter —
+    /// request loops build one per request (typically via
+    /// [`Budget::meter_at`], anchoring the deadline at submit time so
+    /// queue wait counts) instead of using the engine-wide budget.
+    pub fn evaluate_compiled_metered(
+        &self,
+        doc: &Document,
+        compiled: &CompiledQuery,
+        ctx: Context,
+        meter: &mut BudgetMeter,
     ) -> Result<Value, EvalError> {
         let reason = if compiled.doc_stamp() != doc.stamp() {
             Some("query was compiled against a different document")
@@ -421,7 +473,9 @@ impl Engine {
             .expect("engine scratch pool poisoned")
             .pop()
             .unwrap_or_default();
-        let result = self.evaluator().evaluate(doc, compiled, ctx, &mut scratch);
+        let result = self
+            .evaluator()
+            .evaluate(doc, compiled, ctx, &mut scratch, meter);
         let mut pool = self
             .scratch_pool
             .lock()
@@ -461,14 +515,52 @@ mod tests {
 
     #[test]
     fn engine_reports_configuration() {
-        let e = Engine::new(Strategy::Naive).with_budget(100);
+        let e = Engine::new(Strategy::Naive)
+            .with_budget(100)
+            .with_timeout(Duration::from_millis(250));
         assert_eq!(e.strategy(), Strategy::Naive);
         assert_eq!(e.budget(), Some(100));
+        assert_eq!(
+            e.budget_config(),
+            Budget::fuel(100).with_timeout(Duration::from_millis(250))
+        );
         assert_eq!(e.evaluator().strategy(), Strategy::Naive);
         assert_eq!(
             Engine::new(Strategy::OptMinContext).evaluator().strategy(),
             Strategy::OptMinContext
         );
+        assert_eq!(Engine::new(Strategy::MinContext).cache_capacity(), 256);
+        assert_eq!(
+            Engine::new(Strategy::MinContext)
+                .with_cache_capacity(7)
+                .cache_capacity(),
+            7
+        );
+    }
+
+    #[test]
+    fn compiled_query_cache_evicts_least_recently_used() {
+        // Capacity 2: compiling a third query evicts the stale one, and
+        // the still-hot compilation survives (same Arc, no recompile).
+        let doc = parse("<a><b/><c/><d/></a>").unwrap();
+        let qb = minctx_syntax::parse_xpath("/a/b").unwrap();
+        let qc = minctx_syntax::parse_xpath("/a/c").unwrap();
+        let qd = minctx_syntax::parse_xpath("/a/d").unwrap();
+        let e = Engine::new(Strategy::MinContext).with_cache_capacity(2);
+        let cb = e.compile(&doc, &qb);
+        let _cc = e.compile(&doc, &qc);
+        assert_eq!(e.cached_queries(), 2);
+        // Touch qb so qc becomes the LRU entry, then overflow with qd.
+        assert!(Arc::ptr_eq(&cb, &e.compile(&doc, &qb)));
+        let cd = e.compile(&doc, &qd);
+        assert_eq!(e.cached_queries(), 2);
+        // qb survived (same Arc); qc was evicted and recompiles fresh.
+        assert!(Arc::ptr_eq(&cb, &e.compile(&doc, &qb)));
+        assert!(Arc::ptr_eq(&cd, &e.compile(&doc, &qd)));
+        let cc2 = e.compile(&doc, &qc);
+        assert_eq!(e.cached_queries(), 2);
+        // And the recompiled qc is resident again.
+        assert!(Arc::ptr_eq(&cc2, &e.compile(&doc, &qc)));
     }
 
     #[test]

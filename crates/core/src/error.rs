@@ -22,12 +22,16 @@ pub enum EvalError {
         expected: &'static str,
         got: &'static str,
     },
-    /// The evaluator exceeded its work budget (used to cap the
-    /// deliberately exponential [`Strategy::Naive`](crate::Strategy)
-    /// baseline).
-    BudgetExceeded {
-        /// The budget that was exhausted, in abstract work units.
-        budget: u64,
+    /// The evaluator exhausted its [`Budget`](crate::Budget) before
+    /// finishing: the fuel cap was spent or the wall-clock deadline
+    /// passed.  Every strategy (including the streaming engine) meters
+    /// its work, so a pathological query — e.g. the deliberately
+    /// exponential [`Strategy::Naive`](crate::Strategy) baseline, or any
+    /// evaluation a serving loop must bound — fails fast instead of
+    /// running away.
+    BudgetExhausted {
+        /// Which limit ran out.
+        cause: Exhausted,
     },
     /// The document exceeds an evaluator's structural capacity (e.g. the
     /// streaming engine's `u32` pre-order ordinals, kept in lockstep with
@@ -52,6 +56,18 @@ pub enum EvalError {
     Snapshot(std::sync::Arc<minctx_index::SnapshotError>),
 }
 
+/// Which [`Budget`](crate::Budget) limit an evaluation ran out of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exhausted {
+    /// The fuel cap was spent.
+    Fuel {
+        /// The configured cap, in abstract work units.
+        fuel: u64,
+    },
+    /// The wall-clock deadline passed.
+    Deadline,
+}
+
 impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -60,9 +76,12 @@ impl fmt::Display for EvalError {
             EvalError::Type { expected, got } => {
                 write!(f, "type error: expected {expected}, got {got}")
             }
-            EvalError::BudgetExceeded { budget } => {
-                write!(f, "evaluation work budget of {budget} units exceeded")
-            }
+            EvalError::BudgetExhausted { cause } => match cause {
+                Exhausted::Fuel { fuel } => {
+                    write!(f, "evaluation fuel budget of {fuel} units exhausted")
+                }
+                Exhausted::Deadline => write!(f, "evaluation deadline exhausted"),
+            },
             EvalError::DocumentTooLarge { nodes, limit } => {
                 write!(
                     f,
@@ -111,8 +130,14 @@ mod tests {
             got: "number",
         };
         assert_eq!(e.to_string(), "type error: expected node-set, got number");
-        let e = EvalError::BudgetExceeded { budget: 42 };
+        let e = EvalError::BudgetExhausted {
+            cause: Exhausted::Fuel { fuel: 42 },
+        };
         assert!(e.to_string().contains("42"));
+        let e = EvalError::BudgetExhausted {
+            cause: Exhausted::Deadline,
+        };
+        assert!(e.to_string().contains("deadline"));
         let p: EvalError = ParseError {
             message: "boom".into(),
             offset: 3,

@@ -32,6 +32,8 @@
 //! }
 //! ```
 
+pub mod budget;
+pub mod cache;
 pub mod compile;
 pub mod engine;
 pub mod error;
@@ -42,15 +44,33 @@ pub mod rewrite;
 pub mod tables;
 pub mod value;
 
+pub use budget::{Budget, BudgetMeter};
+pub use cache::LruCache;
 pub use compile::CompiledQuery;
 pub use engine::{Context, Engine, Evaluator, Strategy};
-pub use error::EvalError;
+pub use error::{EvalError, Exhausted};
 pub use mincontext::MinContext;
 // The persistent-index backend, re-exported so engine users reach
 // `open_snapshot`/`write_snapshot` (the serving pair behind
 // `Engine::evaluate_snapshot`) without a separate dependency.
-pub use minctx_index::{open_snapshot, write_snapshot, SnapshotError, SnapshotInfo};
+pub use minctx_index::{
+    open_snapshot, snapshot_stamp, write_snapshot, SnapshotError, SnapshotInfo,
+};
 pub use naive::Naive;
 pub use rewrite::rewrite;
 pub use tables::ContextValueTables;
 pub use value::Value;
+
+// Concurrent-serving audit (DESIGN.md "Concurrent service"): everything
+// a `minctx-serve` worker pool shares across threads — the engine (its
+// caches behind mutexes, scratch pooled), compiled queries, values, and
+// errors — must be thread-safe, checked at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<CompiledQuery>();
+    assert_send_sync::<Value>();
+    assert_send_sync::<EvalError>();
+    assert_send_sync::<Budget>();
+    assert_send_sync::<BudgetMeter>();
+};

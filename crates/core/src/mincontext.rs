@@ -33,6 +33,7 @@
 //! the predicate holds.  Every subsequent predicate check is then an
 //! `O(log |D|)` membership test instead of a fresh `O(|D|)` forward walk.
 
+use crate::budget::BudgetMeter;
 use crate::compile::CompiledQuery;
 use crate::engine::{Context, Evaluator, Strategy};
 use crate::error::EvalError;
@@ -66,6 +67,7 @@ impl Evaluator for MinContext {
         query: &CompiledQuery,
         ctx: Context,
         scratch: &mut Scratch,
+        meter: &mut BudgetMeter,
     ) -> Result<Value, EvalError> {
         let mut run = Run {
             doc,
@@ -74,12 +76,13 @@ impl Evaluator for MinContext {
             memo: vec![HashMap::new(); query.query().len()],
             backward: vec![None; query.query().len()],
             scratch,
+            meter,
         };
         run.eval(query.query().root(), ctx)
     }
 }
 
-struct Run<'d, 'q, 's> {
+struct Run<'d, 'q, 's, 'm> {
     doc: &'d Document,
     query: &'q CompiledQuery,
     opt: bool,
@@ -90,6 +93,10 @@ struct Run<'d, 'q, 's> {
     backward: Vec<Option<NodeSet>>,
     /// Reusable axis-kernel working memory (engine-owned).
     scratch: &'s mut Scratch,
+    /// Fuel/deadline accounting: charged per memo-miss compute, per axis
+    /// sweep (proportional to the context set), per candidate filtered,
+    /// and per backward-propagation pass (proportional to the document).
+    meter: &'m mut BudgetMeter,
 }
 
 /// Packs the *relevant* components of a context into a memo key; the
@@ -114,12 +121,15 @@ fn memo_key(relev: Relev, ctx: Context) -> u128 {
     key
 }
 
-impl<'q> Run<'_, 'q, '_> {
+impl<'q> Run<'_, 'q, '_, '_> {
     fn eval(&mut self, id: ExprId, ctx: Context) -> Result<Value, EvalError> {
         let key = memo_key(self.query.query().relev(id), ctx);
         if let Some(v) = self.memo[id.index()].get(&key) {
             return Ok(v.clone());
         }
+        // Memo misses are the unit of work MINCONTEXT's complexity bound
+        // counts; hits are free.
+        self.meter.charge(1)?;
         let v = self.compute(id, ctx)?;
         self.memo[id.index()].insert(key, v.clone());
         Ok(v)
@@ -201,10 +211,17 @@ impl<'q> Run<'_, 'q, '_> {
             // Node tests were resolved at compile time (postings-backed
             // fast paths dispatch on the resolved name).
             let test = self.query.step_test(path_id, si);
+            // An axis sweep touches at least the whole context set.
+            self.meter.charge(cur.len() as u64 + 1)?;
             if step.predicates.is_empty() {
                 // Predicate-free step: one axis sweep for the whole
                 // context set, ping-ponging two reused buffers.
                 axis_image_into(self.doc, step.axis, &cur, test, self.scratch, &mut next);
+                // Charge the sweep's output too: from a singleton
+                // context, `preceding::*` can touch most of the
+                // document, and deadline polling granularity must
+                // track that work, not just the input size.
+                self.meter.charge(next.len() as u64)?;
                 std::mem::swap(&mut cur, &mut next);
             } else {
                 // Positional predicates need per-origin candidate lists in
@@ -232,6 +249,7 @@ impl<'q> Run<'_, 'q, '_> {
         cands: Vec<NodeId>,
     ) -> Result<Vec<NodeId>, EvalError> {
         let size = cands.len();
+        self.meter.charge(size as u64 + 1)?;
         let mut kept = Vec::with_capacity(size);
         for (i, &y) in cands.iter().enumerate() {
             let inner = Context {
@@ -252,7 +270,7 @@ impl<'q> Run<'_, 'q, '_> {
     /// answers it via the precomputed context-node set.
     fn try_backward(&mut self, id: ExprId, ctx_node: NodeId) -> Result<Option<bool>, EvalError> {
         if self.backward[id.index()].is_none() {
-            let Some(set) = self.build_backward(id) else {
+            let Some(set) = self.build_backward(id)? else {
                 return Ok(None);
             };
             self.backward[id.index()] = Some(set);
@@ -264,31 +282,45 @@ impl<'q> Run<'_, 'q, '_> {
 
     /// Builds the backward set for `boolean(π)` / `π RelOp c` / `c RelOp π`
     /// shapes, or `None` when the shape does not apply.
-    fn build_backward(&mut self, id: ExprId) -> Option<NodeSet> {
+    fn build_backward(&mut self, id: ExprId) -> Result<Option<NodeSet>, EvalError> {
         match self.query.query().node(id) {
             Node::Call(Func::Boolean, args) => {
-                let (path_id, steps) = self.simple_relative_path(args[0])?;
+                let Some((path_id, steps)) = self.simple_relative_path(args[0]) else {
+                    return Ok(None);
+                };
+                // The witness scan visits every node once.
+                self.meter.charge(self.doc.len() as u64)?;
                 // Existence: every node is a witness.
                 let all: NodeSet = self.doc.all_nodes().collect();
-                Some(self.propagate_backwards(path_id, steps, all))
+                self.propagate_backwards(path_id, steps, all).map(Some)
             }
             Node::Compare(op, a, b) => {
                 // Normalize to path-on-the-left.
                 let ((path_id, steps), scalar, op) =
                     if let Some(path) = self.simple_relative_path(*a) {
-                        (path, self.constant_scalar(*b)?, *op)
+                        let Some(scalar) = self.constant_scalar(*b) else {
+                            return Ok(None);
+                        };
+                        (path, scalar, *op)
                     } else {
-                        let path = self.simple_relative_path(*b)?;
-                        (path, self.constant_scalar(*a)?, op.swapped())
+                        let Some(path) = self.simple_relative_path(*b) else {
+                            return Ok(None);
+                        };
+                        let Some(scalar) = self.constant_scalar(*a) else {
+                            return Ok(None);
+                        };
+                        (path, scalar, op.swapped())
                     };
+                self.meter.charge(self.doc.len() as u64)?;
                 let witnesses: NodeSet = self
                     .doc
                     .all_nodes()
                     .filter(|&y| node_scalar_compare(self.doc, op, y, &scalar))
                     .collect();
-                Some(self.propagate_backwards(path_id, steps, witnesses))
+                self.propagate_backwards(path_id, steps, witnesses)
+                    .map(Some)
             }
-            _ => None,
+            _ => Ok(None),
         }
     }
 
@@ -307,10 +339,12 @@ impl<'q> Run<'_, 'q, '_> {
         path_id: ExprId,
         steps: &[Step],
         targets: NodeSet,
-    ) -> NodeSet {
+    ) -> Result<NodeSet, EvalError> {
         let mut set = targets;
         let mut pre = NodeSet::new();
         for (si, step) in steps.iter().enumerate().rev() {
+            // Each preimage sweep is an `O(|D|)` pass.
+            self.meter.charge(self.doc.len() as u64 + 1)?;
             let test = self.query.step_test(path_id, si);
             set.retain(|y| {
                 let is_attr = self.doc.kind(y).is_attribute();
@@ -327,7 +361,7 @@ impl<'q> Run<'_, 'q, '_> {
             axis_preimage_into(self.doc, step.axis, &set, self.scratch, &mut pre);
             std::mem::swap(&mut set, &mut pre);
         }
-        set
+        Ok(set)
     }
 
     /// A relative, predicate-free location path — the shape the backward
@@ -370,8 +404,9 @@ mod tests {
         let q = parse_xpath(query).unwrap();
         let cq = CompiledQuery::new(doc, &q);
         let mut scratch = Scratch::new();
+        let mut meter = BudgetMeter::unlimited();
         MinContext { optimized }
-            .evaluate(doc, &cq, Context::document(doc), &mut scratch)
+            .evaluate(doc, &cq, Context::document(doc), &mut scratch, &mut meter)
             .unwrap()
     }
 
@@ -465,6 +500,7 @@ mod tests {
         let q = parse_xpath("/a/*/x[position() = 2]").unwrap();
         let cq = CompiledQuery::new(&doc, &q);
         let mut scratch = Scratch::new();
+        let mut meter = BudgetMeter::unlimited();
         let mut run = Run {
             doc: &doc,
             query: &cq,
@@ -472,6 +508,7 @@ mod tests {
             memo: vec![HashMap::new(); q.len()],
             backward: vec![None; q.len()],
             scratch: &mut scratch,
+            meter: &mut meter,
         };
         let v = run.eval(q.root(), Context::document(&doc)).unwrap();
         assert_eq!(v.as_node_set().unwrap().len(), 2);

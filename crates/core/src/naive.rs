@@ -12,14 +12,16 @@
 //!
 //! over the two-`<b/>` document, each `parent::a/child::b` pair doubles the
 //! context list, so running time is `Θ(2^(|Q|/2))`.  The evaluator charges
-//! an abstract work unit per expression visit and per candidate node, and
-//! aborts with [`EvalError::BudgetExceeded`] once an optional budget is
-//! spent — which is how the test suite demonstrates the blow-up without
-//! waiting for it.
+//! an abstract work unit per expression visit and per candidate node
+//! against the caller's [`BudgetMeter`], and aborts with
+//! [`EvalError::BudgetExhausted`] once the fuel or deadline is spent —
+//! which is how the test suite demonstrates the blow-up without waiting
+//! for it.
 //!
 //! The final value of a path is deduplicated into a proper [`NodeSet`], so
 //! the naive strategy is *correct*, just exponentially slow.
 
+use crate::budget::BudgetMeter;
 use crate::compile::CompiledQuery;
 use crate::engine::{Context, Evaluator, Strategy};
 use crate::error::EvalError;
@@ -29,11 +31,8 @@ use minctx_syntax::{ArithOp, ExprId, Func, Node, PathStart, Step};
 use minctx_xml::{Document, NodeId, NodeSet, Scratch};
 
 /// The exponential-time baseline evaluator.
-#[derive(Debug, Clone, Default)]
-pub struct Naive {
-    /// Abstract work budget; `None` means unlimited.
-    pub budget: Option<u64>,
-}
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Naive;
 
 impl Evaluator for Naive {
     fn strategy(&self) -> Strategy {
@@ -46,31 +45,22 @@ impl Evaluator for Naive {
         query: &CompiledQuery,
         ctx: Context,
         _scratch: &mut Scratch,
+        meter: &mut BudgetMeter,
     ) -> Result<Value, EvalError> {
-        let mut run = Run {
-            doc,
-            query,
-            budget: self.budget,
-            spent: 0,
-        };
+        let mut run = Run { doc, query, meter };
         run.eval(query.query().root(), ctx)
     }
 }
 
-struct Run<'d, 'q> {
+struct Run<'d, 'q, 'm> {
     doc: &'d Document,
     query: &'q CompiledQuery,
-    budget: Option<u64>,
-    spent: u64,
+    meter: &'m mut BudgetMeter,
 }
 
-impl Run<'_, '_> {
+impl Run<'_, '_, '_> {
     fn charge(&mut self, units: u64) -> Result<(), EvalError> {
-        self.spent = self.spent.saturating_add(units);
-        match self.budget {
-            Some(budget) if self.spent > budget => Err(EvalError::BudgetExceeded { budget }),
-            _ => Ok(()),
-        }
+        self.meter.charge(units)
     }
 
     fn eval(&mut self, id: ExprId, ctx: Context) -> Result<Value, EvalError> {

@@ -19,6 +19,7 @@
 //! paper's own baseline and the test suite a structurally independent
 //! oracle: it shares no evaluation order with the recursive strategies.
 
+use crate::budget::BudgetMeter;
 use crate::compile::CompiledQuery;
 use crate::engine::{Context, Evaluator, Strategy};
 use crate::error::EvalError;
@@ -44,11 +45,12 @@ impl Evaluator for ContextValueTables {
         query: &CompiledQuery,
         ctx: Context,
         scratch: &mut Scratch,
+        meter: &mut BudgetMeter,
     ) -> Result<Value, EvalError> {
         let q = query.query();
         let mut tables: Vec<Table> = Vec::with_capacity(q.len());
         for (id, _) in q.iter() {
-            let t = build_table(doc, query, &tables, id, scratch)?;
+            let t = build_table(doc, query, &tables, id, scratch, meter)?;
             tables.push(t);
         }
         Ok(tables[q.root().index()].get(ctx).clone())
@@ -155,6 +157,7 @@ fn build_table(
     tables: &[Table],
     id: ExprId,
     scratch: &mut Scratch,
+    meter: &mut BudgetMeter,
 ) -> Result<Table, EvalError> {
     let relev = query.query().relev(id);
     let max_n = doc.len();
@@ -166,7 +169,12 @@ fn build_table(
     };
     let mut vals = Vec::with_capacity(total);
     for_each_context(relev, max_n, doc.len(), |ctx| {
-        vals.push(value_at(doc, query, tables, id, ctx, scratch)?);
+        // One unit per table cell: the cell count *is* this algorithm's
+        // cost model (and its Θ(|D|³)-per-positional-predicate blow-up).
+        // Path cells charge their axis sweeps on top (a predicate-free
+        // absolute path is a single cell doing `O(|D|)` work).
+        meter.charge(1)?;
+        vals.push(value_at(doc, query, tables, id, ctx, scratch, meter)?);
         Ok(())
     })?;
     debug_assert_eq!(vals.len(), total);
@@ -186,6 +194,7 @@ fn value_at(
     id: ExprId,
     ctx: Context,
     scratch: &mut Scratch,
+    meter: &mut BudgetMeter,
 ) -> Result<Value, EvalError> {
     let lookup = |child: ExprId| tables[child.index()].get(ctx);
     Ok(match query.query().node(id) {
@@ -201,7 +210,9 @@ fn value_at(
             let y = lookup(*b).as_node_set().ok_or(type_err(lookup(*b)))?;
             Value::NodeSet(x.union(y))
         }
-        Node::Path(start, steps) => path_value(doc, query, id, tables, start, steps, ctx, scratch)?,
+        Node::Path(start, steps) => {
+            path_value(doc, query, id, tables, start, steps, ctx, scratch, meter)?
+        }
         Node::Call(Func::Position, _) => Value::Number(ctx.position as f64),
         Node::Call(Func::Last, _) => Value::Number(ctx.size as f64),
         Node::Call(func, args) => {
@@ -230,6 +241,7 @@ fn path_value(
     steps: &[Step],
     ctx: Context,
     scratch: &mut Scratch,
+    meter: &mut BudgetMeter,
 ) -> Result<Value, EvalError> {
     let mut cur: NodeSet = match start {
         PathStart::Root => NodeSet::singleton(doc.root()),
@@ -255,6 +267,8 @@ fn path_value(
             break;
         }
         let test = query.step_test(path_id, si);
+        // An axis sweep touches at least the whole context set.
+        meter.charge(cur.len() as u64 + 1)?;
         if step.predicates.is_empty() {
             cur = axis_image_resolved(doc, step.axis, &cur, test, scratch);
         } else {
@@ -326,7 +340,13 @@ mod tests {
         let q = parse_xpath("/a/b[position() = last() - 1]").unwrap();
         let cq = CompiledQuery::new(&doc, &q);
         let v = ContextValueTables
-            .evaluate(&doc, &cq, Context::document(&doc), &mut Scratch::new())
+            .evaluate(
+                &doc,
+                &cq,
+                Context::document(&doc),
+                &mut Scratch::new(),
+                &mut BudgetMeter::unlimited(),
+            )
             .unwrap();
         let ns = v.as_node_set().unwrap();
         assert_eq!(ns.len(), 1);
@@ -342,9 +362,10 @@ mod tests {
         let q = parse_xpath("a[position() = 1]").unwrap();
         let cq = CompiledQuery::new(&doc, &q);
         let mut scratch = Scratch::new();
+        let mut meter = BudgetMeter::unlimited();
         let mut tables = Vec::new();
         for (id, _) in q.iter() {
-            tables.push(build_table(&doc, &cq, &tables, id, &mut scratch).unwrap());
+            tables.push(build_table(&doc, &cq, &tables, id, &mut scratch, &mut meter).unwrap());
         }
         for (id, node) in q.iter() {
             let t = &tables[id.index()];

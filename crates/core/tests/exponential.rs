@@ -14,7 +14,7 @@
 //! polynomial strategies answer the same queries in time linear in the
 //! number of steps.
 
-use minctx_core::{Engine, EvalError, Strategy};
+use minctx_core::{Engine, EvalError, Exhausted, Strategy};
 use minctx_xml::parse;
 
 /// `//b` followed by `i` copies of `/parent::a/child::b`.
@@ -52,7 +52,7 @@ fn naive_work_doubles_per_round_trip() {
     let blew_up_at = (0..64).find(|&i| {
         matches!(
             naive.evaluate_str(&doc, &family(i)),
-            Err(EvalError::BudgetExceeded { .. })
+            Err(EvalError::BudgetExhausted { .. })
         )
     });
     let i = blew_up_at.expect("naive never exceeded its budget — lost its exponential blow-up?");
@@ -86,5 +86,10 @@ fn budget_error_reports_the_configured_budget() {
         .with_budget(1_000)
         .evaluate_str(&doc, &family(30))
         .unwrap_err();
-    assert_eq!(err, EvalError::BudgetExceeded { budget: 1_000 });
+    assert_eq!(
+        err,
+        EvalError::BudgetExhausted {
+            cause: Exhausted::Fuel { fuel: 1_000 }
+        }
+    );
 }

@@ -156,7 +156,7 @@ fn random_query(rng: &mut u64) -> String {
 fn eval(e: &Engine, doc: &Document, q: &str) -> Option<Value> {
     match e.evaluate_str(doc, q) {
         Ok(v) => Some(v),
-        Err(EvalError::BudgetExceeded { .. }) => None,
+        Err(EvalError::BudgetExhausted { .. }) => None,
         Err(e) => panic!("{q:?}: {e}"),
     }
 }

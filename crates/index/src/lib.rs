@@ -260,6 +260,70 @@ pub fn open_snapshot(path: impl AsRef<Path>) -> Result<Document, SnapshotError> 
     }
 }
 
+/// Reads just the stamp of the snapshot at `path` — the content-derived
+/// key a serving layer's snapshot cache is indexed by — without mapping
+/// or validating the sections.  Only the 104-byte header is read and
+/// checked (magic, endianness, version, header checksum), so peeking a
+/// stamp costs one small read instead of a full open's `O(file)`
+/// integrity scan.  A subsequent [`open_snapshot`] still performs the
+/// complete validation.
+pub fn snapshot_stamp(path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
+    #[cfg(target_endian = "big")]
+    {
+        let _ = path;
+        Err(SnapshotError::UnsupportedEndianness)
+    }
+    #[cfg(target_endian = "little")]
+    {
+        snapshot_stamp_le(path.as_ref())
+    }
+}
+
+#[cfg(target_endian = "little")]
+fn snapshot_stamp_le(path: &Path) -> Result<u64, SnapshotError> {
+    use std::io::Read;
+    let mut file = File::open(path)?;
+    let actual = file.metadata()?.len();
+    if actual < HEADER_LEN as u64 {
+        return Err(SnapshotError::Truncated {
+            expected: HEADER_LEN as u64,
+            actual,
+        });
+    }
+    let mut bytes = [0u8; HEADER_LEN];
+    file.read_exact(&mut bytes)?;
+    if bytes[..8] != MAGIC {
+        return Err(SnapshotError::NotASnapshot {
+            found: bytes[..8].try_into().expect("8 bytes"),
+        });
+    }
+    if u32::from_le_bytes(bytes[8..12].try_into().expect("4")) != ENDIAN_TAG {
+        return Err(SnapshotError::UnsupportedEndianness);
+    }
+    let version = u32::from_le_bytes(bytes[12..16].try_into().expect("4"));
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let header = Header::from_bytes(&bytes);
+    let header_hash = hash_bytes(&bytes[..88]);
+    if header_hash != header.header_hash {
+        return Err(SnapshotError::ChecksumMismatch {
+            region: "header",
+            expected: header.header_hash,
+            actual: header_hash,
+        });
+    }
+    if header.stamp & SNAPSHOT_STAMP_BIT == 0 {
+        return Err(SnapshotError::Corrupt(
+            "stamp is missing the snapshot namespace bit".into(),
+        ));
+    }
+    Ok(header.stamp)
+}
+
 /// Reinterprets a `u32` column as raw bytes (little-endian hosts only:
 /// the in-memory representation *is* the on-disk representation — this
 /// cast is what makes both the write and the open zero-copy).
@@ -613,5 +677,36 @@ mod tests {
     fn missing_file_is_an_io_error() {
         let e = open_snapshot(temp("nonexistent")).unwrap_err();
         assert!(matches!(e, SnapshotError::Io(_)), "{e}");
+    }
+
+    #[test]
+    fn snapshot_stamp_peeks_the_header_only() {
+        let doc = minctx_xml::parse("<a><b/>x</a>").unwrap();
+        let path = temp("stamp-peek");
+        let info = write_snapshot(&doc, &path).unwrap();
+        assert_eq!(snapshot_stamp(&path).unwrap(), info.stamp);
+        assert_eq!(
+            snapshot_stamp(&path).unwrap(),
+            open_snapshot(&path).unwrap().stamp()
+        );
+        // A flipped bit in the header is caught by the header checksum…
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[20] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            snapshot_stamp(&path).unwrap_err(),
+            SnapshotError::ChecksumMismatch {
+                region: "header",
+                ..
+            }
+        ));
+        // …but a section flip is deliberately not: the peek reads only the
+        // header (open_snapshot still rejects the file).
+        bytes[20] ^= 0x01;
+        *bytes.last_mut().unwrap() ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(snapshot_stamp(&path).unwrap(), info.stamp);
+        assert!(open_snapshot(&path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,393 @@
+//! The worker pool itself: [`ServeEngine`] owns N threads that pull
+//! `(corpus, query)` jobs off a shared [`Queue`](crate::queue::Queue),
+//! resolve the document through a snapshot LRU keyed on content stamps,
+//! resolve the compiled query through a `(query, doc_stamp)` LRU, and
+//! evaluate under the request's [`Budget`] — anchored at submission
+//! time, so queueing delay counts against the deadline.
+
+use crate::queue::Queue;
+use crate::shard::ShardedLru;
+use minctx_core::{
+    open_snapshot, snapshot_stamp, Budget, CompiledQuery, Context, Engine, EvalError, Strategy,
+    Value,
+};
+use minctx_syntax::parse_xpath;
+use minctx_xml::Document;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// What a request evaluates against: a persistent snapshot on disk
+/// (mapped once per content stamp, shared by every worker) or an
+/// already-parsed document the caller holds.
+#[derive(Debug, Clone)]
+pub enum Corpus {
+    /// Path to a snapshot written by
+    /// [`write_snapshot`](minctx_core::write_snapshot).  The service
+    /// peeks only the 104-byte header per request (to learn the content
+    /// stamp) and maps the full file once per distinct stamp.
+    Snapshot(PathBuf),
+    /// A parsed document shared by reference; zero per-request I/O.
+    Document(Arc<Document>),
+}
+
+/// What a [`Ticket`] can fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The evaluation itself failed (parse error, snapshot error,
+    /// [`EvalError::BudgetExhausted`], ...).
+    Eval(EvalError),
+    /// The service shut down before answering — the engine was dropped
+    /// while this request was queued.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Eval(e) => write!(f, "{e}"),
+            ServeError::Disconnected => write!(f, "service shut down before answering"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Eval(e) => Some(e),
+            ServeError::Disconnected => None,
+        }
+    }
+}
+
+impl From<EvalError> for ServeError {
+    fn from(e: EvalError) -> ServeError {
+        ServeError::Eval(e)
+    }
+}
+
+/// The reply handle for one submitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Value, EvalError>>,
+}
+
+impl Ticket {
+    /// Blocks until the worker pool answers.
+    pub fn wait(self) -> Result<Value, ServeError> {
+        match self.rx.recv() {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => Err(ServeError::Eval(e)),
+            Err(mpsc::RecvError) => Err(ServeError::Disconnected),
+        }
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Value, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(Ok(v)) => Some(Ok(v)),
+            Ok(Err(e)) => Some(Err(ServeError::Eval(e))),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Disconnected)),
+        }
+    }
+}
+
+struct Job {
+    corpus: Corpus,
+    query: Arc<str>,
+    budget: Budget,
+    /// Submission instant — deadlines are anchored here, so time spent
+    /// waiting in the queue counts against the request's budget.
+    submitted: Instant,
+    reply: mpsc::Sender<Result<Value, EvalError>>,
+}
+
+/// Monotone service counters, readable while the pool runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    pub requests: u64,
+    pub query_hits: u64,
+    pub query_misses: u64,
+    pub snapshot_hits: u64,
+    pub snapshot_misses: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    query_hits: AtomicU64,
+    query_misses: AtomicU64,
+    snapshot_hits: AtomicU64,
+    snapshot_misses: AtomicU64,
+}
+
+/// State every worker shares.
+struct Shared {
+    queue: Queue<Job>,
+    /// Mapped snapshots keyed by content stamp: the stamp is derived
+    /// from document content (with the snapshot bit set), so two paths
+    /// to the same bytes share one mapping, and a rewritten file is
+    /// re-mapped under its new stamp — no mtime heuristics.
+    snapshots: ShardedLru<u64, Arc<Document>>,
+    /// Compiled queries keyed by `(query text, doc stamp)`: compilation
+    /// bakes in document name-codes, so the same XPath against a
+    /// different document is a different entry.
+    queries: ShardedLru<(Arc<str>, u64), Arc<CompiledQuery>>,
+    counters: Counters,
+}
+
+/// Configuration for a [`ServeEngine`]; `ServeEngine::builder()` is the
+/// entry point, [`build`](ServeBuilder::build) spawns the pool.
+#[derive(Debug, Clone)]
+pub struct ServeBuilder {
+    workers: usize,
+    strategy: Strategy,
+    optimize: Option<bool>,
+    snapshot_cache_capacity: usize,
+    query_cache_capacity: usize,
+    shards: usize,
+    default_budget: Budget,
+}
+
+impl Default for ServeBuilder {
+    fn default() -> ServeBuilder {
+        ServeBuilder {
+            workers: thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(1),
+            strategy: Strategy::OptMinContext,
+            optimize: None,
+            snapshot_cache_capacity: 8,
+            query_cache_capacity: 256,
+            shards: 8,
+            default_budget: Budget::UNLIMITED,
+        }
+    }
+}
+
+impl ServeBuilder {
+    /// Worker thread count (default: `min(4, available_parallelism)`).
+    pub fn workers(mut self, n: usize) -> ServeBuilder {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Evaluation strategy for every worker (default: `OptMinContext`).
+    pub fn strategy(mut self, s: Strategy) -> ServeBuilder {
+        self.strategy = s;
+        self
+    }
+
+    /// Force the rewrite pipeline on or off (default: the engine's own
+    /// default, which honors `MINCTX_NO_OPTIMIZER`).
+    pub fn optimizer(mut self, on: bool) -> ServeBuilder {
+        self.optimize = Some(on);
+        self
+    }
+
+    /// Distinct mapped snapshots kept resident (default 8).
+    pub fn snapshot_cache_capacity(mut self, n: usize) -> ServeBuilder {
+        self.snapshot_cache_capacity = n.max(1);
+        self
+    }
+
+    /// Distinct `(query, document)` compilations kept resident
+    /// (default 256).
+    pub fn query_cache_capacity(mut self, n: usize) -> ServeBuilder {
+        self.query_cache_capacity = n.max(1);
+        self
+    }
+
+    /// Lock shards per cache (default 8).
+    pub fn shards(mut self, n: usize) -> ServeBuilder {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Budget applied to requests submitted via
+    /// [`ServeEngine::query`]; per-request budgets override it.
+    pub fn default_budget(mut self, b: Budget) -> ServeBuilder {
+        self.default_budget = b;
+        self
+    }
+
+    /// Spawns the worker pool.
+    pub fn build(self) -> ServeEngine {
+        let shared = Arc::new(Shared {
+            queue: Queue::new(),
+            snapshots: ShardedLru::new(self.snapshot_cache_capacity, self.shards),
+            queries: ShardedLru::new(self.query_cache_capacity, self.shards),
+            counters: Counters::default(),
+        });
+        let workers = (0..self.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let strategy = self.strategy;
+                let optimize = self.optimize;
+                thread::Builder::new()
+                    .name(format!("minctx-serve-{i}"))
+                    .spawn(move || {
+                        // Each worker owns its engine — and with it a
+                        // private scratch pool — so evaluation never
+                        // shares mutable state across threads.
+                        let mut engine = Engine::new(strategy);
+                        if let Some(on) = optimize {
+                            engine = engine.with_optimizer(on);
+                        }
+                        while let Some(job) = shared.queue.pop() {
+                            shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                            let result = serve_one(&engine, &shared, &job);
+                            // A dropped Ticket just discards the answer.
+                            let _ = job.reply.send(result);
+                        }
+                    })
+                    .expect("failed to spawn serve worker")
+            })
+            .collect();
+        ServeEngine {
+            shared,
+            workers,
+            default_budget: self.default_budget,
+        }
+    }
+}
+
+/// Resolve document and compiled query through the shared caches, then
+/// evaluate under the request's meter.  Cache misses compute outside
+/// any shard lock; a race on a cold key costs one duplicated
+/// compilation, never a stall.
+fn serve_one(engine: &Engine, shared: &Shared, job: &Job) -> Result<Value, EvalError> {
+    let doc = match &job.corpus {
+        Corpus::Document(doc) => Arc::clone(doc),
+        Corpus::Snapshot(path) => {
+            let stamp = snapshot_stamp(path).map_err(|e| EvalError::Snapshot(Arc::new(e)))?;
+            match shared.snapshots.get(&stamp) {
+                Some(doc) => {
+                    shared
+                        .counters
+                        .snapshot_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    doc
+                }
+                None => {
+                    shared
+                        .counters
+                        .snapshot_misses
+                        .fetch_add(1, Ordering::Relaxed);
+                    let doc = Arc::new(
+                        open_snapshot(path).map_err(|e| EvalError::Snapshot(Arc::new(e)))?,
+                    );
+                    shared.snapshots.insert(stamp, Arc::clone(&doc));
+                    doc
+                }
+            }
+        }
+    };
+    let key = (Arc::clone(&job.query), doc.stamp());
+    let compiled = match shared.queries.get(&key) {
+        Some(c) => {
+            shared.counters.query_hits.fetch_add(1, Ordering::Relaxed);
+            c
+        }
+        None => {
+            shared.counters.query_misses.fetch_add(1, Ordering::Relaxed);
+            let query = parse_xpath(&job.query)?;
+            let c = Arc::new(engine.compile_uncached(&doc, &query));
+            shared.queries.insert(key, Arc::clone(&c));
+            c
+        }
+    };
+    let mut meter = job.budget.meter_at(job.submitted);
+    engine.evaluate_compiled_metered(&doc, &compiled, Context::document(&doc), &mut meter)
+}
+
+/// A shared-snapshot query service: N worker threads, two sharded LRUs
+/// (mapped snapshots by content stamp, compiled queries by
+/// `(query, doc_stamp)`), per-request fuel/deadline budgets.
+///
+/// Dropping the engine closes the queue, drains already-queued jobs,
+/// and joins every worker.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    default_budget: Budget,
+}
+
+impl ServeEngine {
+    /// A pool with default configuration; see [`ServeEngine::builder`]
+    /// for the knobs.
+    pub fn new() -> ServeEngine {
+        ServeBuilder::default().build()
+    }
+
+    pub fn builder() -> ServeBuilder {
+        ServeBuilder::default()
+    }
+
+    /// Submits a request under the pool's default budget.
+    pub fn query(&self, corpus: Corpus, query: &str) -> Ticket {
+        self.query_with_budget(corpus, query, self.default_budget)
+    }
+
+    /// Submits a request with its own budget.  The deadline clock starts
+    /// *now* — queueing delay counts, so a saturated pool sheds load as
+    /// `BudgetExhausted` instead of stretching tail latency unboundedly.
+    pub fn query_with_budget(&self, corpus: Corpus, query: &str, budget: Budget) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            corpus,
+            query: Arc::from(query),
+            budget,
+            submitted: Instant::now(),
+            reply: tx,
+        };
+        // Push can only fail after close(), i.e. mid-drop; dropping the
+        // job drops its sender and the ticket reports Disconnected.
+        let _ = self.shared.queue.push(job);
+        Ticket { rx }
+    }
+
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A point-in-time copy of the service counters.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.shared.counters;
+        ServeStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            query_hits: c.query_hits.load(Ordering::Relaxed),
+            query_misses: c.query_misses.load(Ordering::Relaxed),
+            snapshot_hits: c.snapshot_hits.load(Ordering::Relaxed),
+            snapshot_misses: c.snapshot_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for ServeEngine {
+    fn default() -> ServeEngine {
+        ServeEngine::new()
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("workers", &self.workers.len())
+            .field("default_budget", &self.default_budget)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}

@@ -1,0 +1,110 @@
+//! A sharded LRU: the service's snapshot and compiled-query caches are
+//! read-mostly and shared by every worker, so a single mutex would
+//! serialize the pool.  Keys hash to one of N independently locked
+//! [`LruCache`] shards; workers contend only when they touch the same
+//! shard at the same instant.
+//!
+//! Lookups clone the value out (`V: Clone` — the service stores `Arc`s,
+//! so a clone is a refcount bump) and release the lock immediately;
+//! expensive misses (snapshot mapping, query compilation) are computed
+//! *outside* any lock by the caller.  Two workers racing on the same
+//! cold key may both compute — that duplicated work is accepted in
+//! exchange for never holding a shard lock across I/O or compilation.
+
+use minctx_core::LruCache;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::Mutex;
+
+pub struct ShardedLru<K, V> {
+    shards: Box<[Mutex<LruCache<K, V>>]>,
+    hasher: RandomState,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
+    /// A cache of ~`capacity` total entries spread over `shards` locks.
+    /// Both are clamped to at least 1; each shard holds at least one
+    /// entry, so the effective total can round up to `shards`.
+    pub fn new(capacity: usize, shards: usize) -> ShardedLru<K, V> {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards).max(1);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<LruCache<K, V>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h % self.shards.len()]
+    }
+
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .lock()
+            .expect("shard poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key)
+            .lock()
+            .expect("shard poisoned")
+            .insert(key, value);
+    }
+
+    /// Total resident entries across all shards (racy; diagnostics only).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_returns_what_insert_stored() {
+        let c = ShardedLru::new(16, 4);
+        for i in 0..10u32 {
+            c.insert(i, i * 10);
+        }
+        assert_eq!(c.len(), 10);
+        for i in 0..10u32 {
+            assert_eq!(c.get(&i), Some(i * 10));
+        }
+        assert_eq!(c.get(&99), None);
+    }
+
+    #[test]
+    fn capacity_bounds_total_residency() {
+        // 8 entries over 4 shards = 2 per shard; hammering one value
+        // range can never exceed shards * per_shard residents.
+        let c = ShardedLru::new(8, 4);
+        for i in 0..1000u32 {
+            c.insert(i, i);
+        }
+        assert!(c.len() <= 8, "len {} exceeds capacity", c.len());
+    }
+
+    #[test]
+    fn shard_and_capacity_floors() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(0, 0);
+        assert_eq!(c.shard_count(), 1);
+        c.insert(1, 1);
+        assert_eq!(c.get(&1), Some(1));
+    }
+}

@@ -12,7 +12,7 @@
 
 use crate::compile::{self, StreamQuery};
 use crate::exec::{Exec, StreamNodeKind, StreamValue};
-use minctx_core::{Engine, EvalError, Strategy, Value};
+use minctx_core::{BudgetMeter, Engine, EvalError, Strategy, Value};
 use minctx_syntax::Query;
 use minctx_xml::token::{ParseOptions, Tokenizer, XmlEvent};
 use minctx_xml::{parse_reader_with_options, parse_with_options, Document};
@@ -120,7 +120,8 @@ impl StreamingEngine for Engine {
         match decide(self, query) {
             Ok(sq) => {
                 let mut tok = Tokenizer::from_reader(reader, opts.clone());
-                Ok(StreamOutcome::Streamed(run(&sq, &mut tok)?))
+                let mut meter = self.budget_config().meter();
+                Ok(StreamOutcome::Streamed(run(&sq, &mut tok, &mut meter)?))
             }
             Err(reason) => {
                 let doc = Box::new(parse_reader_with_options(reader, opts)?);
@@ -139,7 +140,8 @@ impl StreamingEngine for Engine {
         match decide(self, query) {
             Ok(sq) => {
                 let mut tok = Tokenizer::with_options(xml, opts.clone());
-                Ok(StreamOutcome::Streamed(run(&sq, &mut tok)?))
+                let mut meter = self.budget_config().meter();
+                Ok(StreamOutcome::Streamed(run(&sq, &mut tok, &mut meter)?))
             }
             Err(reason) => {
                 let doc = Box::new(parse_with_options(xml, opts)?);
@@ -170,7 +172,15 @@ fn decide(engine: &Engine, query: &Query) -> Result<StreamQuery, &'static str> {
 ///
 /// Ordinals are `u32` for arena (`NodeId`) parity; a stream with more
 /// than 2³² nodes is rejected rather than silently wrapped.
-fn run(sq: &StreamQuery, tok: &mut Tokenizer<'_>) -> Result<StreamValue, EvalError> {
+///
+/// Work is metered per event (elements charge one unit per attribute
+/// too), matching the one-pass cost model — a fuel or deadline budget
+/// bounds how much of the stream is read.
+fn run(
+    sq: &StreamQuery,
+    tok: &mut Tokenizer<'_>,
+    meter: &mut BudgetMeter,
+) -> Result<StreamValue, EvalError> {
     let mut ex = Exec::new(sq);
     let mut next: u64 = 1;
     while let Some(ev) = tok.next_event()? {
@@ -181,6 +191,10 @@ fn run(sq: &StreamQuery, tok: &mut Tokenizer<'_>) -> Result<StreamValue, EvalErr
             });
         }
         let ord = next.min(u32::MAX as u64) as u32;
+        match &ev {
+            XmlEvent::StartElement { attrs, .. } => meter.charge(1 + attrs.len() as u64)?,
+            _ => meter.charge(1)?,
+        }
         match ev {
             XmlEvent::StartElement { name, attrs } => {
                 next += 1 + attrs.len() as u64;

@@ -1,0 +1,88 @@
+//! Budget metering on the streaming path: the one-pass engine charges
+//! per event, so fuel and deadline budgets bound how much of a stream is
+//! read — `BudgetExhausted`, never a hang or a wrong partial answer.
+
+use minctx_core::{Engine, EvalError, Exhausted, Strategy};
+use minctx_stream::{StreamValue, StreamingEngine};
+use minctx_syntax::parse_xpath;
+use std::time::Duration;
+
+fn big_xml(items: usize) -> String {
+    let mut s = String::from("<a>");
+    for i in 0..items {
+        s.push_str(&format!("<b i=\"{i}\">x</b>"));
+    }
+    s.push_str("</a>");
+    s
+}
+
+#[test]
+fn streaming_exhausts_a_tiny_fuel_budget() {
+    let xml = big_xml(500);
+    let q = parse_xpath("count(//b)").unwrap();
+    let e = Engine::new(Strategy::Streaming).with_budget(40);
+    let err = e.evaluate_reader_str(&q, &xml).unwrap_err();
+    assert_eq!(
+        err,
+        EvalError::BudgetExhausted {
+            cause: Exhausted::Fuel { fuel: 40 }
+        }
+    );
+    // The reader path meters identically.
+    let err = e.evaluate_reader(&q, xml.as_bytes()).unwrap_err();
+    assert!(matches!(err, EvalError::BudgetExhausted { .. }));
+}
+
+#[test]
+fn streaming_honors_an_expired_deadline() {
+    let xml = big_xml(500);
+    let q = parse_xpath("count(//b)").unwrap();
+    let e = Engine::new(Strategy::Streaming).with_timeout(Duration::ZERO);
+    let err = e.evaluate_reader_str(&q, &xml).unwrap_err();
+    assert_eq!(
+        err,
+        EvalError::BudgetExhausted {
+            cause: Exhausted::Deadline
+        }
+    );
+}
+
+#[test]
+fn sufficient_fuel_streams_to_the_same_answer() {
+    let xml = big_xml(100);
+    let q = parse_xpath("count(//b[@i])").unwrap();
+    let unmetered = Engine::new(Strategy::Streaming)
+        .evaluate_reader_str(&q, &xml)
+        .unwrap();
+    let metered = Engine::new(Strategy::Streaming)
+        .with_budget(1_000_000)
+        .with_timeout(Duration::from_secs(600))
+        .evaluate_reader_str(&q, &xml)
+        .unwrap();
+    assert_eq!(unmetered.streamed(), metered.streamed());
+    assert_eq!(metered.streamed(), Some(&StreamValue::Number(100.0)));
+}
+
+#[test]
+fn short_circuit_beats_the_meter() {
+    // An existence query answered by the first element never reads (or
+    // charges) the rest of the stream: tiny fuel is still enough.
+    let xml = big_xml(500);
+    let q = parse_xpath("boolean(//b)").unwrap();
+    let e = Engine::new(Strategy::Streaming).with_budget(40);
+    let out = e.evaluate_reader_str(&q, &xml).unwrap();
+    assert_eq!(out.streamed(), Some(&StreamValue::Boolean(true)));
+}
+
+#[test]
+fn arena_fallback_is_metered_too() {
+    // A positional predicate forces the arena path, which meters under
+    // the same engine budget via the arena evaluators.
+    let xml = big_xml(500);
+    let q = parse_xpath("//b[position() = 2]").unwrap();
+    let e = Engine::new(Strategy::Streaming)
+        .with_optimizer(false)
+        .with_budget(40);
+    let err = e.evaluate_reader_str(&q, &xml).unwrap_err();
+    assert!(matches!(err, EvalError::BudgetExhausted { .. }), "{err:?}");
+}

@@ -403,6 +403,13 @@ pub struct Query {
     stamp: u64,
 }
 
+// Concurrent-serving audit: queries are shared read-only across worker
+// threads (plain vectors and copyable ids — no interior mutability).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Query>();
+};
+
 /// Structural equality: two independently lowered queries with the same
 /// arena are equal even though their cache stamps differ.
 impl PartialEq for Query {

@@ -42,6 +42,21 @@ pub struct Document {
     pub(crate) stamp: u64,
 }
 
+// The concurrent-serving Send/Sync audit (DESIGN.md "Concurrent
+// service"): one `Document` is shared immutably across worker threads,
+// so the whole storage stack must be thread-safe — the name table is
+// append-frozen Vec/HashMap (its debug lookup counter is atomic), the
+// columns carry their own `unsafe impl`s justified in `store.rs`, and
+// node sets are plain sorted vectors.  Compile-time checks so a future
+// `Rc`/`RefCell`/`Cell` slipping in fails here, not in a consumer.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Document>();
+    assert_send_sync::<NameTable>();
+    assert_send_sync::<NodeSet>();
+    assert_send_sync::<crate::axes::Scratch>();
+};
+
 impl Document {
     /// Number of nodes in `dom` (including the root node and any attribute
     /// nodes).

@@ -148,6 +148,13 @@ impl<T: Copy + fmt::Debug + 'static> fmt::Debug for Col<T> {
 unsafe impl<T: Copy + Send + Sync + 'static> Send for Col<T> {}
 unsafe impl<T: Copy + Send + Sync + 'static> Sync for Col<T> {}
 
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Col<u8>>();
+    assert_send_sync::<Col<u32>>();
+    assert_send_sync::<DocStore>();
+};
+
 /// The flat columns of a [`Document`](crate::Document); see the module
 /// docs for the layout of each.
 #[derive(Debug, Clone)]

@@ -76,8 +76,9 @@
 //! }
 //! ```
 //!
-//! The naive baseline meters its work so the Section-1 blow-up is
-//! observable without being suffered:
+//! Every strategy meters its work against a fuel/deadline
+//! [`Budget`](engine::Budget), so the Section-1 blow-up is observable
+//! without being suffered — and a serving loop can bound any evaluation:
 //!
 //! ```
 //! use minctx::prelude::*;
@@ -87,7 +88,7 @@
 //! let q = "//b".to_string() + &"/parent::a/child::b".repeat(30);
 //! assert!(matches!(
 //!     naive.evaluate_str(&doc, &q),
-//!     Err(EvalError::BudgetExceeded { .. })
+//!     Err(EvalError::BudgetExhausted { .. })
 //! ));
 //! // The same query is instant under MINCONTEXT.
 //! let v = Engine::new(Strategy::MinContext).evaluate_str(&doc, &q).unwrap();
@@ -152,6 +153,38 @@
 //! snapshot-backed evaluation agree query-for-query under all four
 //! arena strategies (`crates/bench/tests/snapshot_differential.rs`).
 //!
+//! ## Concurrent serving
+//!
+//! [`serve`] turns all of the above into a query service: a
+//! [`ServeEngine`](serve::ServeEngine) pool of worker threads sharing
+//! one immutable document (or mmap-ed snapshot) with zero copies —
+//! snapshots are cached by **content stamp** (peeked from the file
+//! header), compiled queries by `(query, document stamp)`, both behind
+//! sharded LRUs — and every request carries its own fuel/deadline
+//! [`Budget`](engine::Budget), anchored at submission so queue wait
+//! counts against the deadline:
+//!
+//! ```
+//! use minctx::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let doc = Arc::new(minctx::xml::parse("<a><b>1</b><b>2</b></a>").unwrap());
+//! let serve = ServeEngine::builder().workers(2).build();
+//! let ticket = serve.query(Corpus::Document(Arc::clone(&doc)), "count(//b)");
+//! assert_eq!(ticket.wait().unwrap(), Value::Number(2.0));
+//!
+//! // A hopeless deadline is shed as an error, never a hung worker.
+//! let err = serve
+//!     .query_with_budget(
+//!         Corpus::Document(doc),
+//!         "count(//*)",
+//!         Budget::timeout(std::time::Duration::ZERO),
+//!     )
+//!     .wait()
+//!     .unwrap_err();
+//! assert!(matches!(err, ServeError::Eval(EvalError::BudgetExhausted { .. })));
+//! ```
+//!
 //! ## Benchmarks
 //!
 //! `cargo run --release -p minctx-bench --bin tables` prints the paper's
@@ -161,14 +194,20 @@
 
 pub use minctx_core as engine;
 pub use minctx_index as index;
+pub use minctx_serve as serve;
 pub use minctx_stream as stream;
 pub use minctx_syntax as syntax;
 pub use minctx_xml as xml;
 
 /// The most common imports, bundled.
 pub mod prelude {
-    pub use minctx_core::{CompiledQuery, Context, Engine, EvalError, Evaluator, Strategy, Value};
-    pub use minctx_index::{open_snapshot, write_snapshot, SnapshotError, SnapshotInfo};
+    pub use minctx_core::{
+        Budget, CompiledQuery, Context, Engine, EvalError, Evaluator, Strategy, Value,
+    };
+    pub use minctx_index::{
+        open_snapshot, snapshot_stamp, write_snapshot, SnapshotError, SnapshotInfo,
+    };
+    pub use minctx_serve::{Corpus, ServeEngine, ServeError, Ticket};
     pub use minctx_stream::{
         classify, StreamMatch, StreamOutcome, StreamValue, Streamability, StreamingEngine,
     };
