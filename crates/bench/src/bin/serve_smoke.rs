@@ -20,14 +20,19 @@
 //! * mean allocation per request stays under a fixed ceiling orders of
 //!   magnitude below the document footprint — no per-request copy;
 //! * a pathological request under a 100 ms deadline comes back as
-//!   `BudgetExhausted` promptly, and the pool keeps serving.
+//!   `BudgetExhausted` promptly, and the pool keeps serving;
+//! * a burst of 4× the queue capacity against a small pool is shed as
+//!   `Overloaded` at admission — instantly, not after a timeout — while
+//!   every admitted request resolves within a bounded p99, and a
+//!   retrying client (`query_with_retry`) gets through once the burst
+//!   drains.
 //!
 //! The CI `serve-smoke` job runs this binary; see DESIGN.md
-//! "Concurrent service".
+//! "Concurrent service" and "Fault tolerance".
 
 use minctx_bench::{values_agree, xmark_doc, CountingAllocator, XmarkConfig};
 use minctx_core::{open_snapshot, write_snapshot, Budget, Engine, EvalError, Strategy};
-use minctx_serve::{Corpus, ServeEngine, ServeError};
+use minctx_serve::{Corpus, RetryPolicy, ServeEngine, ServeError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -187,5 +192,95 @@ fn main() {
         REQUESTS as f64 / serve_time.as_secs_f64()
     );
     println!("pathological query shed in {shed_time:.1?} (100 ms deadline); stats: {stats:?} — OK");
+    drop(serve);
+
+    overload_phase(&path, &expected[0]);
     std::fs::remove_file(&path).ok();
+}
+
+/// Admission control under a 4× burst: a deliberately small pool (2
+/// workers, queue capacity 64) takes 256 near-simultaneous requests.
+/// Excess load must bounce as `Overloaded` *at submission*, admitted
+/// requests must all resolve with a bounded p99, and a backoff-retrying
+/// client must get through once the burst drains.
+fn overload_phase(path: &std::path::Path, want_first: &minctx_core::Value) {
+    const QUEUE_CAPACITY: usize = 64;
+    const BURST: usize = 4 * QUEUE_CAPACITY;
+
+    let serve = ServeEngine::builder()
+        .workers(2)
+        .queue_capacity(QUEUE_CAPACITY)
+        .build();
+    // Warm the caches so burst latency measures queueing, not mapping.
+    serve
+        .query(Corpus::Snapshot(path.to_path_buf()), QUERIES[0])
+        .wait()
+        .unwrap();
+
+    let burst_start = Instant::now();
+    let tickets: Vec<_> = (0..BURST)
+        .map(|i| {
+            let t = serve.query_with_budget(
+                Corpus::Snapshot(path.to_path_buf()),
+                QUERIES[i % QUERIES.len()],
+                Budget::timeout(Duration::from_secs(2)),
+            );
+            (Instant::now(), t)
+        })
+        .collect();
+    let submit_time = burst_start.elapsed();
+
+    let mut latencies = Vec::with_capacity(BURST);
+    let (mut ok, mut shed, mut deadline) = (0usize, 0usize, 0usize);
+    for (submitted, t) in tickets {
+        let got = t
+            .wait_timeout(Duration::from_secs(20))
+            .expect("burst ticket hung");
+        latencies.push(submitted.elapsed());
+        match got {
+            Ok(_) => ok += 1,
+            Err(ServeError::Overloaded { capacity }) => {
+                assert_eq!(capacity, QUEUE_CAPACITY);
+                shed += 1;
+            }
+            Err(ServeError::Eval(EvalError::BudgetExhausted { .. })) => deadline += 1,
+            Err(e) => panic!("burst request failed oddly: {e:?}"),
+        }
+    }
+    latencies.sort_unstable();
+    let p99 = latencies[latencies.len() * 99 / 100 - 1];
+
+    assert!(
+        shed > 0,
+        "a {BURST}-request burst against capacity {QUEUE_CAPACITY} shed nothing \
+         (submit took {submit_time:.1?}; the workers outran the client?)"
+    );
+    assert!(ok > 0, "the burst starved every admitted request");
+    assert!(
+        p99 < Duration::from_secs(5),
+        "burst p99 {p99:.1?}: admission control failed to bound tail latency"
+    );
+    let stats = serve.stats();
+    assert_eq!(stats.shed as usize, shed);
+    assert!(stats.max_queue_depth <= QUEUE_CAPACITY as u64);
+
+    // With the burst drained, a retrying client succeeds.
+    let retried = serve
+        .query_with_retry(
+            Corpus::Snapshot(path.to_path_buf()),
+            QUERIES[0],
+            Budget::timeout(Duration::from_secs(10)),
+            RetryPolicy::default()
+                .attempts(6)
+                .base_delay(Duration::from_millis(20)),
+        )
+        .expect("retry never got through after the burst");
+    assert!(values_agree(&retried, want_first));
+
+    println!(
+        "overload burst: {BURST} submitted against capacity {QUEUE_CAPACITY} → \
+         {ok} ok, {shed} shed (Overloaded), {deadline} deadline-exhausted; \
+         p99 {p99:.1?}, max depth {} — OK",
+        stats.max_queue_depth
+    );
 }

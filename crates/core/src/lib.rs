@@ -54,7 +54,8 @@ pub use mincontext::MinContext;
 // `open_snapshot`/`write_snapshot` (the serving pair behind
 // `Engine::evaluate_snapshot`) without a separate dependency.
 pub use minctx_index::{
-    open_snapshot, snapshot_stamp, write_snapshot, SnapshotError, SnapshotInfo,
+    open_snapshot, open_snapshot_or_quarantine, quarantine_snapshot, snapshot_stamp, stale_temps,
+    write_snapshot, SnapshotError, SnapshotInfo,
 };
 pub use naive::Naive;
 pub use rewrite::rewrite;

@@ -57,16 +57,26 @@
 //!
 //! The mapping is read-only and private, but POSIX gives no protection
 //! against the *file* being truncated while mapped (later page accesses
-//! would fault).  Snapshots are treated as immutable artifacts: replace
-//! them by writing a new file and renaming.
+//! would fault).  Snapshots are treated as immutable artifacts, and
+//! [`write_snapshot`] enforces that discipline itself: it writes a
+//! hidden temp file, fsyncs it, atomically renames it over the target
+//! and fsyncs the directory — so the path always holds a complete
+//! snapshot, a concurrent reader's mapping keeps its (now anonymous)
+//! old inode, and a writer killed at any byte leaves only a stale temp
+//! for the next writer to reap.  Files that fail validation can be
+//! moved aside with [`quarantine_snapshot`] (or automatically via
+//! [`open_snapshot_or_quarantine`]); the [`fault`] module injects torn
+//! writes and step failures so these guarantees stay tested.
 
 use minctx_xml::{Document, NameTable, RawColumns, StableBytes};
 use std::fmt;
 use std::fs::File;
 use std::io::{Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+pub mod fault;
 mod format;
 mod hash;
 mod map;
@@ -225,9 +235,20 @@ pub struct SnapshotInfo {
     pub stamp: u64,
 }
 
-/// Serializes `doc` into the snapshot container at `path` (truncating any
-/// existing file).  The write is a single sequential pass; the header —
-/// including the content-derived stamp — is patched in afterwards.
+/// Serializes `doc` into the snapshot container at `path`.  The write is
+/// a single sequential pass; the header — including the content-derived
+/// stamp — is patched in afterwards.
+///
+/// The write is **crash-safe**: bytes go to a hidden temp file in the
+/// target directory (`.<name>.tmp-<pid>-<n>`), which is `fsync`ed and
+/// then atomically renamed over `path`, followed by an fsync of the
+/// directory so the rename itself is durable.  A reader (or a concurrent
+/// [`open_snapshot`]) therefore sees either the previous complete
+/// snapshot or the new complete snapshot — never a partial file — and a
+/// writer killed at any byte leaves `path` untouched.  Temp files left
+/// behind by crashed writers of the *same* target are reaped on the next
+/// successful write (see [`stale_temps`]).  Concurrent writers of one
+/// target path are not coordinated: last rename wins.
 pub fn write_snapshot(
     doc: &Document,
     path: impl AsRef<Path>,
@@ -333,8 +354,129 @@ fn u32s_as_bytes(s: &[u32]) -> &[u8] {
     unsafe { std::slice::from_raw_parts(s.as_ptr() as *const u8, std::mem::size_of_val(s)) }
 }
 
+/// Distinguishes temp files of concurrent in-process writers.
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The hidden-temp-file prefix every writer of `file_name` uses.
+fn temp_prefix(file_name: &std::ffi::OsStr) -> String {
+    format!(".{}.tmp-", file_name.to_string_lossy())
+}
+
+/// The directory a snapshot path lives in (`.` for bare file names).
+fn snapshot_dir(path: &Path) -> &Path {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    }
+}
+
+/// Temp files left behind by killed writers of `path`'s snapshot —
+/// `.<name>.tmp-*` entries in its directory.  [`write_snapshot`] reaps
+/// them automatically before each write; this is the inspection hook for
+/// tests and operators.
+pub fn stale_temps(path: impl AsRef<Path>) -> std::io::Result<Vec<PathBuf>> {
+    let path = path.as_ref();
+    let Some(file_name) = path.file_name() else {
+        return Ok(Vec::new());
+    };
+    let prefix = temp_prefix(file_name);
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(snapshot_dir(path))? {
+        let entry = entry?;
+        if entry.file_name().to_string_lossy().starts_with(&prefix) {
+            out.push(entry.path());
+        }
+    }
+    Ok(out)
+}
+
+/// Best-effort removal of every stale temp for `path` (crashed writers
+/// never clean up — the next writer does).
+fn reap_stale_temps(path: &Path) {
+    if let Ok(temps) = stale_temps(path) {
+        for t in temps {
+            let _ = std::fs::remove_file(t);
+        }
+    }
+}
+
+/// Renames `path` to `<path>.corrupt`, returning the quarantine path.
+/// The decayed bytes stay available for post-mortems while retry loops
+/// (and snapshot caches) stop re-validating a file that can never open;
+/// a subsequent [`write_snapshot`] recreates `path` from scratch.
+pub fn quarantine_snapshot(path: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+    let path = path.as_ref();
+    let Some(file_name) = path.file_name() else {
+        return Err(std::io::Error::other("snapshot path has no file name"));
+    };
+    let mut name = file_name.to_os_string();
+    name.push(".corrupt");
+    let dest = path.with_file_name(name);
+    std::fs::rename(path, &dest)?;
+    Ok(dest)
+}
+
+/// [`open_snapshot`], with invalid files quarantined: when the file
+/// exists but fails validation (wrong magic or version, checksum
+/// mismatch, truncation, violated invariants — every error except
+/// [`SnapshotError::Io`]), it is renamed to `<path>.corrupt` before the
+/// error is returned, so a serving loop's next attempt sees a missing
+/// file instead of re-scanning garbage forever.  The quarantine rename
+/// is best-effort; the returned error is the validation failure either
+/// way.
+pub fn open_snapshot_or_quarantine(path: impl AsRef<Path>) -> Result<Document, SnapshotError> {
+    let path = path.as_ref();
+    match open_snapshot(path) {
+        Err(e) if !matches!(e, SnapshotError::Io(_)) => {
+            let _ = quarantine_snapshot(path);
+            Err(e)
+        }
+        r => r,
+    }
+}
+
 #[cfg(target_endian = "little")]
 fn write_snapshot_le(doc: &Document, path: &Path) -> Result<SnapshotInfo, SnapshotError> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| SnapshotError::Corrupt("snapshot path has no file name".into()))?;
+    reap_stale_temps(path);
+    let tmp = snapshot_dir(path).join(format!(
+        "{}{}-{}",
+        temp_prefix(file_name),
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    fault::begin_write();
+    let r = write_sections_then_commit(doc, &tmp, path);
+    if r.is_err() && !fault::crash_fired() {
+        // A clean error path removes its temp; a simulated kill leaves
+        // it torn on disk, exactly like a real one (the next writer
+        // reaps it).
+        let _ = std::fs::remove_file(&tmp);
+    }
+    r
+}
+
+/// Make the rename of a snapshot durable: fsync its directory.
+#[cfg(all(target_endian = "little", unix))]
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+#[cfg(all(target_endian = "little", not(unix)))]
+fn sync_dir(_dir: &Path) -> std::io::Result<()> {
+    Ok(())
+}
+
+/// The sequential section pass into `tmp`, then the durable commit:
+/// temp `sync_all` → atomic rename onto `path` → directory fsync.
+#[cfg(target_endian = "little")]
+fn write_sections_then_commit(
+    doc: &Document,
+    tmp: &Path,
+    path: &Path,
+) -> Result<SnapshotInfo, SnapshotError> {
     let cols = doc.raw_columns();
     // Serialize the name table as CSR offsets + concatenated UTF-8.
     let mut name_off: Vec<u32> = Vec::with_capacity(doc.names().len() + 1);
@@ -365,7 +507,7 @@ fn write_snapshot_le(doc: &Document, path: &Path) -> Result<SnapshotInfo, Snapsh
     })?;
     header.file_len = lay.total as u64;
 
-    let mut file = File::create(path)?;
+    let mut file = File::create(tmp)?;
     {
         let mut w = HashWrite {
             w: std::io::BufWriter::new(&mut file),
@@ -373,7 +515,7 @@ fn write_snapshot_le(doc: &Document, path: &Path) -> Result<SnapshotInfo, Snapsh
             pos: HEADER_LEN,
         };
         // Header placeholder (zeros); patched after the section pass.
-        w.w.write_all(&[0u8; HEADER_LEN])?;
+        faulted_write(&mut w.w, &[0u8; HEADER_LEN])?;
         for (sect, bytes) in section_bytes(&lay, &cols, &name_off, &name_bytes) {
             w.pad_to(sect.off)?;
             debug_assert_eq!(sect.off % SECTION_ALIGN, 0);
@@ -388,12 +530,36 @@ fn write_snapshot_le(doc: &Document, path: &Path) -> Result<SnapshotInfo, Snapsh
     header.header_hash = hash_bytes(&hb[..88]);
     hb = header.to_bytes();
     file.seek(SeekFrom::Start(0))?;
-    file.write_all(&hb)?;
+    faulted_write(&mut file, &hb)?;
     file.flush()?;
+    // Durable commit: the temp's bytes reach the platter, then the
+    // rename atomically swings `path` from the old complete snapshot to
+    // the new one (a concurrently mapped old file keeps its inode), then
+    // the directory entry itself is made durable.
+    fault::check(fault::Step::Sync)?;
+    file.sync_all()?;
+    drop(file);
+    fault::check(fault::Step::Rename)?;
+    std::fs::rename(tmp, path)?;
+    fault::check(fault::Step::DirSync)?;
+    sync_dir(snapshot_dir(path))?;
     Ok(SnapshotInfo {
         file_len: header.file_len,
         stamp: header.stamp,
     })
+}
+
+/// Writes `bytes` through the thread-local fault plan: the permitted
+/// prefix goes down (and is flushed, so a simulated kill leaves exactly
+/// the planned byte count on disk), then the injected crash surfaces.
+fn faulted_write(w: &mut impl Write, bytes: &[u8]) -> std::io::Result<()> {
+    let n = fault::permit(bytes.len());
+    w.write_all(&bytes[..n])?;
+    if n < bytes.len() {
+        w.flush()?;
+        return Err(fault::crash_error());
+    }
+    Ok(())
 }
 
 /// The sections in on-disk order, paired with their layout slots.
@@ -435,7 +601,7 @@ struct HashWrite<W: Write> {
 
 impl<W: Write> HashWrite<W> {
     fn write(&mut self, bytes: &[u8]) -> std::io::Result<()> {
-        self.w.write_all(bytes)?;
+        faulted_write(&mut self.w, bytes)?;
         self.hash.write(bytes);
         self.pos += bytes.len();
         Ok(())

@@ -281,3 +281,233 @@ fn error_display_is_actionable() {
     assert!(matches!(e, SnapshotError::Io(_)));
     assert!(e.to_string().contains("I/O"), "{e}");
 }
+
+// ---------------------------------------------------------------------
+// Crash simulation: the atomic write protocol (temp file → fsync →
+// rename → dir fsync) must keep the *final* path pristine through a
+// kill at any byte and through a failure at any durability step.
+// Fault plans are thread-local, so these tests can't perturb each
+// other (or anything else in this process).
+
+mod crash {
+    use super::temp;
+    use minctx_index::fault::{self, FaultPlan};
+    use minctx_index::{
+        open_snapshot, open_snapshot_or_quarantine, quarantine_snapshot, stale_temps,
+        write_snapshot, SnapshotError,
+    };
+    use std::io::Write;
+
+    /// Ensures `fault::clear()` runs even when an assertion unwinds.
+    struct ClearFaults;
+    impl Drop for ClearFaults {
+        fn drop(&mut self) {
+            fault::clear();
+        }
+    }
+
+    fn doc_v1() -> minctx_xml::Document {
+        minctx_xml::parse(r#"<v1 id="a"><x>one</x></v1>"#).unwrap()
+    }
+
+    fn doc_v2() -> minctx_xml::Document {
+        minctx_xml::parse(r#"<v2 id="b"><y>two</y><y>three</y></v2>"#).unwrap()
+    }
+
+    #[test]
+    fn kill_at_every_byte_never_exposes_a_partial_snapshot() {
+        let _clear = ClearFaults;
+        let path = temp("crash-every-byte");
+        write_snapshot(&doc_v1(), &path).unwrap();
+        let v1_stamp = open_snapshot(&path).unwrap().stamp();
+        let v2 = doc_v2();
+
+        // Walk the kill point forward one byte at a time until the
+        // write stops dying — every section boundary (and every byte
+        // between them) is covered on the way.
+        let mut cut = 0u64;
+        let mut kills = 0u32;
+        loop {
+            fault::install(FaultPlan {
+                tear_after: Some(cut),
+                ..FaultPlan::default()
+            });
+            match write_snapshot(&v2, &path) {
+                Err(e) => {
+                    assert!(matches!(e, SnapshotError::Io(_)), "cut {cut}: {e:?}");
+                    // The final path still holds the complete previous
+                    // snapshot...
+                    let d = open_snapshot(&path)
+                        .unwrap_or_else(|e| panic!("cut {cut}: final path corrupted: {e:?}"));
+                    assert_eq!(d.stamp(), v1_stamp, "cut {cut}: wrong survivor");
+                    // ...and the kill left its torn temp behind, like a
+                    // real dead process (reaped by the next attempt).
+                    assert_eq!(
+                        stale_temps(&path).unwrap().len(),
+                        1,
+                        "cut {cut}: temp bookkeeping"
+                    );
+                    kills += 1;
+                    cut += 1;
+                }
+                Ok(_) => break,
+            }
+        }
+        fault::clear();
+
+        assert!(kills > 0, "the fault plan never fired");
+        // The surviving write is complete, correct, and reaped the
+        // previous kill's torn temp.
+        let d = open_snapshot(&path).unwrap();
+        assert_ne!(d.stamp(), v1_stamp);
+        assert_eq!(d.string_value(d.root()), "twothree");
+        assert!(stale_temps(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn clean_sync_and_rename_failures_keep_target_and_remove_temp() {
+        let _clear = ClearFaults;
+        for (name, plan) in [
+            (
+                "crash-sync",
+                FaultPlan {
+                    fail_sync: true,
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "crash-rename",
+                FaultPlan {
+                    fail_rename: true,
+                    ..FaultPlan::default()
+                },
+            ),
+        ] {
+            let path = temp(name);
+            write_snapshot(&doc_v1(), &path).unwrap();
+            let v1_stamp = open_snapshot(&path).unwrap().stamp();
+
+            fault::install(plan);
+            let err = write_snapshot(&doc_v2(), &path).unwrap_err();
+            fault::clear();
+
+            assert!(matches!(err, SnapshotError::Io(_)), "{name}: {err:?}");
+            // An error the process *survives* cleans up its own temp.
+            assert!(
+                stale_temps(&path).unwrap().is_empty(),
+                "{name}: temp leaked"
+            );
+            assert_eq!(open_snapshot(&path).unwrap().stamp(), v1_stamp, "{name}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn dir_sync_failure_reports_error_but_the_rename_stuck() {
+        let _clear = ClearFaults;
+        let path = temp("crash-dirsync");
+        write_snapshot(&doc_v1(), &path).unwrap();
+        let v1_stamp = open_snapshot(&path).unwrap().stamp();
+
+        fault::install(FaultPlan {
+            fail_dir_sync: true,
+            ..FaultPlan::default()
+        });
+        let err = write_snapshot(&doc_v2(), &path).unwrap_err();
+        fault::clear();
+
+        // The caller sees a failure (durability of the directory entry
+        // is unproven), but the rename happened: the final path holds
+        // the *complete* new snapshot, never a partial one.
+        assert!(matches!(err, SnapshotError::Io(_)), "{err:?}");
+        let d = open_snapshot(&path).unwrap();
+        assert_ne!(d.stamp(), v1_stamp);
+        assert_eq!(d.string_value(d.root()), "twothree");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_temps_from_dead_writers_are_reaped_by_the_next_write() {
+        let _clear = ClearFaults;
+        let path = temp("crash-reap");
+        // Forge two leftovers of "other processes" that died mid-write.
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        for n in ["99991-0", "99992-7"] {
+            let t = path.with_file_name(format!(".{name}.tmp-{n}"));
+            std::fs::File::create(&t)
+                .unwrap()
+                .write_all(b"torn")
+                .unwrap();
+        }
+        assert_eq!(stale_temps(&path).unwrap().len(), 2);
+
+        write_snapshot(&doc_v1(), &path).unwrap();
+        assert!(stale_temps(&path).unwrap().is_empty());
+        assert!(open_snapshot(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_snapshots_are_quarantined_aside() {
+        let path = temp("crash-quarantine");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(b"not a snapshot at all")
+            .unwrap();
+
+        let err = open_snapshot_or_quarantine(&path).unwrap_err();
+        // 21 bytes can't even hold the header: Truncated.  (A ≥104-byte
+        // impostor would fail the magic check as NotASnapshot; both are
+        // validation failures and both must quarantine.)
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated { .. } | SnapshotError::NotASnapshot { .. }
+            ),
+            "{err:?}"
+        );
+        // The bad bytes moved aside for post-mortem; the path is free
+        // for a rewrite.
+        assert!(!path.exists());
+        let quarantined = path.with_file_name(format!(
+            "{}.corrupt",
+            path.file_name().unwrap().to_string_lossy()
+        ));
+        assert_eq!(
+            std::fs::read(&quarantined).unwrap(),
+            b"not a snapshot at all"
+        );
+
+        write_snapshot(&doc_v1(), &path).unwrap();
+        assert!(open_snapshot_or_quarantine(&path).is_ok());
+        assert!(path.exists(), "a valid snapshot must never be quarantined");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&quarantined).ok();
+    }
+
+    #[test]
+    fn io_errors_do_not_quarantine() {
+        let path = temp("crash-no-quarantine-io");
+        let err = open_snapshot_or_quarantine(&path).unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)), "{err:?}");
+        // Nothing existed, nothing may appear.
+        assert!(!path
+            .with_file_name("crash-no-quarantine-io.corrupt")
+            .exists());
+    }
+
+    #[test]
+    fn explicit_quarantine_names_the_corpse() {
+        let path = temp("crash-explicit-quarantine");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(b"bytes")
+            .unwrap();
+        let dest = quarantine_snapshot(&path).unwrap();
+        assert!(!path.exists());
+        assert!(dest.to_string_lossy().ends_with(".corrupt"), "{dest:?}");
+        assert_eq!(std::fs::read(&dest).unwrap(), b"bytes");
+        std::fs::remove_file(&dest).ok();
+    }
+}

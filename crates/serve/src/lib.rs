@@ -19,6 +19,13 @@
 //!   saturated pool sheds load as
 //!   [`BudgetExhausted`](minctx_core::EvalError::BudgetExhausted)
 //!   rather than stretching tail latency.
+//! * Fault tolerance: evaluation panics are contained per-request
+//!   ([`ServeError::WorkerPanicked`]), dead workers respawn, cache
+//!   shards recover from lock poisoning, and a bounded admission queue
+//!   sheds overload as [`ServeError::Overloaded`] — with
+//!   [`RetryPolicy`] backoff for callers that want to wait a burst
+//!   out.  The [`chaos`] module injects seeded panics at each
+//!   isolation boundary so these claims stay tested.
 //!
 //! ```
 //! use minctx_core::Value;
@@ -36,12 +43,14 @@
 //! assert_eq!(answers, [Value::Number(2.0), Value::Number(3.0)]);
 //! ```
 
+pub mod chaos;
 pub mod queue;
 pub mod service;
 pub mod shard;
 
-pub use queue::Queue;
-pub use service::{Corpus, ServeBuilder, ServeEngine, ServeError, ServeStats, Ticket};
+pub use chaos::ChaosPlan;
+pub use queue::{PushError, Queue};
+pub use service::{Corpus, RetryPolicy, ServeBuilder, ServeEngine, ServeError, ServeStats, Ticket};
 pub use shard::ShardedLru;
 
 // The service hands `ServeEngine` references and `Ticket`s across
@@ -54,5 +63,7 @@ const _: () = {
     assert_send_sync::<Corpus>();
     assert_send_sync::<ServeError>();
     assert_send_sync::<ServeStats>();
+    assert_send_sync::<RetryPolicy>();
+    assert_send_sync::<ChaosPlan>();
     assert_send::<Ticket>();
 };

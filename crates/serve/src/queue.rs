@@ -1,49 +1,107 @@
-//! A closeable MPMC job queue: `Mutex<VecDeque>` + `Condvar`, nothing
-//! fancier.  Producers [`push`](Queue::push), workers block in
-//! [`pop`](Queue::pop); [`close`](Queue::close) drains gracefully —
-//! queued jobs are still served, then every blocked worker wakes up and
-//! receives `None`.
+//! A closeable, optionally bounded MPMC job queue: `Mutex<VecDeque>` +
+//! `Condvar`, nothing fancier.  Producers [`push`](Queue::push), workers
+//! block in [`pop`](Queue::pop); [`close`](Queue::close) drains
+//! gracefully — queued jobs are still served, then every blocked worker
+//! wakes up and receives `None`.
+//!
+//! A bounded queue ([`Queue::bounded`]) is the service's admission
+//! valve: `push` **fast-rejects** with [`PushError::Full`] instead of
+//! queueing unboundedly, so callers learn about overload at submission
+//! time rather than by watching their deadline die in line.
+//!
+//! The queue is immune to lock poisoning: no caller-supplied code runs
+//! under the lock (items are only moved in and out), so a panicking
+//! thread that happened to hold it leaves the state consistent — the
+//! poison flag is cleared and service continues.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
 }
 
+/// Why a [`push`](Queue::push) was refused; the item comes back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue was closed; no new work is accepted.
+    Closed(T),
+    /// The queue is at capacity — the admission-control fast-reject.
+    Full {
+        item: T,
+        /// The configured capacity the queue sat at.
+        capacity: usize,
+    },
+}
+
 pub struct Queue<T> {
     inner: Mutex<Inner<T>>,
     ready: Condvar,
+    capacity: usize,
 }
 
 impl<T> Queue<T> {
+    /// An unbounded queue.
     pub fn new() -> Queue<T> {
+        Queue::bounded(usize::MAX)
+    }
+
+    /// A queue refusing to hold more than `capacity` items (clamped to
+    /// at least 1).
+    pub fn bounded(capacity: usize) -> Queue<T> {
         Queue {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
                 closed: false,
             }),
             ready: Condvar::new(),
+            capacity: capacity.max(1),
         }
     }
 
-    /// Enqueues `item`, or hands it back if the queue has been closed.
-    pub fn push(&self, item: T) -> Result<(), T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+    /// The configured capacity (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Locks the queue, recovering from poisoning: only item moves
+    /// happen under this lock, so the state is consistent even after a
+    /// holder panicked.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.inner.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Enqueues `item`, returning the queue depth including it, or hands
+    /// it back if the queue is closed or full.
+    pub fn push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.lock();
         if inner.closed {
-            return Err(item);
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full {
+                item,
+                capacity: self.capacity,
+            });
         }
         inner.items.push_back(item);
+        let depth = inner.items.len();
         drop(inner);
         self.ready.notify_one();
-        Ok(())
+        Ok(depth)
     }
 
     /// Blocks until an item is available; `None` once the queue is
     /// closed *and* drained.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.lock();
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Some(item);
@@ -51,19 +109,30 @@ impl<T> Queue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("queue poisoned");
+            inner = match self.ready.wait(inner) {
+                Ok(g) => g,
+                Err(poisoned) => {
+                    self.inner.clear_poison();
+                    poisoned.into_inner()
+                }
+            };
         }
     }
 
     /// Stops accepting new items and wakes every blocked [`pop`](Queue::pop).
     pub fn close(&self) {
-        self.inner.lock().expect("queue poisoned").closed = true;
+        self.lock().closed = true;
         self.ready.notify_all();
+    }
+
+    /// Whether [`close`](Queue::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
     }
 
     /// Items currently waiting (racy; diagnostics only).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        self.lock().items.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -86,8 +155,8 @@ mod tests {
     #[test]
     fn push_pop_is_fifo() {
         let q = Queue::new();
-        q.push(1).unwrap();
-        q.push(2).unwrap();
+        assert_eq!(q.push(1), Ok(1));
+        assert_eq!(q.push(2), Ok(2));
         assert_eq!(q.len(), 2);
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
@@ -98,9 +167,27 @@ mod tests {
         let q = Queue::new();
         q.push("queued").unwrap();
         q.close();
-        assert_eq!(q.push("late"), Err("late"));
+        assert_eq!(q.push("late"), Err(PushError::Closed("late")));
         assert_eq!(q.pop(), Some("queued"));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn bounded_queue_fast_rejects_at_capacity() {
+        let q = Queue::bounded(2);
+        assert_eq!(q.capacity(), 2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(
+            q.push(3),
+            Err(PushError::Full {
+                item: 3,
+                capacity: 2
+            })
+        );
+        // Draining reopens admission.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(3), Ok(2));
     }
 
     #[test]

@@ -4,20 +4,44 @@
 //! resolve the compiled query through a `(query, doc_stamp)` LRU, and
 //! evaluate under the request's [`Budget`] — anchored at submission
 //! time, so queueing delay counts against the deadline.
+//!
+//! # Fault tolerance
+//!
+//! The pool is built so that one bad request cannot take the service
+//! down, and overload degrades loudly instead of silently:
+//!
+//! * **Panic isolation** — evaluation runs inside `catch_unwind`; a
+//!   panicking request surfaces as [`ServeError::WorkerPanicked`] on
+//!   its own ticket, the worker rebuilds its engine (post-unwind state
+//!   is suspect) and keeps serving.  A panic that escapes the fence
+//!   kills the thread, but a respawn sentry replaces it, so queued
+//!   requests never hang on a shrunken pool.
+//! * **Admission control** — the queue is bounded
+//!   ([`ServeBuilder::queue_capacity`]); a full queue fast-rejects with
+//!   [`ServeError::Overloaded`] on the ticket rather than stretching
+//!   every deadline in line.  [`ServeEngine::query_with_retry`] layers
+//!   deterministic exponential backoff on top for callers that prefer
+//!   to wait out a burst.
+//! * **Quarantine** — a snapshot that fails validation (bad magic,
+//!   checksum mismatch, truncation) is renamed aside to `*.corrupt` via
+//!   [`quarantine_snapshot`](minctx_core::quarantine_snapshot), so a
+//!   corrupt file is inspected once, not re-read on every request.
 
-use crate::queue::Queue;
+use crate::chaos;
+use crate::queue::{PushError, Queue};
 use crate::shard::ShardedLru;
 use minctx_core::{
-    open_snapshot, snapshot_stamp, Budget, CompiledQuery, Context, Engine, EvalError, Strategy,
-    Value,
+    open_snapshot_or_quarantine, quarantine_snapshot, snapshot_stamp, Budget, CompiledQuery,
+    Context, Engine, EvalError, Exhausted, SnapshotError, Strategy, Value,
 };
 use minctx_syntax::parse_xpath;
 use minctx_xml::Document;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What a request evaluates against: a persistent snapshot on disk
 /// (mapped once per content stamp, shared by every worker) or an
@@ -39,15 +63,53 @@ pub enum ServeError {
     /// The evaluation itself failed (parse error, snapshot error,
     /// [`EvalError::BudgetExhausted`], ...).
     Eval(EvalError),
+    /// The worker thread panicked while serving *this* request.  The
+    /// panic was contained: the worker rebuilt its engine and the pool
+    /// is healthy — only this request is lost.  Retryable.
+    WorkerPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The request was shed at admission: the queue already held
+    /// `capacity` jobs.  Nothing was enqueued; the service never saw
+    /// the request.  Retryable after backoff.
+    Overloaded {
+        /// The queue capacity the request bounced off.
+        capacity: usize,
+    },
     /// The service shut down before answering — the engine was dropped
     /// while this request was queued.
     Disconnected,
+}
+
+impl ServeError {
+    /// Whether resubmitting the same request can plausibly succeed:
+    /// admission-control sheds, contained worker panics, and deadline
+    /// exhaustion (a fresh submission re-anchors the deadline clock).
+    /// Fuel exhaustion is deterministic and `Disconnected` is final, so
+    /// neither is retryable.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Overloaded { .. }
+                | ServeError::WorkerPanicked { .. }
+                | ServeError::Eval(EvalError::BudgetExhausted {
+                    cause: Exhausted::Deadline,
+                })
+        )
+    }
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Eval(e) => write!(f, "{e}"),
+            ServeError::WorkerPanicked { message } => {
+                write!(f, "worker panicked while serving this request: {message}")
+            }
+            ServeError::Overloaded { capacity } => {
+                write!(f, "request shed: queue full at capacity {capacity}")
+            }
             ServeError::Disconnected => write!(f, "service shut down before answering"),
         }
     }
@@ -57,7 +119,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Eval(e) => Some(e),
-            ServeError::Disconnected => None,
+            _ => None,
         }
     }
 }
@@ -68,18 +130,65 @@ impl From<EvalError> for ServeError {
     }
 }
 
+/// Deterministic exponential backoff for [`ServeEngine::query_with_retry`]:
+/// retry `r` (zero-based) sleeps `min(base_delay · 2^r, max_delay)`.
+/// No jitter — retry schedules stay reproducible in tests and chaos
+/// runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    attempts: u32,
+    base_delay: Duration,
+    max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 5 ms base, 100 ms cap.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Total attempts including the first (clamped to at least 1).
+    pub fn attempts(mut self, n: u32) -> RetryPolicy {
+        self.attempts = n.max(1);
+        self
+    }
+
+    /// Sleep before the first retry; doubles per retry.
+    pub fn base_delay(mut self, d: Duration) -> RetryPolicy {
+        self.base_delay = d;
+        self
+    }
+
+    /// Upper bound on any single sleep.
+    pub fn max_delay(mut self, d: Duration) -> RetryPolicy {
+        self.max_delay = d;
+        self
+    }
+
+    /// The sleep taken before zero-based retry `retry`.
+    pub fn delay_before(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.min(20);
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+}
+
 /// The reply handle for one submitted request.
 #[derive(Debug)]
 pub struct Ticket {
-    rx: mpsc::Receiver<Result<Value, EvalError>>,
+    rx: mpsc::Receiver<Result<Value, ServeError>>,
 }
 
 impl Ticket {
     /// Blocks until the worker pool answers.
     pub fn wait(self) -> Result<Value, ServeError> {
         match self.rx.recv() {
-            Ok(Ok(v)) => Ok(v),
-            Ok(Err(e)) => Err(ServeError::Eval(e)),
+            Ok(r) => r,
             Err(mpsc::RecvError) => Err(ServeError::Disconnected),
         }
     }
@@ -87,10 +196,19 @@ impl Ticket {
     /// Non-blocking poll; `None` while the request is still in flight.
     pub fn try_wait(&self) -> Option<Result<Value, ServeError>> {
         match self.rx.try_recv() {
-            Ok(Ok(v)) => Some(Ok(v)),
-            Ok(Err(e)) => Some(Err(ServeError::Eval(e))),
+            Ok(r) => Some(r),
             Err(mpsc::TryRecvError::Empty) => None,
             Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Disconnected)),
+        }
+    }
+
+    /// Blocks at most `timeout`; `None` if the request is still in
+    /// flight when it elapses (the ticket remains usable).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Value, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::Disconnected)),
         }
     }
 }
@@ -102,7 +220,7 @@ struct Job {
     /// Submission instant — deadlines are anchored here, so time spent
     /// waiting in the queue counts against the request's budget.
     submitted: Instant,
-    reply: mpsc::Sender<Result<Value, EvalError>>,
+    reply: mpsc::Sender<Result<Value, ServeError>>,
 }
 
 /// Monotone service counters, readable while the pool runs.
@@ -113,6 +231,17 @@ pub struct ServeStats {
     pub query_misses: u64,
     pub snapshot_hits: u64,
     pub snapshot_misses: u64,
+    /// Requests fast-rejected at admission ([`ServeError::Overloaded`]).
+    pub shed: u64,
+    /// Panics contained by the evaluation fence
+    /// ([`ServeError::WorkerPanicked`] tickets).
+    pub panics: u64,
+    /// Worker threads replaced after a panic escaped the fence.
+    pub worker_respawns: u64,
+    /// High-watermark queue depth observed at admission.
+    pub max_queue_depth: u64,
+    /// High-watermark queue wait (submission → worker pickup).
+    pub max_queue_wait: Duration,
 }
 
 #[derive(Default)]
@@ -122,6 +251,11 @@ struct Counters {
     query_misses: AtomicU64,
     snapshot_hits: AtomicU64,
     snapshot_misses: AtomicU64,
+    shed: AtomicU64,
+    panics: AtomicU64,
+    worker_respawns: AtomicU64,
+    max_queue_depth: AtomicU64,
+    max_queue_wait_micros: AtomicU64,
 }
 
 /// State every worker shares.
@@ -137,6 +271,11 @@ struct Shared {
     /// different document is a different entry.
     queries: ShardedLru<(Arc<str>, u64), Arc<CompiledQuery>>,
     counters: Counters,
+    /// Threads currently in a worker loop — originals and respawns
+    /// alike.  [`ServeEngine::drop`] spins this to zero so no worker
+    /// (not even an unjoined respawn) outlives the engine's teardown
+    /// accounting.
+    live_workers: AtomicUsize,
 }
 
 /// Configuration for a [`ServeEngine`]; `ServeEngine::builder()` is the
@@ -150,6 +289,7 @@ pub struct ServeBuilder {
     query_cache_capacity: usize,
     shards: usize,
     default_budget: Budget,
+    queue_capacity: usize,
 }
 
 impl Default for ServeBuilder {
@@ -164,6 +304,7 @@ impl Default for ServeBuilder {
             query_cache_capacity: 256,
             shards: 8,
             default_budget: Budget::UNLIMITED,
+            queue_capacity: 1024,
         }
     }
 }
@@ -214,38 +355,29 @@ impl ServeBuilder {
         self
     }
 
+    /// Admission-control bound: requests beyond this many queued jobs
+    /// are fast-rejected with [`ServeError::Overloaded`] (default 1024,
+    /// clamped to at least 1).
+    pub fn queue_capacity(mut self, n: usize) -> ServeBuilder {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
     /// Spawns the worker pool.
     pub fn build(self) -> ServeEngine {
         let shared = Arc::new(Shared {
-            queue: Queue::new(),
+            queue: Queue::bounded(self.queue_capacity),
             snapshots: ShardedLru::new(self.snapshot_cache_capacity, self.shards),
             queries: ShardedLru::new(self.query_cache_capacity, self.shards),
             counters: Counters::default(),
+            live_workers: AtomicUsize::new(0),
         });
+        let cfg = WorkerConfig {
+            strategy: self.strategy,
+            optimize: self.optimize,
+        };
         let workers = (0..self.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let strategy = self.strategy;
-                let optimize = self.optimize;
-                thread::Builder::new()
-                    .name(format!("minctx-serve-{i}"))
-                    .spawn(move || {
-                        // Each worker owns its engine — and with it a
-                        // private scratch pool — so evaluation never
-                        // shares mutable state across threads.
-                        let mut engine = Engine::new(strategy);
-                        if let Some(on) = optimize {
-                            engine = engine.with_optimizer(on);
-                        }
-                        while let Some(job) = shared.queue.pop() {
-                            shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-                            let result = serve_one(&engine, &shared, &job);
-                            // A dropped Ticket just discards the answer.
-                            let _ = job.reply.send(result);
-                        }
-                    })
-                    .expect("failed to spawn serve worker")
-            })
+            .map(|i| spawn_worker(&shared, cfg, i).expect("failed to spawn serve worker"))
             .collect();
         ServeEngine {
             shared,
@@ -255,15 +387,143 @@ impl ServeBuilder {
     }
 }
 
+/// Everything needed to (re)build a worker's private engine.
+#[derive(Debug, Clone, Copy)]
+struct WorkerConfig {
+    strategy: Strategy,
+    optimize: Option<bool>,
+}
+
+impl WorkerConfig {
+    fn fresh_engine(&self) -> Engine {
+        let mut engine = Engine::new(self.strategy);
+        if let Some(on) = self.optimize {
+            engine = engine.with_optimizer(on);
+        }
+        engine
+    }
+}
+
+/// Spawns one worker thread.  `live_workers` is incremented *before*
+/// the spawn (and rolled back on failure) so the count never dips to
+/// zero between a dying worker and its replacement.
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    cfg: WorkerConfig,
+    index: usize,
+) -> std::io::Result<JoinHandle<()>> {
+    shared.live_workers.fetch_add(1, Ordering::SeqCst);
+    let shared2 = Arc::clone(shared);
+    let spawned = thread::Builder::new()
+        .name(format!("minctx-serve-{index}"))
+        .spawn(move || {
+            let _sentry = RespawnSentry {
+                shared: Arc::clone(&shared2),
+                cfg,
+                index,
+            };
+            worker_loop(&shared2, cfg);
+        });
+    if spawned.is_err() {
+        shared.live_workers.fetch_sub(1, Ordering::SeqCst);
+    }
+    spawned
+}
+
+/// Runs on every worker exit path.  A clean exit (queue closed) just
+/// decrements the live count; an exit by panic — something escaped the
+/// evaluation fence — first spawns a replacement, so the pool never
+/// shrinks and queued jobs never wait on dead threads.
+struct RespawnSentry {
+    shared: Arc<Shared>,
+    cfg: WorkerConfig,
+    index: usize,
+}
+
+impl Drop for RespawnSentry {
+    fn drop(&mut self) {
+        if thread::panicking() && !self.shared.queue.is_closed() {
+            self.shared
+                .counters
+                .worker_respawns
+                .fetch_add(1, Ordering::Relaxed);
+            // Replacement first, own decrement second: the live count
+            // stays positive across the handoff.  The replacement is
+            // detached; ServeEngine::drop waits on `live_workers`, not
+            // on join handles.  A failed spawn here must not panic
+            // (we're already unwinding — it would abort); the pool
+            // just runs one thread short.
+            let _ = spawn_worker(&self.shared, self.cfg, self.index);
+        }
+        self.shared.live_workers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, cfg: WorkerConfig) {
+    // Each worker owns its engine — and with it a private scratch
+    // pool — so evaluation never shares mutable state across threads.
+    let mut engine = cfg.fresh_engine();
+    while let Some(job) = shared.queue.pop() {
+        // A panic here escapes the fence and kills the worker; the
+        // sentry respawns it.  (Chaos site: Worker.)
+        chaos::tick(chaos::Site::Worker);
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let waited = job.submitted.elapsed();
+        shared
+            .counters
+            .max_queue_wait_micros
+            .fetch_max(waited.as_micros() as u64, Ordering::Relaxed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| serve_one(&engine, shared, &job)));
+        let reply = match outcome {
+            Ok(r) => r.map_err(ServeError::Eval),
+            Err(payload) => {
+                shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+                // The unwound engine's internal caches and scratch pool
+                // are in an unknown state; rebuild from config.
+                engine = cfg.fresh_engine();
+                Err(ServeError::WorkerPanicked {
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        };
+        // A dropped Ticket just discards the answer.
+        let _ = job.reply.send(reply);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Resolve document and compiled query through the shared caches, then
 /// evaluate under the request's meter.  Cache misses compute outside
 /// any shard lock; a race on a cold key costs one duplicated
-/// compilation, never a stall.
+/// compilation, never a stall.  Runs inside the worker's panic fence.
 fn serve_one(engine: &Engine, shared: &Shared, job: &Job) -> Result<Value, EvalError> {
+    // Contained chaos site: a panic here must resolve THIS ticket as
+    // WorkerPanicked and leave the pool healthy.
+    chaos::tick(chaos::Site::Eval);
     let doc = match &job.corpus {
         Corpus::Document(doc) => Arc::clone(doc),
         Corpus::Snapshot(path) => {
-            let stamp = snapshot_stamp(path).map_err(|e| EvalError::Snapshot(Arc::new(e)))?;
+            let stamp = match snapshot_stamp(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    // The header peek already proves the file is not a
+                    // valid snapshot (unless the failure was plain I/O)
+                    // — quarantine it now, same as a full-open failure.
+                    if !matches!(e, SnapshotError::Io(_)) {
+                        let _ = quarantine_snapshot(path);
+                    }
+                    return Err(EvalError::Snapshot(Arc::new(e)));
+                }
+            };
             match shared.snapshots.get(&stamp) {
                 Some(doc) => {
                     shared
@@ -278,7 +538,8 @@ fn serve_one(engine: &Engine, shared: &Shared, job: &Job) -> Result<Value, EvalE
                         .snapshot_misses
                         .fetch_add(1, Ordering::Relaxed);
                     let doc = Arc::new(
-                        open_snapshot(path).map_err(|e| EvalError::Snapshot(Arc::new(e)))?,
+                        open_snapshot_or_quarantine(path)
+                            .map_err(|e| EvalError::Snapshot(Arc::new(e)))?,
                     );
                     shared.snapshots.insert(stamp, Arc::clone(&doc));
                     doc
@@ -306,10 +567,13 @@ fn serve_one(engine: &Engine, shared: &Shared, job: &Job) -> Result<Value, EvalE
 
 /// A shared-snapshot query service: N worker threads, two sharded LRUs
 /// (mapped snapshots by content stamp, compiled queries by
-/// `(query, doc_stamp)`), per-request fuel/deadline budgets.
+/// `(query, doc_stamp)`), per-request fuel/deadline budgets, a bounded
+/// admission queue, and panic-isolated workers (see the module docs'
+/// *Fault tolerance* section).
 ///
 /// Dropping the engine closes the queue, drains already-queued jobs,
-/// and joins every worker.
+/// joins every original worker, and waits for any respawned workers to
+/// exit.
 pub struct ServeEngine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -335,6 +599,10 @@ impl ServeEngine {
     /// Submits a request with its own budget.  The deadline clock starts
     /// *now* — queueing delay counts, so a saturated pool sheds load as
     /// `BudgetExhausted` instead of stretching tail latency unboundedly.
+    ///
+    /// If the queue is at capacity the request is shed immediately: the
+    /// ticket resolves to [`ServeError::Overloaded`] without the job
+    /// ever entering the queue.
     pub fn query_with_budget(&self, corpus: Corpus, query: &str, budget: Budget) -> Ticket {
         let (tx, rx) = mpsc::channel();
         let job = Job {
@@ -344,14 +612,69 @@ impl ServeEngine {
             submitted: Instant::now(),
             reply: tx,
         };
-        // Push can only fail after close(), i.e. mid-drop; dropping the
-        // job drops its sender and the ticket reports Disconnected.
-        let _ = self.shared.queue.push(job);
+        match self.shared.queue.push(job) {
+            Ok(depth) => {
+                self.shared
+                    .counters
+                    .max_queue_depth
+                    .fetch_max(depth as u64, Ordering::Relaxed);
+            }
+            Err(PushError::Full { item, capacity }) => {
+                self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                let _ = item.reply.send(Err(ServeError::Overloaded { capacity }));
+            }
+            // Closed can only happen mid-drop; dropping the job drops
+            // its sender and the ticket reports Disconnected.
+            Err(PushError::Closed(_)) => {}
+        }
         Ticket { rx }
+    }
+
+    /// Submits synchronously, retrying transient failures
+    /// ([`ServeError::is_retryable`]) under `policy`'s deterministic
+    /// exponential backoff.  Returns the first success, the first
+    /// permanent error, or — attempts exhausted — the last transient
+    /// error.
+    pub fn query_with_retry(
+        &self,
+        corpus: Corpus,
+        query: &str,
+        budget: Budget,
+        policy: RetryPolicy,
+    ) -> Result<Value, ServeError> {
+        let mut last = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                thread::sleep(policy.delay_before(attempt - 1));
+            }
+            match self.query_with_budget(corpus.clone(), query, budget).wait() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("at least one attempt always runs"))
     }
 
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Worker threads currently serving — equals
+    /// [`worker_count`](ServeEngine::worker_count) whenever the pool is
+    /// healthy, including after panics (respawns replace the dead).
+    pub fn live_workers(&self) -> usize {
+        self.shared.live_workers.load(Ordering::SeqCst)
+    }
+
+    /// Jobs currently queued (racy; diagnostics only).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// The admission-control bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue.capacity()
     }
 
     /// A point-in-time copy of the service counters.
@@ -363,6 +686,11 @@ impl ServeEngine {
             query_misses: c.query_misses.load(Ordering::Relaxed),
             snapshot_hits: c.snapshot_hits.load(Ordering::Relaxed),
             snapshot_misses: c.snapshot_misses.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
+            worker_respawns: c.worker_respawns.load(Ordering::Relaxed),
+            max_queue_depth: c.max_queue_depth.load(Ordering::Relaxed),
+            max_queue_wait: Duration::from_micros(c.max_queue_wait_micros.load(Ordering::Relaxed)),
         }
     }
 }
@@ -379,6 +707,13 @@ impl Drop for ServeEngine {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Respawned workers are detached (spawned mid-unwind, nobody
+        // holds their handles); they exit promptly once the closed
+        // queue drains.  Wait them out so "no leaked worker" holds by
+        // the time drop returns.
+        while self.shared.live_workers.load(Ordering::SeqCst) > 0 {
+            thread::yield_now();
+        }
     }
 }
 
@@ -386,6 +721,7 @@ impl std::fmt::Debug for ServeEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServeEngine")
             .field("workers", &self.workers.len())
+            .field("live_workers", &self.live_workers())
             .field("default_budget", &self.default_budget)
             .field("stats", &self.stats())
             .finish()

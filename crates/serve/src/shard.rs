@@ -10,10 +10,16 @@
 //! *outside* any lock by the caller.  Two workers racing on the same
 //! cold key may both compute — that duplicated work is accepted in
 //! exchange for never holding a shard lock across I/O or compilation.
+//!
+//! The cache is immune to lock poisoning: a worker that panics while
+//! holding a shard (a `Clone` that panics, or injected chaos) leaves
+//! the shard's contents suspect, but cache contents are by definition
+//! reconstructible — recovery clears the poison *and* the shard, and
+//! every later hit or miss proceeds normally.
 
 use minctx_core::LruCache;
 use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 pub struct ShardedLru<K, V> {
     shards: Box<[Mutex<LruCache<K, V>>]>,
@@ -40,27 +46,35 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
         &self.shards[h % self.shards.len()]
     }
 
+    /// Locks a shard, recovering from poisoning.  The previous holder
+    /// panicked mid-operation, so its contents may be half-mutated —
+    /// but a cache entry is always re-derivable, so the safe recovery
+    /// is to drop them all and carry on empty.
+    fn lock(m: &Mutex<LruCache<K, V>>) -> MutexGuard<'_, LruCache<K, V>> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                m.clear_poison();
+                let mut g = poisoned.into_inner();
+                g.clear();
+                g
+            }
+        }
+    }
+
     pub fn get(&self, key: &K) -> Option<V> {
-        self.shard(key)
-            .lock()
-            .expect("shard poisoned")
-            .get(key)
-            .cloned()
+        let mut shard = Self::lock(self.shard(key));
+        crate::chaos::tick(crate::chaos::Site::Shard);
+        shard.get(key).cloned()
     }
 
     pub fn insert(&self, key: K, value: V) {
-        self.shard(&key)
-            .lock()
-            .expect("shard poisoned")
-            .insert(key, value);
+        Self::lock(self.shard(&key)).insert(key, value);
     }
 
     /// Total resident entries across all shards (racy; diagnostics only).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| Self::lock(s).len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -75,10 +89,14 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     #[test]
     fn get_returns_what_insert_stored() {
-        let c = ShardedLru::new(16, 4);
+        // Capacity 64 over 4 shards = 16 per shard: even if RandomState
+        // sends all 10 keys to one shard, nothing can evict.
+        let c = ShardedLru::new(64, 4);
         for i in 0..10u32 {
             c.insert(i, i * 10);
         }
@@ -106,5 +124,38 @@ mod tests {
         assert_eq!(c.shard_count(), 1);
         c.insert(1, 1);
         assert_eq!(c.get(&1), Some(1));
+    }
+
+    /// A value whose `Clone` panics while armed — which happens inside
+    /// `get`, i.e. while the shard lock is held, poisoning the mutex.
+    #[derive(Debug)]
+    struct Bomb(&'static AtomicBool);
+
+    impl Clone for Bomb {
+        fn clone(&self) -> Bomb {
+            if self.0.swap(false, Ordering::SeqCst) {
+                panic!("bomb: clone panicked under the shard lock");
+            }
+            Bomb(self.0)
+        }
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_and_keeps_serving() {
+        static ARMED: AtomicBool = AtomicBool::new(false);
+        // One shard, so the poisoned lock is the only lock.
+        let c: ShardedLru<u32, Bomb> = ShardedLru::new(8, 1);
+        c.insert(1, Bomb(&ARMED));
+        ARMED.store(true, Ordering::SeqCst);
+        let boom = catch_unwind(AssertUnwindSafe(|| c.get(&1)));
+        assert!(boom.is_err(), "armed clone must panic");
+
+        // The shard was poisoned mid-get; recovery drops the (suspect)
+        // contents and clears the poison — no later call may panic.
+        assert_eq!(c.len(), 0);
+        assert!(c.get(&1).is_none(), "suspect contents must be dropped");
+        c.insert(2, Bomb(&ARMED));
+        assert!(c.get(&2).is_some(), "shard must serve after recovery");
+        assert_eq!(c.len(), 1);
     }
 }

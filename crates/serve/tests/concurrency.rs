@@ -56,7 +56,7 @@ fn concurrent_clients_match_single_threaded_on_a_shared_snapshot() {
                             .wait()
                             .map_err(|e| match e {
                                 ServeError::Eval(e) => e,
-                                ServeError::Disconnected => panic!("service died"),
+                                e => panic!("service failed: {e:?}"),
                             });
                         match (&got, want) {
                             (Ok(g), Ok(w)) => {

@@ -86,3 +86,46 @@ fn arena_fallback_is_metered_too() {
     let err = e.evaluate_reader_str(&q, &xml).unwrap_err();
     assert!(matches!(err, EvalError::BudgetExhausted { .. }), "{err:?}");
 }
+
+#[test]
+fn depth_limit_guards_the_streaming_path() {
+    // An adversarially deep document must come back as a clean
+    // `EvalError::Xml(TooDeep)` from the one-pass engine — constant
+    // memory is the streaming path's whole point, and an attacker
+    // nesting elements must not turn the open-tag stack into a
+    // memory bomb.
+    use minctx_xml::{ParseOptions, XmlErrorKind};
+    let deep: String = "<d>".repeat(3000) + &"</d>".repeat(3000);
+    let q = parse_xpath("count(//d)").unwrap();
+    let e = Engine::new(Strategy::Streaming);
+
+    let opts = ParseOptions {
+        max_element_depth: 64,
+        ..ParseOptions::default()
+    };
+    let err = e
+        .evaluate_reader_str_with_options(&q, &deep, &opts)
+        .unwrap_err();
+    match err {
+        EvalError::Xml(x) => {
+            assert!(
+                matches!(x.kind(), XmlErrorKind::TooDeep { limit: 64 }),
+                "{x:?}"
+            )
+        }
+        other => panic!("expected XML depth error, got {other:?}"),
+    }
+
+    // The default limit (1024) also cuts off a 3000-deep chain, on the
+    // reader path too.
+    let err = e.evaluate_reader(&q, deep.as_bytes()).unwrap_err();
+    assert!(
+        matches!(&err, EvalError::Xml(x) if matches!(x.kind(), XmlErrorKind::TooDeep { .. })),
+        "{err:?}"
+    );
+
+    // Within the limit nothing changes.
+    let ok: String = "<d>".repeat(64).to_string() + &"</d>".repeat(64);
+    let out = e.evaluate_reader_str_with_options(&q, &ok, &opts).unwrap();
+    assert_eq!(out.streamed(), Some(&StreamValue::Number(64.0)));
+}

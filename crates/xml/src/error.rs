@@ -27,6 +27,16 @@ pub enum XmlErrorKind {
     DuplicateAttribute(String),
     /// `--` inside a comment, `]]>` in text, and similar lexical violations.
     Malformed(String),
+    /// Element nesting exceeded
+    /// [`ParseOptions::max_element_depth`](crate::ParseOptions): the
+    /// document is deeper than the configured limit allows (tokenizer
+    /// stack slots and consumer state frames grow with depth, so
+    /// adversarially deep inputs are cut off instead of exhausting
+    /// memory).
+    TooDeep {
+        /// The configured [`ParseOptions::max_element_depth`](crate::ParseOptions).
+        limit: usize,
+    },
 }
 
 impl fmt::Display for XmlErrorKind {
@@ -49,6 +59,10 @@ impl fmt::Display for XmlErrorKind {
             XmlErrorKind::BadEntity(e) => write!(f, "malformed entity reference {e:?}"),
             XmlErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
             XmlErrorKind::Malformed(m) => write!(f, "malformed XML: {m}"),
+            XmlErrorKind::TooDeep { limit } => write!(
+                f,
+                "element nesting exceeds the configured depth limit of {limit}"
+            ),
         }
     }
 }

@@ -43,7 +43,20 @@ pub struct ParseOptions {
     /// Attribute name supplying element ids for `id()` (DTDs, the standard
     /// source of ID-typed attributes, are not interpreted).  Default: `id`.
     pub id_attribute: String,
+    /// Maximum element nesting depth.  Every open element costs a stack
+    /// slot in the tokenizer *and* a state frame in every consumer (the
+    /// DOM builder's ancestor chain, the streaming automaton's per-depth
+    /// frames), so an adversarially deep document — `<a><a><a>…` — would
+    /// otherwise grow memory without bound.  Opening an element below
+    /// `max_element_depth` ancestors fails with a clean
+    /// [`XmlErrorKind::TooDeep`](crate::XmlErrorKind) instead.
+    /// Default: 1024 (far above any realistic document; raise it
+    /// explicitly for trusted deep inputs).
+    pub max_element_depth: usize,
 }
+
+/// Default for [`ParseOptions::max_element_depth`].
+pub const DEFAULT_MAX_ELEMENT_DEPTH: usize = 1024;
 
 impl Default for ParseOptions {
     fn default() -> Self {
@@ -52,6 +65,7 @@ impl Default for ParseOptions {
             keep_comments: true,
             keep_processing_instructions: true,
             id_attribute: "id".to_string(),
+            max_element_depth: DEFAULT_MAX_ELEMENT_DEPTH,
         }
     }
 }
@@ -689,7 +703,16 @@ impl<'a> Tokenizer<'a> {
 
     /// Consumes a `<tag attr="v"…>` or `<tag…/>` start tag.
     fn start_element(&mut self) -> Result<XmlEvent<'_>, XmlError> {
+        let at = self.src.pos();
         self.src.advance(1); // '<'
+        if self.open_live >= self.opts.max_element_depth {
+            return Err(self.src.err_at(
+                XmlErrorKind::TooDeep {
+                    limit: self.opts.max_element_depth,
+                },
+                at,
+            ));
+        }
         let (a, b) = self.src.lex_name()?;
         self.name_buf.clear();
         self.name_buf.push_str(&self.src.window()[a..b]);
@@ -1066,6 +1089,54 @@ mod tests {
         assert!(matches!(err.kind(), XmlErrorKind::MismatchedTag { .. }));
         assert_eq!(err.line(), 1);
         assert!(err.offset() > COMPACT_AT);
+    }
+
+    #[test]
+    fn depth_limit_cuts_off_adversarially_deep_documents() {
+        // Default limit: a 2000-deep chain errors cleanly instead of
+        // growing a 2000-slot stack per consumer.
+        let deep = format!("{}{}", "<a>".repeat(2000), "</a>".repeat(2000));
+        let err = trace(&deep).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                XmlErrorKind::TooDeep {
+                    limit: DEFAULT_MAX_ELEMENT_DEPTH
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("1024"), "{err}");
+
+        // Custom limit: depth == limit is fine, limit + 1 is not — and a
+        // self-closing element counts as a node at its depth.
+        let opts = |n| ParseOptions {
+            max_element_depth: n,
+            ..Default::default()
+        };
+        let at = format!("{}{}", "<a>".repeat(8), "</a>".repeat(8));
+        assert!(trace_opts(&at, opts(8)).is_ok());
+        let over = format!("{}{}", "<a>".repeat(9), "</a>".repeat(9));
+        assert!(matches!(
+            trace_opts(&over, opts(8)).unwrap_err().kind(),
+            XmlErrorKind::TooDeep { limit: 8 }
+        ));
+        let leaf = format!("{}<b/>{}", "<a>".repeat(8), "</a>".repeat(8));
+        assert!(matches!(
+            trace_opts(&leaf, opts(8)).unwrap_err().kind(),
+            XmlErrorKind::TooDeep { limit: 8 }
+        ));
+
+        // Reader mode enforces the same limit.
+        let mut tok = Tokenizer::from_reader(over.as_bytes(), opts(8));
+        let err = loop {
+            match tok.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("expected an error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err.kind(), XmlErrorKind::TooDeep { limit: 8 }));
     }
 
     #[test]

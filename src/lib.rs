@@ -185,6 +185,28 @@
 //! assert!(matches!(err, ServeError::Eval(EvalError::BudgetExhausted { .. })));
 //! ```
 //!
+//! ## Fault tolerance
+//!
+//! The service degrades loudly, never silently: a request that panics a
+//! worker resolves *its own* ticket as
+//! [`ServeError::WorkerPanicked`](serve::ServeError::WorkerPanicked)
+//! while the worker rebuilds and keeps serving (dead threads respawn);
+//! a queue at capacity fast-rejects new requests as
+//! [`ServeError::Overloaded`](serve::ServeError::Overloaded) — both are
+//! [retryable](serve::ServeError::is_retryable), and
+//! [`query_with_retry`](serve::ServeEngine::query_with_retry) wraps
+//! resubmission under a deterministic exponential
+//! [`RetryPolicy`](serve::RetryPolicy).  On the storage side,
+//! [`write_snapshot`](index::write_snapshot) commits through a hidden
+//! temp file, fsync, atomic rename and directory fsync — a writer
+//! killed at any byte leaves the published path untouched — and files
+//! that fail validation can be moved aside via
+//! [`open_snapshot_or_quarantine`](index::open_snapshot_or_quarantine).
+//! The [`serve::chaos`] and [`index::fault`] modules inject seeded
+//! panics and torn writes so every one of these claims is exercised by
+//! `crates/serve/tests/chaos.rs`, the crash-simulation half of
+//! `crates/index/tests/corrupt.rs`, and the `chaos_smoke` binary.
+//!
 //! ## Benchmarks
 //!
 //! `cargo run --release -p minctx-bench --bin tables` prints the paper's
@@ -205,9 +227,10 @@ pub mod prelude {
         Budget, CompiledQuery, Context, Engine, EvalError, Evaluator, Strategy, Value,
     };
     pub use minctx_index::{
-        open_snapshot, snapshot_stamp, write_snapshot, SnapshotError, SnapshotInfo,
+        open_snapshot, open_snapshot_or_quarantine, snapshot_stamp, write_snapshot, SnapshotError,
+        SnapshotInfo,
     };
-    pub use minctx_serve::{Corpus, ServeEngine, ServeError, Ticket};
+    pub use minctx_serve::{Corpus, RetryPolicy, ServeEngine, ServeError, Ticket};
     pub use minctx_stream::{
         classify, StreamMatch, StreamOutcome, StreamValue, Streamability, StreamingEngine,
     };
