@@ -554,7 +554,11 @@ impl Default for CountingAllocator {
 // SAFETY: delegates allocation to `System` unchanged; only counters are
 // maintained around it.
 unsafe impl std::alloc::GlobalAlloc for CountingAllocator {
+    // SAFETY: `unsafe fn` is mandated by the trait; the caller upholds
+    // `GlobalAlloc`'s layout contract.
     unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        // SAFETY: `layout` is passed through unchanged to the system
+        // allocator under the caller's `GlobalAlloc` contract.
         let p = unsafe { std::alloc::System.alloc(layout) };
         if !p.is_null() {
             self.record_alloc(layout.size());
@@ -562,12 +566,20 @@ unsafe impl std::alloc::GlobalAlloc for CountingAllocator {
         p
     }
 
+    // SAFETY: `unsafe fn` is mandated by the trait; the caller upholds
+    // `GlobalAlloc`'s layout contract.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        // SAFETY: `ptr`/`layout` came from a matching `alloc` on the
+        // same underlying `System` allocator (caller's contract).
         unsafe { std::alloc::System.dealloc(ptr, layout) };
         self.record_dealloc(layout.size());
     }
 
+    // SAFETY: `unsafe fn` is mandated by the trait; the caller upholds
+    // `GlobalAlloc`'s layout contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: arguments forwarded unchanged under the caller's
+        // `GlobalAlloc` contract.
         let p = unsafe { std::alloc::System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             self.record_dealloc(layout.size());

@@ -35,6 +35,10 @@ fn reopen(name: &str, doc: &Document) -> Document {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "full corpus x strategy sweep is minutes-long under the interpreter"
+)]
 fn corpus_agrees_owned_vs_mapped_across_all_strategies() {
     // The shared corpus documents plus an XMark-style generated document
     // (irregular shape, ids, attributes at realistic densities) so the
@@ -79,6 +83,10 @@ fn corpus_agrees_owned_vs_mapped_across_all_strategies() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "full corpus x strategy sweep is minutes-long under the interpreter"
+)]
 fn mapped_documents_serve_compiled_query_caches() {
     // The serving shape on a mapped document: compile once, evaluate
     // repeatedly with zero name resolution — same guarantee the owned
@@ -104,6 +112,10 @@ fn mapped_documents_serve_compiled_query_caches() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "full corpus x strategy sweep is minutes-long under the interpreter"
+)]
 fn round_trip_of_a_round_trip_is_byte_stable() {
     // write(open(write(doc))) must reproduce the same stamp (= same
     // section bytes): serialization is deterministic and adopting mapped

@@ -32,6 +32,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod budget;
 pub mod cache;
 pub mod compile;

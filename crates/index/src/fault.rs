@@ -73,7 +73,7 @@ pub fn install(plan: FaultPlan) {
             plan,
             written: 0,
             crashed: false,
-        })
+        });
     });
 }
 

@@ -115,6 +115,24 @@ pub enum SnapshotError {
         expected: u64,
         actual: u64,
     },
+    /// A `u32` section starts at a byte offset that is not 4-aligned —
+    /// the zero-copy reinterpret view would be undefined behaviour, so
+    /// the open is refused before any cast happens.
+    Misaligned {
+        /// Which section (e.g. `"parent"`, `"text_off"`).
+        section: &'static str,
+        /// The absolute byte offset the section starts at.
+        offset: usize,
+    },
+    /// A text region (the text heap or the name bytes) is not valid
+    /// UTF-8 — a crafted or decayed file must never reach the
+    /// zero-copy `from_utf8_unchecked` path.
+    InvalidUtf8 {
+        /// Which region (`"text heap"` or `"name bytes"`).
+        region: &'static str,
+        /// How many leading bytes were valid.
+        valid_up_to: usize,
+    },
     /// The file decodes structurally but violates a format or document
     /// invariant.
     Corrupt(String),
@@ -152,6 +170,20 @@ impl fmt::Display for SnapshotError {
                 "snapshot {region} checksum mismatch (stored {expected:#018x}, computed \
                  {actual:#018x}): the bytes decayed or were modified; regenerate with \
                  write_snapshot"
+            ),
+            SnapshotError::Misaligned { section, offset } => write!(
+                f,
+                "snapshot section `{section}` starts at byte {offset}, which is not \
+                 4-byte aligned: the zero-copy u32 view would be unsound; regenerate \
+                 with write_snapshot"
+            ),
+            SnapshotError::InvalidUtf8 {
+                region,
+                valid_up_to,
+            } => write!(
+                f,
+                "snapshot {region} is not valid UTF-8 after byte {valid_up_to}: the \
+                 file was crafted or decayed; regenerate with write_snapshot"
             ),
             SnapshotError::Corrupt(msg) => {
                 write!(
@@ -204,6 +236,26 @@ impl PartialEq for SnapshotError {
                     actual: ab,
                 },
             ) => ra == rb && ea == eb && aa == ab,
+            (
+                Misaligned {
+                    section: sa,
+                    offset: oa,
+                },
+                Misaligned {
+                    section: sb,
+                    offset: ob,
+                },
+            ) => sa == sb && oa == ob,
+            (
+                InvalidUtf8 {
+                    region: ra,
+                    valid_up_to: va,
+                },
+                InvalidUtf8 {
+                    region: rb,
+                    valid_up_to: vb,
+                },
+            ) => ra == rb && va == vb,
             (Corrupt(a), Corrupt(b)) => a == b,
             _ => false,
         }
@@ -351,7 +403,7 @@ fn snapshot_stamp_le(path: &Path) -> Result<u64, SnapshotError> {
 #[cfg(target_endian = "little")]
 fn u32s_as_bytes(s: &[u32]) -> &[u8] {
     // SAFETY: u32 has no padding; alignment only decreases.
-    unsafe { std::slice::from_raw_parts(s.as_ptr() as *const u8, std::mem::size_of_val(s)) }
+    unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u8>(), std::mem::size_of_val(s)) }
 }
 
 /// Distinguishes temp files of concurrent in-process writers.
@@ -618,19 +670,28 @@ impl<W: Write> HashWrite<W> {
     }
 }
 
-/// Bounds- and alignment-checked `u32` view of a section.
+/// Bounds- and alignment-checked `u32` view of the section named
+/// `section` (the name only feeds the error).
 #[cfg(target_endian = "little")]
-fn u32_slice(bytes: &[u8], s: Sect) -> Result<&[u32], SnapshotError> {
+#[expect(
+    clippy::cast_ptr_alignment,
+    reason = "the alignment-raising cast is guarded by the explicit check above it"
+)]
+fn u32_slice<'a>(
+    bytes: &'a [u8],
+    s: Sect,
+    section: &'static str,
+) -> Result<&'a [u32], SnapshotError> {
     let sl = byte_slice(bytes, s.off, s.count.checked_mul(4).ok_or_else(overflow)?)?;
     if sl.as_ptr() as usize % std::mem::align_of::<u32>() != 0 {
-        return Err(SnapshotError::Corrupt(format!(
-            "section at byte {} is not 4-byte aligned",
-            s.off
-        )));
+        return Err(SnapshotError::Misaligned {
+            section,
+            offset: s.off,
+        });
     }
     // SAFETY: bounds and alignment checked; u32 tolerates any bit
     // pattern; the host is little-endian (checked by the caller).
-    Ok(unsafe { std::slice::from_raw_parts(sl.as_ptr() as *const u32, s.count) })
+    Ok(unsafe { std::slice::from_raw_parts(sl.as_ptr().cast::<u32>(), s.count) })
 }
 
 fn byte_slice(bytes: &[u8], off: usize, len: usize) -> Result<&[u8], SnapshotError> {
@@ -717,8 +778,16 @@ fn open_snapshot_le(path: &Path) -> Result<Document, SnapshotError> {
     }
 
     // ---- Name table ---------------------------------------------------
-    let name_off = u32_slice(bytes, lay.name_off)?;
+    let name_off = u32_slice(bytes, lay.name_off, "name_off")?;
     let name_bytes = byte_slice(bytes, lay.name_bytes.off, lay.name_bytes.count)?;
+    // Reject invalid bytes wholesale before per-entry slicing, so the
+    // error names the region even when entry offsets are also wrong.
+    if let Err(e) = std::str::from_utf8(name_bytes) {
+        return Err(SnapshotError::InvalidUtf8 {
+            region: "name bytes",
+            valid_up_to: e.valid_up_to(),
+        });
+    }
     let mut names = NameTable::new();
     let mut prev = 0u32;
     for (i, w) in name_off.windows(2).enumerate() {
@@ -744,22 +813,33 @@ fn open_snapshot_le(path: &Path) -> Result<Document, SnapshotError> {
     }
 
     // ---- Columns (validated in depth by from_mapped_columns) ----------
+    // The text heap backs `from_utf8_unchecked` views for the life of
+    // the document: validate it here, at the trust boundary, so no
+    // crafted or checksum-colliding file can smuggle invalid bytes past
+    // the unsafe decode (from_mapped_columns re-checks in depth).
+    let text_heap = byte_slice(bytes, lay.text_heap.off, lay.text_heap.count)?;
+    if let Err(e) = std::str::from_utf8(text_heap) {
+        return Err(SnapshotError::InvalidUtf8 {
+            region: "text heap",
+            valid_up_to: e.valid_up_to(),
+        });
+    }
     let cols = RawColumns {
-        kinds: u32_slice(bytes, lay.kinds)?,
-        parent: u32_slice(bytes, lay.parent)?,
-        first_child: u32_slice(bytes, lay.first_child)?,
-        last_child: u32_slice(bytes, lay.last_child)?,
-        next_sibling: u32_slice(bytes, lay.next_sibling)?,
-        prev_sibling: u32_slice(bytes, lay.prev_sibling)?,
-        subtree_end: u32_slice(bytes, lay.subtree_end)?,
-        text_off: u32_slice(bytes, lay.text_off)?,
-        text_heap: byte_slice(bytes, lay.text_heap.off, lay.text_heap.count)?,
-        elem_off: u32_slice(bytes, lay.elem_off)?,
-        elem_post: u32_slice(bytes, lay.elem_post)?,
-        attr_off: u32_slice(bytes, lay.attr_off)?,
-        attr_post: u32_slice(bytes, lay.attr_post)?,
-        id_attrs: u32_slice(bytes, lay.id_attrs)?,
-        id_elems: u32_slice(bytes, lay.id_elems)?,
+        kinds: u32_slice(bytes, lay.kinds, "kinds")?,
+        parent: u32_slice(bytes, lay.parent, "parent")?,
+        first_child: u32_slice(bytes, lay.first_child, "first_child")?,
+        last_child: u32_slice(bytes, lay.last_child, "last_child")?,
+        next_sibling: u32_slice(bytes, lay.next_sibling, "next_sibling")?,
+        prev_sibling: u32_slice(bytes, lay.prev_sibling, "prev_sibling")?,
+        subtree_end: u32_slice(bytes, lay.subtree_end, "subtree_end")?,
+        text_off: u32_slice(bytes, lay.text_off, "text_off")?,
+        text_heap,
+        elem_off: u32_slice(bytes, lay.elem_off, "elem_off")?,
+        elem_post: u32_slice(bytes, lay.elem_post, "elem_post")?,
+        attr_off: u32_slice(bytes, lay.attr_off, "attr_off")?,
+        attr_post: u32_slice(bytes, lay.attr_post, "attr_post")?,
+        id_attrs: u32_slice(bytes, lay.id_attrs, "id_attrs")?,
+        id_elems: u32_slice(bytes, lay.id_elems, "id_elems")?,
     };
     Document::from_mapped_columns(cols, names, header.stamp, Arc::clone(&keep))
         .map_err(|e| SnapshotError::Corrupt(e.to_string()))
@@ -808,6 +888,32 @@ mod tests {
         assert_ne!(re.stamp(), doc.stamp());
         assert_eq!(open_snapshot(&path).unwrap().stamp(), info.stamp);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn u32_slice_refuses_misaligned_sections_with_a_typed_error() {
+        // An 8-aligned heap region, sliced at an odd offset: the typed
+        // `Misaligned` error must fire before any reinterpret cast.
+        let region = vec![0u64; 4];
+        let bytes: &[u8] = bytemuck_view(&region);
+        let ok = u32_slice(bytes, Sect { off: 4, count: 2 }, "probe").unwrap();
+        assert_eq!(ok.len(), 2);
+        let err = u32_slice(bytes, Sect { off: 2, count: 2 }, "probe").unwrap_err();
+        assert_eq!(
+            err,
+            SnapshotError::Misaligned {
+                section: "probe",
+                offset: 2
+            }
+        );
+        assert!(err.to_string().contains("probe"), "{err}");
+    }
+
+    /// Test-only safe view of a `u64` buffer as bytes.
+    fn bytemuck_view(v: &[u64]) -> &[u8] {
+        // SAFETY: (test) u64 -> u8 view; alignment only decreases and
+        // every bit pattern is a valid u8.
+        unsafe { std::slice::from_raw_parts(v.as_ptr().cast::<u8>(), std::mem::size_of_val(v)) }
     }
 
     #[test]

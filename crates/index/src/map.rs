@@ -9,6 +9,11 @@
 //! unavailable (non-Unix targets, or a map failure at runtime) the file
 //! is read into an 8-byte-aligned heap buffer instead; both backings
 //! satisfy the same alignment guarantees the `u32` column casts rely on.
+//!
+//! Under Miri (`cfg(miri)`) the mmap path is compiled out entirely —
+//! the interpreter cannot execute foreign functions — so every snapshot
+//! open goes through the heap fallback and the whole unsafe surface
+//! stays Miri-executable.
 
 use minctx_xml::StableBytes;
 use std::fs::File;
@@ -16,7 +21,7 @@ use std::io::{Read, Seek, SeekFrom};
 
 /// A read-only byte region backing a mapped snapshot.
 pub(crate) enum Mapping {
-    #[cfg(unix)]
+    #[cfg(all(unix, not(miri)))]
     Mmap { ptr: *const u8, len: usize },
     /// 8-byte-aligned heap copy (fallback); `.1` is the byte length.
     Heap(Vec<u64>, usize),
@@ -25,6 +30,8 @@ pub(crate) enum Mapping {
 // SAFETY: the mapped region is read-only and never changes address for
 // the life of the Mapping; the heap variant is an ordinary owned buffer.
 unsafe impl Send for Mapping {}
+// SAFETY: as for Send — the region is immutable, so concurrent reads
+// through shared references are sound.
 unsafe impl Sync for Mapping {}
 
 // SAFETY: `bytes` returns the same pointer/length every call, and the
@@ -32,17 +39,21 @@ unsafe impl Sync for Mapping {}
 unsafe impl StableBytes for Mapping {
     fn bytes(&self) -> &[u8] {
         match self {
-            #[cfg(unix)]
-            Mapping::Mmap { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            #[cfg(all(unix, not(miri)))]
+            Mapping::Mmap { ptr, len } => {
+                // SAFETY: `ptr` is what mmap returned, valid for `len`
+                // bytes, and stays mapped until this value drops.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
             Mapping::Heap(buf, len) => {
                 // SAFETY: the buffer holds at least `len` initialized bytes.
-                unsafe { std::slice::from_raw_parts(buf.as_ptr() as *const u8, *len) }
+                unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), *len) }
             }
         }
     }
 }
 
-#[cfg(unix)]
+#[cfg(all(unix, not(miri)))]
 impl Drop for Mapping {
     fn drop(&mut self) {
         if let Mapping::Mmap { ptr, len } = *self {
@@ -52,7 +63,7 @@ impl Drop for Mapping {
     }
 }
 
-#[cfg(unix)]
+#[cfg(all(unix, not(miri)))]
 mod sys {
     use core::ffi::c_void;
 
@@ -77,7 +88,7 @@ mod sys {
 
 /// Maps (or, failing that, reads) `len` bytes of `file`.
 pub(crate) fn map_file(file: &mut File, len: usize) -> std::io::Result<Mapping> {
-    #[cfg(unix)]
+    #[cfg(all(unix, not(miri)))]
     {
         use std::os::unix::io::AsRawFd;
         if len > 0 {
@@ -109,7 +120,7 @@ pub(crate) fn map_file(file: &mut File, len: usize) -> std::io::Result<Mapping> 
 fn read_to_aligned_heap(file: &mut File, len: usize) -> std::io::Result<Mapping> {
     let mut buf = vec![0u64; len.div_ceil(8)];
     // SAFETY: viewing the zero-initialized u64 buffer as bytes.
-    let bytes = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, len) };
+    let bytes = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), len) };
     file.seek(SeekFrom::Start(0))?;
     file.read_exact(bytes)?;
     Ok(Mapping::Heap(buf, len))

@@ -60,6 +60,10 @@ fn appended_garbage_errors_out() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "whole-file bit-flip sweep is minutes-long under the interpreter"
+)]
 fn every_sampled_bit_flip_is_detected() {
     let bytes = sample_bytes();
     // Flip a byte at a spread of positions covering the header, every
@@ -212,6 +216,55 @@ mod craft {
         }
         unreachable!("section index out of range");
     }
+
+    /// Which byte region to locate with [`byte_region_offset`].
+    #[derive(Clone, Copy)]
+    pub enum ByteRegion {
+        NameBytes,
+        TextHeap,
+    }
+
+    /// Byte offset (and length) of one of the two `u8` sections,
+    /// walking the full documented layout: the `u32` sections in fixed
+    /// order, then `name_bytes`, then `text_heap`, each 8-byte aligned.
+    pub fn byte_region_offset(bytes: &[u8], region: ByteRegion) -> (usize, usize) {
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap()) as usize;
+        let n = u64_at(16);
+        let names = u64_at(24);
+        // (count, width) in on-disk order; see `format.rs`.
+        let sections = [
+            (n, 4),          // kinds
+            (n, 4),          // parent
+            (n, 4),          // first_child
+            (n, 4),          // last_child
+            (n, 4),          // next_sibling
+            (n, 4),          // prev_sibling
+            (n, 4),          // subtree_end
+            (n + 1, 4),      // text_off
+            (names + 1, 4),  // elem_off
+            (u64_at(40), 4), // elem_post
+            (names + 1, 4),  // attr_off
+            (u64_at(48), 4), // attr_post
+            (u64_at(56), 4), // id_attrs
+            (u64_at(56), 4), // id_elems
+            (names + 1, 4),  // name_off
+            (u64_at(64), 1), // name_bytes
+            (u64_at(32), 1), // text_heap
+        ];
+        let want = match region {
+            ByteRegion::NameBytes => 15,
+            ByteRegion::TextHeap => 16,
+        };
+        let mut cursor = 104usize;
+        for (i, &(count, width)) in sections.iter().enumerate() {
+            cursor = cursor.div_ceil(8) * 8;
+            if i == want {
+                return (cursor, count);
+            }
+            cursor += count * width;
+        }
+        unreachable!("region index out of range");
+    }
 }
 
 #[test]
@@ -245,6 +298,55 @@ fn resigned_postings_mismatch_is_rejected() {
         matches!(e, SnapshotError::Corrupt(_)) && e.to_string().contains("postings"),
         "{e}"
     );
+}
+
+#[test]
+fn resigned_invalid_utf8_in_the_text_heap_is_rejected() {
+    // A checksum-consistent snapshot whose text heap holds a lone
+    // continuation byte: the heap backs `from_utf8_unchecked` views for
+    // the life of the document, so open must refuse it with the typed
+    // error *before* any string is ever materialized.
+    let mut bytes = sample_bytes();
+    let (off, len) = craft::byte_region_offset(&bytes, craft::ByteRegion::TextHeap);
+    assert!(len > 0, "sample document must have text content");
+    bytes[off] = 0xFF; // never valid anywhere in UTF-8
+    craft::resign(&mut bytes);
+    let e = open_raw("heap-utf8", &bytes).expect_err("mojibake heap opened");
+    assert!(
+        matches!(
+            e,
+            SnapshotError::InvalidUtf8 {
+                region: "text heap",
+                valid_up_to: 0
+            }
+        ),
+        "{e}"
+    );
+    assert!(e.to_string().contains("text heap"), "{e}");
+}
+
+#[test]
+fn resigned_invalid_utf8_in_the_name_bytes_is_rejected() {
+    // Same trust boundary, other region: the interned tag/attribute
+    // names must be UTF-8 as a whole region, reported with the typed
+    // error (not a per-name Corrupt message).
+    let mut bytes = sample_bytes();
+    let (off, len) = craft::byte_region_offset(&bytes, craft::ByteRegion::NameBytes);
+    assert!(len > 0, "sample document must intern names");
+    bytes[off] = 0xC0; // an overlong-encoding lead byte, always invalid
+    craft::resign(&mut bytes);
+    let e = open_raw("names-utf8", &bytes).expect_err("mojibake names opened");
+    assert!(
+        matches!(
+            e,
+            SnapshotError::InvalidUtf8 {
+                region: "name bytes",
+                valid_up_to: 0
+            }
+        ),
+        "{e}"
+    );
+    assert!(e.to_string().contains("name bytes"), "{e}");
 }
 
 #[test]

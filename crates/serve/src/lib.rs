@@ -43,13 +43,18 @@
 //! assert_eq!(answers, [Value::Number(2.0), Value::Number(3.0)]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod chaos;
+pub mod live;
 pub mod queue;
 pub mod service;
 pub mod shard;
+pub(crate) mod sync;
 
 pub use chaos::ChaosPlan;
-pub use queue::{PushError, Queue};
+pub use live::LiveCount;
+pub use queue::{PushError, Queue, TryPop};
 pub use service::{Corpus, RetryPolicy, ServeBuilder, ServeEngine, ServeError, ServeStats, Ticket};
 pub use shard::ShardedLru;
 

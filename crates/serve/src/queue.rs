@@ -14,12 +14,24 @@
 //! thread that happened to hold it leaves the state consistent — the
 //! poison flag is cleared and service continues.
 
+use crate::sync::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard};
 
 struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
+}
+
+/// Outcome of one non-blocking attempt at the pop critical section.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// Nothing queued, queue still open — where [`pop`](Queue::pop)
+    /// would block on the condvar.
+    Empty,
+    /// Closed and drained — where [`pop`](Queue::pop) returns `None`.
+    Closed,
 }
 
 /// Why a [`push`](Queue::push) was refused; the item comes back.
@@ -72,10 +84,34 @@ impl<T> Queue<T> {
         match self.inner.lock() {
             Ok(g) => g,
             Err(poisoned) => {
+                // (loom's mutex has no clear_poison; its models never
+                // panic under the lock, so recovery is unreachable.)
+                #[cfg(not(loom))]
                 self.inner.clear_poison();
                 poisoned.into_inner()
             }
         }
+    }
+
+    /// The pop critical section: exactly the state transition
+    /// [`pop`](Queue::pop) performs between condvar waits.  Factored
+    /// out so the exhaustive interleaving checker
+    /// (`tests/protocol_model.rs`) drives the *same* code the blocking
+    /// path runs.
+    fn step(inner: &mut Inner<T>) -> TryPop<T> {
+        if let Some(item) = inner.items.pop_front() {
+            return TryPop::Item(item);
+        }
+        if inner.closed {
+            return TryPop::Closed;
+        }
+        TryPop::Empty
+    }
+
+    /// One non-blocking pop attempt; [`TryPop::Empty`] is where
+    /// [`pop`](Queue::pop) would block.
+    pub fn try_pop(&self) -> TryPop<T> {
+        Self::step(&mut self.lock())
     }
 
     /// Enqueues `item`, returning the queue depth including it, or hands
@@ -103,15 +139,15 @@ impl<T> Queue<T> {
     pub fn pop(&self) -> Option<T> {
         let mut inner = self.lock();
         loop {
-            if let Some(item) = inner.items.pop_front() {
-                return Some(item);
-            }
-            if inner.closed {
-                return None;
+            match Self::step(&mut inner) {
+                TryPop::Item(item) => return Some(item),
+                TryPop::Closed => return None,
+                TryPop::Empty => {}
             }
             inner = match self.ready.wait(inner) {
                 Ok(g) => g,
                 Err(poisoned) => {
+                    #[cfg(not(loom))]
                     self.inner.clear_poison();
                     poisoned.into_inner()
                 }
@@ -146,11 +182,21 @@ impl<T> Default for Queue<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::Arc;
     use std::thread;
+
+    #[test]
+    fn try_pop_mirrors_pop_without_blocking() {
+        let q = Queue::new();
+        assert_eq!(q.try_pop(), TryPop::Empty);
+        q.push(7).unwrap();
+        assert_eq!(q.try_pop(), TryPop::Item(7));
+        q.close();
+        assert_eq!(q.try_pop(), TryPop::<i32>::Closed);
+    }
 
     #[test]
     fn push_pop_is_fifo() {

@@ -28,6 +28,7 @@
 //!   corrupt file is inspected once, not re-read on every request.
 
 use crate::chaos;
+use crate::live::LiveCount;
 use crate::queue::{PushError, Queue};
 use crate::shard::ShardedLru;
 use minctx_core::{
@@ -38,7 +39,7 @@ use minctx_syntax::parse_xpath;
 use minctx_xml::Document;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -274,8 +275,8 @@ struct Shared {
     /// Threads currently in a worker loop — originals and respawns
     /// alike.  [`ServeEngine::drop`] spins this to zero so no worker
     /// (not even an unjoined respawn) outlives the engine's teardown
-    /// accounting.
-    live_workers: AtomicUsize,
+    /// accounting.  The handoff protocol lives in [`LiveCount`].
+    live_workers: LiveCount,
 }
 
 /// Configuration for a [`ServeEngine`]; `ServeEngine::builder()` is the
@@ -370,7 +371,7 @@ impl ServeBuilder {
             snapshots: ShardedLru::new(self.snapshot_cache_capacity, self.shards),
             queries: ShardedLru::new(self.query_cache_capacity, self.shards),
             counters: Counters::default(),
-            live_workers: AtomicUsize::new(0),
+            live_workers: LiveCount::new(),
         });
         let cfg = WorkerConfig {
             strategy: self.strategy,
@@ -404,15 +405,15 @@ impl WorkerConfig {
     }
 }
 
-/// Spawns one worker thread.  `live_workers` is incremented *before*
-/// the spawn (and rolled back on failure) so the count never dips to
+/// Spawns one worker thread.  The live count adopts the worker *before*
+/// the spawn (and abandons it on failure) so the count never dips to
 /// zero between a dying worker and its replacement.
 fn spawn_worker(
     shared: &Arc<Shared>,
     cfg: WorkerConfig,
     index: usize,
 ) -> std::io::Result<JoinHandle<()>> {
-    shared.live_workers.fetch_add(1, Ordering::SeqCst);
+    shared.live_workers.adopt();
     let shared2 = Arc::clone(shared);
     let spawned = thread::Builder::new()
         .name(format!("minctx-serve-{index}"))
@@ -425,7 +426,7 @@ fn spawn_worker(
             worker_loop(&shared2, cfg);
         });
     if spawned.is_err() {
-        shared.live_workers.fetch_sub(1, Ordering::SeqCst);
+        shared.live_workers.abandon();
     }
     spawned
 }
@@ -447,15 +448,18 @@ impl Drop for RespawnSentry {
                 .counters
                 .worker_respawns
                 .fetch_add(1, Ordering::Relaxed);
-            // Replacement first, own decrement second: the live count
-            // stays positive across the handoff.  The replacement is
-            // detached; ServeEngine::drop waits on `live_workers`, not
-            // on join handles.  A failed spawn here must not panic
-            // (we're already unwinding — it would abort); the pool
-            // just runs one thread short.
-            let _ = spawn_worker(&self.shared, self.cfg, self.index);
+            // Replacement first, own retire second ([`LiveCount::handoff`]):
+            // the live count stays positive across the handoff.  The
+            // replacement is detached; ServeEngine::drop waits on
+            // `live_workers`, not on join handles.  A failed spawn here
+            // must not panic (we're already unwinding — it would
+            // abort); the pool just runs one thread short.
+            self.shared
+                .live_workers
+                .handoff(|| drop(spawn_worker(&self.shared, self.cfg, self.index)));
+        } else {
+            self.shared.live_workers.retire();
         }
-        self.shared.live_workers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -664,7 +668,7 @@ impl ServeEngine {
     /// [`worker_count`](ServeEngine::worker_count) whenever the pool is
     /// healthy, including after panics (respawns replace the dead).
     pub fn live_workers(&self) -> usize {
-        self.shared.live_workers.load(Ordering::SeqCst)
+        self.shared.live_workers.get()
     }
 
     /// Jobs currently queued (racy; diagnostics only).
@@ -711,7 +715,7 @@ impl Drop for ServeEngine {
         // holds their handles); they exit promptly once the closed
         // queue drains.  Wait them out so "no leaked worker" holds by
         // the time drop returns.
-        while self.shared.live_workers.load(Ordering::SeqCst) > 0 {
+        while self.shared.live_workers.get() > 0 {
             thread::yield_now();
         }
     }

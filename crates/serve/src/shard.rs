@@ -16,10 +16,26 @@
 //! the shard's contents suspect, but cache contents are by definition
 //! reconstructible — recovery clears the poison *and* the shard, and
 //! every later hit or miss proceeds normally.
+//!
+//! # The drop-all recovery invariant
+//!
+//! Poison recovery deliberately drops **every** entry of the poisoned
+//! shard, not just the entry the panicking holder touched: the LRU's
+//! intrusive recency list may be half-relinked at the panic point, so
+//! no individual entry can be trusted.  The invariant is exactly
+//! shard-scoped, in both directions:
+//!
+//! * **everything in the poisoned shard goes** — a later `get` of any
+//!   key hashing there misses (asserted by
+//!   `poisoned_shard_recovers_and_keeps_serving`);
+//! * **nothing outside it goes** — entries in the other `N − 1` shards
+//!   are untouched, because recovery runs entirely under the one
+//!   poisoned lock (asserted by
+//!   `poisoning_one_shard_leaves_other_shards_intact`).
 
+use crate::sync::{Mutex, MutexGuard};
 use minctx_core::LruCache;
 use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::{Mutex, MutexGuard};
 
 pub struct ShardedLru<K, V> {
     shards: Box<[Mutex<LruCache<K, V>>]>,
@@ -42,18 +58,29 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
     }
 
     fn shard(&self, key: &K) -> &Mutex<LruCache<K, V>> {
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// Which shard `key` lives in.  Diagnostics and tests only — the
+    /// mapping is stable for the life of this cache but differs between
+    /// instances (the hasher is randomly seeded).
+    pub fn shard_index(&self, key: &K) -> usize {
         let h = self.hasher.hash_one(key) as usize;
-        &self.shards[h % self.shards.len()]
+        h % self.shards.len()
     }
 
     /// Locks a shard, recovering from poisoning.  The previous holder
     /// panicked mid-operation, so its contents may be half-mutated —
     /// but a cache entry is always re-derivable, so the safe recovery
-    /// is to drop them all and carry on empty.
+    /// is to drop them all and carry on empty (the shard-scoped
+    /// drop-all invariant; see the module docs).
     fn lock(m: &Mutex<LruCache<K, V>>) -> MutexGuard<'_, LruCache<K, V>> {
         match m.lock() {
             Ok(g) => g,
             Err(poisoned) => {
+                // (loom's mutex has no clear_poison; its models never
+                // panic under the lock, so recovery is unreachable.)
+                #[cfg(not(loom))]
                 m.clear_poison();
                 let mut g = poisoned.into_inner();
                 g.clear();
@@ -86,7 +113,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -157,5 +184,50 @@ mod tests {
         c.insert(2, Bomb(&ARMED));
         assert!(c.get(&2).is_some(), "shard must serve after recovery");
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn poisoning_one_shard_leaves_other_shards_intact() {
+        static ARMED: AtomicBool = AtomicBool::new(false);
+        // Plenty of capacity so nothing is ever evicted; enough keys
+        // that with 4 shards some land outside the victim shard.
+        let c: ShardedLru<u32, Bomb> = ShardedLru::new(64, 4);
+        for k in 0..16u32 {
+            c.insert(k, Bomb(&ARMED));
+        }
+        assert_eq!(c.len(), 16);
+        let victim_key = 0u32;
+        let victim_shard = c.shard_index(&victim_key);
+        let cohabitants: Vec<u32> = (0..16)
+            .filter(|k| c.shard_index(k) == victim_shard)
+            .collect();
+        let survivors: Vec<u32> = (0..16)
+            .filter(|k| c.shard_index(k) != victim_shard)
+            .collect();
+        assert!(
+            !survivors.is_empty(),
+            "16 keys over 4 shards cannot all collide"
+        );
+
+        // Poison exactly the victim shard.
+        ARMED.store(true, Ordering::SeqCst);
+        let boom = catch_unwind(AssertUnwindSafe(|| c.get(&victim_key)));
+        assert!(boom.is_err(), "armed clone must panic");
+
+        // Drop-all is shard-scoped: every cohabitant of the poisoned
+        // shard is gone, every entry elsewhere survives.
+        for k in &cohabitants {
+            assert!(
+                c.get(k).is_none(),
+                "key {k} in poisoned shard must be dropped"
+            );
+        }
+        for k in &survivors {
+            assert!(
+                c.get(k).is_some(),
+                "key {k} in a healthy shard must survive"
+            );
+        }
+        assert_eq!(c.len(), survivors.len());
     }
 }

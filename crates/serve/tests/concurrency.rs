@@ -60,7 +60,7 @@ fn concurrent_clients_match_single_threaded_on_a_shared_snapshot() {
                             });
                         match (&got, want) {
                             (Ok(g), Ok(w)) => {
-                                assert!(values_agree(g, w), "{q}: got {g:?}, want {w:?}")
+                                assert!(values_agree(g, w), "{q}: got {g:?}, want {w:?}");
                             }
                             (Err(g), Err(w)) => assert_eq!(g, w, "{q}"),
                             _ => panic!("{q}: got {got:?}, want {want:?}"),
@@ -101,7 +101,7 @@ fn shared_parsed_document_serves_many_threads() {
                     let got = serve.query(Corpus::Document(Arc::clone(&doc)), q).wait();
                     match (&got, want) {
                         (Ok(g), Ok(w)) => {
-                            assert!(values_agree(g, w), "{q}: got {g:?}, want {w:?}")
+                            assert!(values_agree(g, w), "{q}: got {g:?}, want {w:?}");
                         }
                         (Err(ServeError::Eval(g)), Err(w)) => assert_eq!(g, w, "{q}"),
                         _ => panic!("{q}: got {got:?}, want {want:?}"),

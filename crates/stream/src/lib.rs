@@ -37,6 +37,8 @@
 //! assert_eq!(matches.len(), 2); // no Document was built
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod compile;
 mod exec;
 pub mod fragment;

@@ -111,7 +111,7 @@ fn depth_limit_guards_the_streaming_path() {
             assert!(
                 matches!(x.kind(), XmlErrorKind::TooDeep { limit: 64 }),
                 "{x:?}"
-            )
+            );
         }
         other => panic!("expected XML depth error, got {other:?}"),
     }

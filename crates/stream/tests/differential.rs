@@ -108,10 +108,10 @@ fn classifier_verdict_matches_evaluate_reader_behavior() {
         let out = engine.evaluate_reader_str(&query, &xml).unwrap();
         match verdict {
             Streamability::Streamable => {
-                assert!(out.is_streamed(), "{q:?}: classifier says streamable")
+                assert!(out.is_streamed(), "{q:?}: classifier says streamable");
             }
             Streamability::NeedsArena(reason) => {
-                assert_eq!(out.fallback_reason(), Some(reason), "{q:?}")
+                assert_eq!(out.fallback_reason(), Some(reason), "{q:?}");
             }
         }
     }

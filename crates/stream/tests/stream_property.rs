@@ -166,10 +166,10 @@ fn random_forward_queries_stream_exactly() {
                             assert_eq!(got, want, "seed {seed} {src:?}");
                         }
                         (StreamValue::Number(x), minctx_core::Value::Number(y)) => {
-                            assert_eq!(x, y, "seed {seed} {src:?}")
+                            assert_eq!(x, y, "seed {seed} {src:?}");
                         }
                         (StreamValue::Boolean(x), minctx_core::Value::Boolean(y)) => {
-                            assert_eq!(x, y, "seed {seed} {src:?}")
+                            assert_eq!(x, y, "seed {seed} {src:?}");
                         }
                         other => panic!("seed {seed} {src:?}: shape mismatch {other:?}"),
                     }

@@ -32,6 +32,8 @@
 //! assert!(q.root_is_path());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod lexer;
 pub mod normalize;

@@ -146,6 +146,8 @@ impl<T: Copy + fmt::Debug + 'static> fmt::Debug for Col<T> {
 // Vec never mutated; StableBytes contract for borrowed), so shared access
 // from multiple threads is sound for POD element types.
 unsafe impl<T: Copy + Send + Sync + 'static> Send for Col<T> {}
+// SAFETY: as for Send — shared references expose only reads of
+// immutable POD data.
 unsafe impl<T: Copy + Send + Sync + 'static> Sync for Col<T> {}
 
 const _: () = {
@@ -226,7 +228,7 @@ impl DocStore {
 #[inline]
 pub(crate) fn node_ids(s: &[u32]) -> &[NodeId] {
     // SAFETY: NodeId is repr(transparent) over u32.
-    unsafe { std::slice::from_raw_parts(s.as_ptr() as *const NodeId, s.len()) }
+    unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<NodeId>(), s.len()) }
 }
 
 /// Borrowed views of every document column, in one struct — the exchange
@@ -294,7 +296,7 @@ mod tests {
     use super::*;
 
     struct FixedBytes(Vec<u8>);
-    // SAFETY (test): the Vec is never touched after construction.
+    // SAFETY: (test) the Vec is never touched after construction.
     unsafe impl StableBytes for FixedBytes {
         fn bytes(&self) -> &[u8] {
             &self.0

@@ -111,6 +111,7 @@ fn random_subset(doc: &Document, rng: &mut u64, density_pct: u64) -> NodeSet {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "property sweep is minutes-long under the interpreter")]
 fn image_and_preimage_match_brute_force_on_random_documents() {
     for seed in 1..=6u64 {
         let doc = random_doc(seed * 0x9e37_79b9, 60 + (seed as usize) * 25);
@@ -147,6 +148,7 @@ fn image_and_preimage_match_brute_force_on_random_documents() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "property sweep is minutes-long under the interpreter")]
 fn id_axis_image_and_preimage_are_adjoint_on_random_documents() {
     // Both sides of the id-"axis" use per-text-node tokenization (see
     // DESIGN.md), so they must satisfy the Galois-connection property
@@ -171,6 +173,7 @@ fn id_axis_image_and_preimage_are_adjoint_on_random_documents() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "property sweep is minutes-long under the interpreter")]
 fn name_test_kernels_match_brute_force_on_random_documents() {
     for seed in 1..=4u64 {
         let doc = random_doc(seed.wrapping_mul(0xdead_beef_1234), 80);
@@ -193,6 +196,7 @@ fn name_test_kernels_match_brute_force_on_random_documents() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "property sweep is minutes-long under the interpreter")]
 fn single_origin_axis_nodes_match_brute_force_order() {
     let doc = random_doc(0xabcd_ef12, 70);
     for from in doc.all_nodes() {

@@ -214,6 +214,8 @@
 //! runs the per-theorem harnesses (`thm7_mincontext`, `thm10_wadler`,
 //! `thm13_corexpath`, `exp_query_size`, `axes`).
 
+#![forbid(unsafe_code)]
+
 pub use minctx_core as engine;
 pub use minctx_index as index;
 pub use minctx_serve as serve;

@@ -1,0 +1,596 @@
+//! The unsafe-audit lint: a dependency-free scanner enforcing the
+//! workspace's two unsafe-hygiene invariants.
+//!
+//! 1. **Every `unsafe` occurrence is justified.**  Each `unsafe`
+//!    keyword — block, `unsafe impl`, or `unsafe fn` — must have a
+//!    `// SAFETY:` comment adjacent to it: on the same line, or in the
+//!    contiguous run of comment / attribute lines directly above (a
+//!    blank line breaks adjacency).  This is deliberately the same
+//!    convention clippy's `undocumented_unsafe_blocks` checks for
+//!    blocks and impls; the audit extends it to `unsafe fn` items and
+//!    runs without clippy (so it gates even a bare `cargo xtask` CI
+//!    leg or an offline machine).
+//! 2. **Unsafe-free packages stay unsafe-free.**  A package whose
+//!    `src/` tree contains no `unsafe` token at all must declare
+//!    `#![forbid(unsafe_code)]` at its crate root, so a future unsafe
+//!    block cannot slip in without tripping the compiler *and* showing
+//!    up in this audit.
+//!
+//! The scanner is a line-faithful lexer, not a parser: it masks out
+//! comments, strings (raw / byte / all hash depths), char literals and
+//! lifetimes, then looks for the bare `unsafe` token in what remains.
+//! That makes it immune to `"unsafe"` in strings and docs while keeping
+//! exact line numbers for reports.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One audit failure, displayed as `path:line: message`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Violation {
+    pub file: PathBuf,
+    /// 1-based line; 0 for package-level violations.
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}", self.file.display(), self.message)
+        } else {
+            write!(f, "{}:{}: {}", self.file.display(), self.line, self.message)
+        }
+    }
+}
+
+/// What [`audit_workspace`] found.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    /// Total `unsafe` tokens audited (justified or not).
+    pub unsafe_sites: usize,
+    /// Packages scanned.
+    pub packages: usize,
+    /// Packages carrying `#![forbid(unsafe_code)]`.
+    pub forbidding_packages: usize,
+}
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", ".claude", "node_modules"];
+
+/// Audits every package under `root` (any directory holding a
+/// `Cargo.toml` with a `[package]` section).  Files belonging to a
+/// nested package are attributed to that package, not its parent.
+pub fn audit_workspace(root: &Path) -> io::Result<Report> {
+    let mut packages = Vec::new();
+    find_packages(root, &mut packages)?;
+    if packages.is_empty() {
+        return Err(io::Error::other(format!(
+            "no Cargo package found under {}",
+            root.display()
+        )));
+    }
+    let mut report = Report {
+        packages: packages.len(),
+        ..Report::default()
+    };
+    for pkg in &packages {
+        audit_package(pkg, &mut report)?;
+    }
+    // Deterministic output order regardless of directory iteration.
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+/// Recursively collects directories containing a `[package]` manifest.
+fn find_packages(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let manifest = dir.join("Cargo.toml");
+    if manifest.is_file() {
+        let text = fs::read_to_string(&manifest)?;
+        if text.lines().any(|l| l.trim() == "[package]") {
+            out.push(dir.to_path_buf());
+        }
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if !path.is_dir() {
+            continue;
+        }
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+            continue;
+        }
+        find_packages(&path, out)?;
+    }
+    Ok(())
+}
+
+/// Audits one package directory: SAFETY adjacency for every `unsafe`
+/// token in every `.rs` file, and the `forbid(unsafe_code)` requirement
+/// when the `src/` tree is unsafe-free.
+fn audit_package(pkg: &Path, report: &mut Report) -> io::Result<()> {
+    let mut rs_files = Vec::new();
+    collect_rs_files(pkg, pkg, &mut rs_files)?;
+    rs_files.sort();
+
+    let mut src_has_unsafe = false;
+    for file in &rs_files {
+        let text = fs::read_to_string(file)?;
+        let sites = unsafe_sites(&text);
+        report.unsafe_sites += sites.len();
+        if !sites.is_empty() && file.starts_with(pkg.join("src")) {
+            src_has_unsafe = true;
+        }
+        for line in sites {
+            if !justified(&text, line) {
+                report.violations.push(Violation {
+                    file: file.clone(),
+                    line,
+                    message: "`unsafe` without an adjacent `// SAFETY:` comment".into(),
+                });
+            }
+        }
+    }
+
+    // Crate root of the package's primary target.
+    let root_file = ["src/lib.rs", "src/main.rs"]
+        .iter()
+        .map(|p| pkg.join(p))
+        .find(|p| p.is_file());
+    if let Some(root_file) = root_file {
+        if !src_has_unsafe {
+            let text = fs::read_to_string(&root_file)?;
+            let forbids =
+                mask_code(&text).contains("forbid") && text.contains("#![forbid(unsafe_code)]");
+            if forbids {
+                report.forbidding_packages += 1;
+            } else {
+                report.violations.push(Violation {
+                    file: root_file,
+                    line: 0,
+                    message: "package has no unsafe code but its crate root is missing \
+                              `#![forbid(unsafe_code)]`"
+                        .into(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Collects `.rs` files under `dir`, skipping nested packages (any
+/// subdirectory with its own `Cargo.toml`) and [`SKIP_DIRS`].
+fn collect_rs_files(pkg: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref())
+                || name.starts_with('.')
+                || (dir != pkg && path.join("Cargo.toml").is_file())
+                || (dir == pkg && path.join("Cargo.toml").is_file() && name != "src")
+            {
+                continue;
+            }
+            // A nested package anywhere below stops this package's walk.
+            if path.join("Cargo.toml").is_file() {
+                continue;
+            }
+            collect_rs_files(pkg, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// 1-based line numbers of every bare `unsafe` token in `text`
+/// (comments, strings, chars and lifetimes masked out first).
+fn unsafe_sites(text: &str) -> Vec<usize> {
+    let masked = mask_code(text);
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'u' if masked[i..].starts_with("unsafe")
+                && (i == 0 || !is_ident(bytes[i - 1]))
+                && bytes.get(i + 6).is_none_or(|&b| !is_ident(b)) =>
+            {
+                out.push(line);
+                i += 6;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Whether the `unsafe` token on 1-based `line` has an adjacent
+/// justification: a `SAFETY:` comment on the same line (trailing), or
+/// anywhere in the contiguous run of comment / attribute lines directly
+/// above it.  For `unsafe trait` / `unsafe fn` *declarations* the
+/// idiomatic form is a `# Safety` doc section, which counts too.
+fn justified(text: &str, line: usize) -> bool {
+    let has_marker = |l: &str| l.contains("SAFETY:") || l.contains("# Safety");
+    let lines: Vec<&str> = text.lines().collect();
+    let idx = line - 1;
+    if lines.get(idx).is_some_and(|l| has_marker(l)) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        let is_adjacent = t.starts_with("//") || t.starts_with("#[") || t.starts_with("*");
+        if !is_adjacent {
+            return false;
+        }
+        if has_marker(t) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Replaces the contents of comments, string literals (plain / raw /
+/// byte, any hash depth), char literals and lifetime ticks with spaces,
+/// preserving every newline so line numbers survive.
+fn mask_code(text: &str) -> String {
+    let b = text.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    let mut i = 0usize;
+    let n = b.len();
+    // Copy a byte through to the mask.
+    macro_rules! keep {
+        ($idx:expr) => {
+            out[$idx] = b[$idx]
+        };
+    }
+    while i < n {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                out[i] = b'\n';
+                i += 1;
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                // Line comment: mask to end of line.
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                // Block comment, nesting tracked.
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == b'\n' {
+                        out[i] = b'\n';
+                        i += 1;
+                    } else if i + 1 < n && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                i = skip_raw_string(b, &mut out, i);
+            }
+            b'b' if i + 1 < n && b[i + 1] == b'\'' => {
+                i = skip_char_literal(b, i + 1);
+            }
+            b'b' if i + 1 < n && b[i + 1] == b'"' => {
+                i = skip_string(b, &mut out, i + 1);
+            }
+            b'"' => {
+                i = skip_string(b, &mut out, i);
+            }
+            b'\'' => {
+                i = skip_char_literal(b, i);
+            }
+            _ => {
+                keep!(i);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).expect("masking only writes ASCII over ASCII positions")
+}
+
+/// Whether `r"`, `r#"`, `br"`, `br#"`... starts at `i`.
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Masks a raw string starting at `i`; returns the index past it.
+fn skip_raw_string(b: &[u8], out: &mut [u8], i: usize) -> usize {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // 'r'
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    loop {
+        if j >= b.len() {
+            return j;
+        }
+        if b[j] == b'\n' {
+            out[j] = b'\n';
+            j += 1;
+        } else if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < b.len() && seen < hashes && b[k] == b'#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+/// Masks a plain string starting at the `"` at `i`; returns the index
+/// past the closing quote.
+fn skip_string(b: &[u8], out: &mut [u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            // An escape may be a line continuation (`\` + newline):
+            // keep the newline so line numbers stay exact.
+            b'\\' => {
+                if b.get(j + 1) == Some(&b'\n') {
+                    out[j + 1] = b'\n';
+                }
+                j += 2;
+            }
+            b'\n' => {
+                out[j] = b'\n';
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skips a char literal (`'x'`, `'\n'`, `'\u{1F600}'`) or a lifetime
+/// tick at `i`; returns the index to resume from.
+fn skip_char_literal(b: &[u8], i: usize) -> usize {
+    let n = b.len();
+    // `'\...'` — escaped char literal.
+    if i + 1 < n && b[i + 1] == b'\\' {
+        let mut j = i + 2;
+        while j < n && b[j] != b'\'' {
+            j += 1;
+        }
+        return (j + 1).min(n);
+    }
+    // `'c'` — plain char literal (the char may be multi-byte UTF-8).
+    let mut j = i + 1;
+    while j < n && j - i <= 5 {
+        if b[j] == b'\'' {
+            return j + 1;
+        }
+        if b[j] == b'\n' {
+            break;
+        }
+        j += 1;
+    }
+    // A lifetime (`'a`): just step over the tick.
+    i + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_hides_strings_comments_chars_and_lifetimes() {
+        let src = r####"
+fn f<'a>(x: &'a str) {
+    let _ = "unsafe in a string";
+    let _ = r#"unsafe in a raw string"#;
+    let _ = b"unsafe bytes";
+    let _ = 'u'; let _ = '\n';
+    // unsafe in a line comment
+    /* unsafe in a /* nested */ block comment */
+}
+"####;
+        assert!(unsafe_sites(src).is_empty(), "masked regions leaked");
+        // Identifiers containing the word are not tokens.
+        assert!(unsafe_sites("fn unsafe_code() { unsafe_op_in_unsafe_fn(); }").is_empty());
+    }
+
+    #[test]
+    fn token_detection_reports_exact_lines() {
+        let src = "fn main() {\n    let p = unsafe { f() };\n}\nunsafe impl Send for X {}\n";
+        assert_eq!(unsafe_sites(src), vec![2, 4]);
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers_exact() {
+        // A `\` + newline inside a string spans lines; the masker must
+        // preserve that newline or every later line number drifts.
+        let src = "let s = \"first \\\n         second\";\nunsafe { f() }\n";
+        assert_eq!(unsafe_sites(src), vec![3]);
+    }
+
+    #[test]
+    fn safety_doc_section_justifies_declarations() {
+        let src = "/// Does things.\n///\n/// # Safety\n///\n/// Caller checks x.\npub unsafe fn f() {}\n";
+        assert!(justified(src, 6));
+    }
+
+    #[test]
+    fn justification_accepts_same_line_and_adjacent_comment_blocks() {
+        let same = "let p = unsafe { f() }; // SAFETY: f is fine\n";
+        assert!(justified(same, 1));
+        let above = "// SAFETY: ptr is live\n// for the whole call.\nunsafe { g() }\n";
+        assert!(justified(above, 3));
+        let with_attr = "// SAFETY: POD transmute\n#[inline]\nunsafe fn h() {}\n";
+        assert!(justified(with_attr, 3));
+        let blank_breaks = "// SAFETY: stale\n\nunsafe { g() }\n";
+        assert!(!justified(blank_breaks, 3));
+        let none = "let x = 1;\nunsafe { g() }\n";
+        assert!(!justified(none, 2));
+    }
+
+    /// Builds a throwaway package tree and audits it.
+    fn audit_fixture(files: &[(&str, &str)]) -> Report {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let root = std::env::temp_dir().join(format!(
+            "minctx-audit-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        for (path, content) in files {
+            let p = root.join(path);
+            fs::create_dir_all(p.parent().unwrap()).unwrap();
+            fs::write(&p, content).unwrap();
+        }
+        let r = audit_workspace(&root);
+        fs::remove_dir_all(&root).ok();
+        r.unwrap()
+    }
+
+    const MANIFEST: &str = "[package]\nname = \"t\"\n";
+
+    #[test]
+    fn seeded_violation_fails_the_audit() {
+        // The negative test the acceptance criteria demand: an
+        // unjustified unsafe block must fail the audit.
+        let r = audit_fixture(&[
+            ("Cargo.toml", MANIFEST),
+            (
+                "src/lib.rs",
+                "pub fn f() -> u8 {\n    unsafe { *std::ptr::null::<u8>() }\n}\n",
+            ),
+        ]);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].line, 2);
+        assert!(r.violations[0].message.contains("SAFETY"));
+    }
+
+    #[test]
+    fn justified_unsafe_passes() {
+        let r = audit_fixture(&[
+            ("Cargo.toml", MANIFEST),
+            (
+                "src/lib.rs",
+                "pub fn f() -> u8 {\n    // SAFETY: this test never runs it.\n    unsafe { 0 }\n}\n",
+            ),
+        ]);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.unsafe_sites, 1);
+    }
+
+    #[test]
+    fn unsafe_free_package_must_forbid() {
+        let r = audit_fixture(&[("Cargo.toml", MANIFEST), ("src/lib.rs", "pub fn f() {}\n")]);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert!(r.violations[0].message.contains("forbid(unsafe_code)"));
+
+        let r = audit_fixture(&[
+            ("Cargo.toml", MANIFEST),
+            ("src/lib.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n"),
+        ]);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.forbidding_packages, 1);
+    }
+
+    #[test]
+    fn unsafe_in_tests_is_audited_but_does_not_block_forbid() {
+        // Integration tests are separate crates: the lib can (and must)
+        // still forbid, while the test's unsafe needs its SAFETY.
+        let r = audit_fixture(&[
+            ("Cargo.toml", MANIFEST),
+            ("src/lib.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n"),
+            (
+                "tests/t.rs",
+                "#[test]\nfn t() {\n    // SAFETY: (test) no-op.\n    unsafe {}\n}\n",
+            ),
+        ]);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.unsafe_sites, 1);
+    }
+
+    #[test]
+    fn nested_packages_are_audited_independently() {
+        let r = audit_fixture(&[
+            ("Cargo.toml", MANIFEST),
+            ("src/lib.rs", "#![forbid(unsafe_code)]\n"),
+            ("sub/Cargo.toml", MANIFEST),
+            ("sub/src/lib.rs", "pub fn g() {\n    unsafe {}\n}\n"),
+        ]);
+        // Exactly one violation, in the nested package.
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert!(r.violations[0].file.ends_with("sub/src/lib.rs"));
+        assert_eq!(r.packages, 2);
+    }
+
+    #[test]
+    fn the_real_workspace_passes_its_own_audit() {
+        // The audit that gates CI, run as a tier-1 unit test: the tree
+        // this xtask ships in must always pass it.
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .to_path_buf();
+        let r = audit_workspace(&root).unwrap();
+        assert!(
+            r.violations.is_empty(),
+            "workspace fails its own unsafe audit:\n{}",
+            r.violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(r.unsafe_sites > 0, "the scanner found no unsafe at all");
+        assert!(r.forbidding_packages >= 5, "forbid coverage regressed");
+    }
+}

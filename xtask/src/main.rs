@@ -1,0 +1,77 @@
+//! `cargo xtask` — workspace automation, dependency-free by design.
+//!
+//! Subcommands:
+//!
+//! * `audit-unsafe [ROOT]` — the enforced unsafe-audit lint (see
+//!   [`audit`]): every `unsafe` block / impl / fn in the workspace must
+//!   carry an adjacent `// SAFETY:` comment, and every package whose
+//!   sources contain no `unsafe` at all must pin that status with
+//!   `#![forbid(unsafe_code)]` at its crate root.  Exits nonzero (and
+//!   prints one line per violation) when the tree fails the audit; CI
+//!   runs it on every push.
+//!
+//! The `xtask` pattern keeps this tooling inside the workspace — same
+//! toolchain, same lints, no external binary to install — and the
+//! `.cargo/config.toml` alias makes `cargo xtask audit-unsafe` work from
+//! any directory in the repo.
+
+#![forbid(unsafe_code)]
+// This crate's docs talk *about* `SAFETY:` comments; clippy mistakes the
+// mentions for misplaced safety comments.
+#![allow(clippy::unnecessary_safety_comment)]
+
+mod audit;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/xtask; the workspace root is one up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask has a parent directory")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("audit-unsafe") => {
+            let root = args.get(1).map_or_else(workspace_root, PathBuf::from);
+            let report = match audit::audit_workspace(&root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("audit-unsafe: cannot scan {}: {e}", root.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            for v in &report.violations {
+                eprintln!("{v}");
+            }
+            if report.violations.is_empty() {
+                println!(
+                    "audit-unsafe: ok — {} unsafe site(s) justified across {} package(s), \
+                     {} package(s) forbid unsafe_code",
+                    report.unsafe_sites, report.packages, report.forbidding_packages
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "audit-unsafe: {} violation(s); every unsafe block/impl/fn needs an \
+                     adjacent `// SAFETY:` comment and unsafe-free packages need \
+                     `#![forbid(unsafe_code)]`",
+                    report.violations.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown subcommand `{other}` (try: audit-unsafe)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask audit-unsafe [ROOT]");
+            ExitCode::FAILURE
+        }
+    }
+}
