@@ -16,10 +16,13 @@
 //! `--quick`), the `stream/*` rows (streaming vs arena at the 10⁵ and
 //! 10⁶ tiers; quick: 2·10⁴/10⁵), the `index/*` rows (snapshot
 //! write / zero-copy open vs re-parse / cold first-query at the same
-//! tiers), and the `serve/*` rows (worker-pool qps and p50/p99 latency
+//! tiers), the `serve/*` rows (worker-pool qps and p50/p99 latency
 //! at 1/2/4/8 workers over a shared snapshot, plus a
 //! pathological-query injection run whose tail is bounded by the
-//! request deadline) — writing machine-diffable JSON to `PATH`.
+//! request deadline), and the `obs/*` rows (engine evaluation with the
+//! default disabled recorder vs. a recorder draining to a discarding
+//! sink, `Engine::explain`, and Prometheus exposition rendering) —
+//! writing machine-diffable JSON to `PATH`.
 //! `BENCH_baseline.json` at the repo root is one such committed
 //! snapshot; regenerate and diff against it before landing kernel,
 //! streaming or snapshot-format changes.
@@ -72,6 +75,7 @@ fn main() {
         entries.extend(index_snapshot(stream_scale, snapshot_runs));
         entries.extend(serve_snapshot(stream_compare));
         entries.extend(serve_snapshot(stream_scale));
+        entries.extend(obs_snapshot(&doc, snapshot_runs));
         print_snapshot(&doc, &entries);
         std::fs::write(&path, snapshot_json(&cfg, &doc, &entries))
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
@@ -156,6 +160,11 @@ fn main() {
         for (key, v) in &entries {
             println!("  {key:<52} {v:>10.4}");
         }
+    }
+
+    banner("Observability (recorder overhead / explain / exposition)");
+    for (key, v) in &obs_snapshot(&doc, snapshot_runs) {
+        println!("  {key:<52} {v:>10.4}");
     }
 }
 
@@ -397,6 +406,57 @@ fn stream_snapshot(elements: usize, runs: usize) -> Vec<(String, f64)> {
             assert!(agree, "{q}: stream/arena divergence on the bench corpus");
         }
     }
+    out
+}
+
+/// The `obs/*` rows: what the observability layer costs.  `eval` is the
+/// production compiled-query path carrying the engine's default
+/// *disabled* recorder, `eval-traced` the same engine draining lifecycle
+/// spans into a discarding JSON-lines sink, and `explain` the fully
+/// profiled evaluation (per-step timers on).  The committed
+/// eval/eval-traced gap is the record that tracing stays in the noise;
+/// the `obs_smoke` binary asserts the bound, these rows track it.
+fn obs_snapshot(doc: &Document, runs: usize) -> Vec<(String, f64)> {
+    use minctx_obs::{JsonLinesSink, Recorder, Registry};
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let mut out: Vec<(String, f64)> = Vec::new();
+    let q = "//item[@id]";
+    let query = minctx_syntax::parse_xpath(q).unwrap();
+
+    let plain = Engine::new(Strategy::MinContext);
+    plain.evaluate(doc, &query).unwrap(); // warm the compile cache
+    out.push((
+        format!("obs/eval/{q}"),
+        ms(time(runs, || plain.evaluate(doc, &query).unwrap())),
+    ));
+    let traced = Engine::new(Strategy::MinContext).with_recorder(Recorder::to_sink(
+        std::sync::Arc::new(JsonLinesSink::new(std::io::sink())),
+    ));
+    traced.evaluate(doc, &query).unwrap();
+    out.push((
+        format!("obs/eval-traced/{q}"),
+        ms(time(runs, || traced.evaluate(doc, &query).unwrap())),
+    ));
+    out.push((
+        format!("obs/explain/{q}"),
+        ms(time(runs, || plain.explain(doc, q).unwrap())),
+    ));
+
+    // Exposition cost on a registry shaped like a busy serving pool's.
+    let registry = Registry::new();
+    for i in 0..8 {
+        registry.counter(&format!("bench/counter_{i}")).add(i);
+    }
+    for i in 0..4 {
+        let h = registry.histogram(&format!("bench/histogram_{i}"));
+        for v in 0..10_000u64 {
+            h.record(v * v);
+        }
+    }
+    out.push((
+        "obs/render-prometheus".into(),
+        ms(time(runs, || registry.render_prometheus())),
+    ));
     out
 }
 

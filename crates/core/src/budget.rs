@@ -159,6 +159,14 @@ impl BudgetMeter {
         Ok(())
     }
 
+    /// Units charged so far — the profile/EXPLAIN surface reads this
+    /// after an evaluation to report fuel consumed.  When the meter is
+    /// unmetered this still counts exactly (spent = `u64::MAX` −
+    /// remaining); once a fuel cap trips, it reports the full cap.
+    pub fn spent(&self) -> u64 {
+        self.fuel.unwrap_or(u64::MAX) - self.remaining
+    }
+
     /// Cold path: reads the clock and resets the poll countdown.
     #[cold]
     fn poll_deadline(&mut self) -> Result<(), EvalError> {

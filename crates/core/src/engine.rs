@@ -16,10 +16,12 @@ use crate::budget::{Budget, BudgetMeter};
 use crate::cache::LruCache;
 use crate::compile::CompiledQuery;
 use crate::error::EvalError;
+use crate::explain::QueryProfile;
 use crate::mincontext::MinContext;
 use crate::naive::Naive;
 use crate::tables::ContextValueTables;
 use crate::value::Value;
+use minctx_obs::{Phase, Recorder};
 use minctx_syntax::{parse_xpath, Query};
 use minctx_xml::{Document, NodeId, Scratch};
 use std::fmt;
@@ -184,6 +186,10 @@ pub struct Engine {
     /// concurrent evaluations on a shared engine never serialize on the
     /// working memory (the lock is held only for the pop/push).
     scratch_pool: Mutex<Vec<Scratch>>,
+    /// Query-lifecycle trace recorder.  Disabled by default — the spans in
+    /// the parse/rewrite/compile/evaluate paths then cost one branch each
+    /// and never read the clock (see [`Engine::with_recorder`]).
+    recorder: Recorder,
 }
 
 /// Scratch arenas retained in the pool; beyond this, returning scratches
@@ -197,6 +203,7 @@ impl fmt::Debug for Engine {
             .field("budget", &self.budget)
             .field("optimize", &self.optimize)
             .field("cached_queries", &self.cached_queries())
+            .field("recorder", &self.recorder)
             .finish()
     }
 }
@@ -210,6 +217,9 @@ impl Clone for Engine {
             // Compiled queries are immutable and Arc-shared: cheap to keep.
             cache: Mutex::new(self.cache.lock().expect("engine cache poisoned").clone()),
             scratch_pool: Mutex::new(Vec::new()),
+            // Clones share the sink: a cloned serving engine keeps tracing
+            // into the same stream.
+            recorder: self.recorder.clone(),
         }
     }
 }
@@ -233,7 +243,23 @@ impl Engine {
             optimize: optimizer_default(),
             cache: Mutex::new(LruCache::new(DEFAULT_CACHE_CAPACITY)),
             scratch_pool: Mutex::new(Vec::new()),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a query-lifecycle trace [`Recorder`].  With an enabled
+    /// recorder, each [`Engine::evaluate_str`] / compile / evaluate call
+    /// emits parse, rewrite, compile, and evaluate spans (wall time plus
+    /// phase attributes such as IR node counts and fuel spent) into the
+    /// recorder's sink.  The default recorder is disabled and near-free.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Engine {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The engine's trace recorder (disabled unless one was attached).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Caps the abstract work units (fuel) an evaluation may spend;
@@ -347,8 +373,19 @@ impl Engine {
     /// `minctx-serve` shared LRU) or evaluate ad-hoc strings.
     pub fn compile_uncached(&self, doc: &Document, query: &Query) -> CompiledQuery {
         if self.optimize {
-            CompiledQuery::new(doc, &crate::rewrite::rewrite(query))
+            let rewritten = {
+                let mut span = self.recorder.span(Phase::Rewrite);
+                let (rewritten, trace) = crate::rewrite::rewrite_traced(query);
+                span.attr_u64("passes", trace.passes as u64);
+                span.attr_u64("fired", u64::from(trace.total()));
+                rewritten
+            };
+            let mut span = self.recorder.span(Phase::Compile);
+            span.attr_u64("nodes", rewritten.len() as u64);
+            CompiledQuery::new(doc, &rewritten)
         } else {
+            let mut span = self.recorder.span(Phase::Compile);
+            span.attr_u64("nodes", query.len() as u64);
             CompiledQuery::new(doc, query)
         }
     }
@@ -369,9 +406,41 @@ impl Engine {
     /// repeatedly should parse once with [`minctx_syntax::parse_xpath`]
     /// and reuse the query (or compile it with [`Engine::compile`]).
     pub fn evaluate_str(&self, doc: &Document, query: &str) -> Result<Value, EvalError> {
-        let query = parse_xpath(query)?;
+        let query = {
+            let mut span = self.recorder.span(Phase::Parse);
+            let query = parse_xpath(query)?;
+            span.attr_u64("nodes", query.len() as u64);
+            query
+        };
         let compiled = self.compile_uncached(doc, &query);
         self.evaluate_compiled(doc, &compiled, Context::document(doc))
+    }
+
+    /// Runs one *instrumented* evaluation of `query` at the document root
+    /// and reports what happened: the IR before/after rewriting with the
+    /// [`Rule`](crate::rewrite::Rule)s that fired, per-step kernel routing
+    /// ([`AxisRoute`](minctx_xml::AxisRoute)) with cardinalities and wall
+    /// times, memo and backward-propagation traffic, and fuel spent under
+    /// the engine's budget.
+    ///
+    /// The profiled run uses the MINCONTEXT evaluator (OPTMINCONTEXT when
+    /// the engine's strategy is [`Strategy::OptMinContext`]) and honors
+    /// the engine's budget and optimizer settings, but bypasses the
+    /// compiled-query cache: EXPLAIN always measures a real compile.
+    ///
+    /// ```
+    /// use minctx_core::{Engine, Strategy};
+    /// use minctx_xml::parse;
+    ///
+    /// let doc = parse(r#"<a><item id="1"/><item/></a>"#).unwrap();
+    /// let profile = Engine::new(Strategy::MinContext)
+    ///     .explain(&doc, "//item[@id]")
+    ///     .unwrap();
+    /// println!("{profile}");
+    /// assert_eq!(profile.result, "node-set n=1");
+    /// ```
+    pub fn explain(&self, doc: &Document, query: &str) -> Result<QueryProfile, EvalError> {
+        crate::explain::explain(self, doc, query)
     }
 
     /// Evaluates a lowered query against the whole document.
@@ -473,9 +542,17 @@ impl Engine {
             .expect("engine scratch pool poisoned")
             .pop()
             .unwrap_or_default();
-        let result = self
-            .evaluator()
-            .evaluate(doc, compiled, ctx, &mut scratch, meter);
+        let result = {
+            let mut span = self.recorder.span(Phase::Evaluate);
+            let spent_before = meter.spent();
+            let result = self
+                .evaluator()
+                .evaluate(doc, compiled, ctx, &mut scratch, meter);
+            span.attr_str("strategy", || self.strategy.as_str().to_string());
+            span.attr_u64("fuel", meter.spent() - spent_before);
+            span.attr_u64("ok", u64::from(result.is_ok()));
+            result
+        };
         let mut pool = self
             .scratch_pool
             .lock()
@@ -611,6 +688,47 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn recorder_emits_lifecycle_spans() {
+        use minctx_obs::{AttrValue, CollectSink};
+        let doc = parse("<a><b/><b/></a>").unwrap();
+        let sink = Arc::new(CollectSink::new());
+        let e = Engine::new(Strategy::MinContext)
+            .with_optimizer(true)
+            .with_recorder(Recorder::to_sink(sink.clone()));
+        assert!(e.recorder().enabled());
+        assert_eq!(
+            e.evaluate_str(&doc, "count(//b)").unwrap(),
+            Value::Number(2.0)
+        );
+        let spans = sink.take();
+        let phases: Vec<Phase> = spans.iter().map(|s| s.phase).collect();
+        assert_eq!(
+            phases,
+            vec![
+                Phase::Parse,
+                Phase::Rewrite,
+                Phase::Compile,
+                Phase::Evaluate
+            ]
+        );
+        let eval = spans.last().unwrap();
+        assert_eq!(
+            eval.attr("strategy"),
+            Some(&AttrValue::Str("mincontext".to_string()))
+        );
+        assert_eq!(eval.attr("ok"), Some(&AttrValue::U64(1)));
+        assert!(matches!(eval.attr("fuel"), Some(&AttrValue::U64(f)) if f > 0));
+        // A cloned engine keeps tracing into the same sink; the default
+        // engine traces nothing.
+        e.clone().evaluate_str(&doc, "count(//b)").unwrap();
+        assert_eq!(sink.take().len(), 4);
+        Engine::new(Strategy::MinContext)
+            .evaluate_str(&doc, "count(//b)")
+            .unwrap();
+        assert!(sink.take().is_empty());
     }
 
     #[test]

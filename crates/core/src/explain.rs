@@ -1,0 +1,516 @@
+//! The EXPLAIN/profile surface: [`Engine::explain`](crate::Engine::explain)
+//! and the [`QueryProfile`] it returns.
+//!
+//! A profile is one instrumented evaluation of a query, reporting what the
+//! engine actually did rather than what it might do:
+//!
+//! * the IR before and after the rewrite pipeline, with the
+//!   [`Rule`](crate::rewrite::Rule)s that fired and how often;
+//! * per location-path step: the kernel route taken
+//!   ([`AxisRoute`](minctx_xml::AxisRoute) — postings fast path, local
+//!   walk, or generic `O(|D|)` sweep), context-set and axis-output
+//!   cardinalities, invocation counts, and wall time (inclusive of the
+//!   step's predicate filtering);
+//! * MINCONTEXT memo hits/misses and OPTMINCONTEXT backward passes;
+//! * fuel consumed under the engine's configured budget;
+//! * phase wall times (parse / rewrite / compile / evaluate).
+//!
+//! The profile is collected by the MINCONTEXT evaluator (the
+//! backward-propagating OPTMINCONTEXT variant when the engine's strategy
+//! is [`Strategy::OptMinContext`]); the naive and context-value-table
+//! strategies share its IR, compilation, and axis kernels, so the plan is
+//! representative for them too.
+//!
+//! [`QueryProfile::plan_text`] renders the deterministic portion — no
+//! durations — in a stable line-oriented format, which the `obs_smoke`
+//! golden test pins.
+
+use crate::compile::CompiledQuery;
+use crate::engine::{Context, Engine, Strategy};
+use crate::error::EvalError;
+use crate::mincontext::MinContext;
+use crate::rewrite::{rewrite_traced, Rule};
+use crate::value::Value;
+use minctx_syntax::{parse_xpath, ExprId, Node, PathStart, Query, Step};
+use minctx_xml::{AxisRoute, Document, Scratch};
+use std::fmt;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// One step of one location path, as actually evaluated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepProfile {
+    /// Arena index of the owning path expression.
+    pub path: usize,
+    /// Step position within that path.
+    pub index: usize,
+    /// `axis::test` (unabbreviated).
+    pub display: String,
+    /// How many predicates filter this step.
+    pub predicates: usize,
+    /// The kernel route of the step's first invocation.
+    pub route: AxisRoute,
+    /// How many times the step ran (predicate paths run once per distinct
+    /// memoized context).
+    pub invocations: u64,
+    /// Total context-set cardinality across invocations.
+    pub input: u64,
+    /// Total axis-output cardinality across invocations (post-predicate).
+    pub output: u64,
+    /// Wall time across invocations, inclusive of predicate filtering.
+    pub time: Duration,
+}
+
+/// The result of [`Engine::explain`](crate::Engine::explain): what one
+/// evaluation of a query did, per step and per phase.
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    /// The query as given.
+    pub source: String,
+    /// The engine's strategy.
+    pub strategy: Strategy,
+    /// Whether the rewrite pipeline ran.
+    pub optimizer: bool,
+    /// The lowered IR before rewriting.
+    pub ir_before: String,
+    /// The IR that was compiled and evaluated.
+    pub ir_after: String,
+    /// Fixpoint passes the rewriter ran (0 with the optimizer off).
+    pub rewrite_passes: usize,
+    /// Rewrite rules that fired, with counts, in [`Rule::ALL`] order.
+    pub fired_rules: Vec<(Rule, u32)>,
+    /// Per-step evaluation records, outermost path first.
+    pub steps: Vec<StepProfile>,
+    /// MINCONTEXT memo hits (free re-uses of a computed value).
+    pub memo_hits: u64,
+    /// MINCONTEXT memo misses (values actually computed).
+    pub memo_misses: u64,
+    /// OPTMINCONTEXT backward-propagation passes built.
+    pub backward_passes: u64,
+    /// Fuel charged under the engine's budget.
+    pub fuel_spent: u64,
+    /// A one-line result summary (type and cardinality, not contents).
+    pub result: String,
+    /// Wall time of the parse phase.
+    pub parse_time: Duration,
+    /// Wall time of the rewrite phase (zero with the optimizer off).
+    pub rewrite_time: Duration,
+    /// Wall time of node-test resolution.
+    pub compile_time: Duration,
+    /// Wall time of the instrumented evaluation.
+    pub eval_time: Duration,
+}
+
+impl QueryProfile {
+    /// The deterministic plan tree: everything except wall times, in a
+    /// stable line-oriented format (golden-tested by `obs_smoke`).
+    pub fn plan_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "query {}", self.source);
+        let _ = writeln!(
+            s,
+            "strategy {} optimizer {}",
+            self.strategy,
+            if self.optimizer { "on" } else { "off" }
+        );
+        let _ = writeln!(s, "ir.before {}", self.ir_before);
+        let _ = writeln!(s, "ir.after  {}", self.ir_after);
+        let fired = if self.fired_rules.is_empty() {
+            "-".to_string()
+        } else {
+            self.fired_rules
+                .iter()
+                .map(|&(r, n)| format!("{r}:{n}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let _ = writeln!(s, "rewrite passes={} fired={fired}", self.rewrite_passes);
+        let _ = writeln!(s, "plan");
+        for st in &self.steps {
+            let preds = if st.predicates > 0 {
+                format!(" preds={}", st.predicates)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                s,
+                "  [#{} step {}] {}{preds} route={} calls={} in={} out={}",
+                st.path, st.index, st.display, st.route, st.invocations, st.input, st.output
+            );
+        }
+        let _ = writeln!(
+            s,
+            "memo hits={} misses={}",
+            self.memo_hits, self.memo_misses
+        );
+        let _ = writeln!(s, "backward passes={}", self.backward_passes);
+        let _ = writeln!(s, "fuel {}", self.fuel_spent);
+        let _ = write!(s, "result {}", self.result);
+        s
+    }
+}
+
+impl fmt::Display for QueryProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.plan_text())?;
+        write!(
+            f,
+            "time parse={:?} rewrite={:?} compile={:?} eval={:?}",
+            self.parse_time, self.rewrite_time, self.compile_time, self.eval_time
+        )
+    }
+}
+
+/// The mutable collection state the MINCONTEXT run reports into when an
+/// evaluation is profiled.
+#[derive(Debug, Default)]
+pub(crate) struct ProfileCollector {
+    steps: Vec<StepProfile>,
+    memo_hits: u64,
+    memo_misses: u64,
+    backward_passes: u64,
+}
+
+impl ProfileCollector {
+    pub(crate) fn memo_hit(&mut self) {
+        self.memo_hits += 1;
+    }
+
+    pub(crate) fn memo_miss(&mut self) {
+        self.memo_misses += 1;
+    }
+
+    pub(crate) fn backward_pass(&mut self) {
+        self.backward_passes += 1;
+    }
+
+    /// Aggregates one step invocation into the per-(path, index) record.
+    pub(crate) fn record_step(
+        &mut self,
+        path: ExprId,
+        index: usize,
+        step: &Step,
+        obs: StepObservation,
+    ) {
+        if let Some(s) = self
+            .steps
+            .iter_mut()
+            .find(|s| s.path == path.index() && s.index == index)
+        {
+            s.invocations += 1;
+            s.input += obs.input as u64;
+            s.output += obs.output as u64;
+            s.time += obs.time;
+            return;
+        }
+        self.steps.push(StepProfile {
+            path: path.index(),
+            index,
+            display: format!("{}::{}", step.axis, step.test),
+            predicates: step.predicates.len(),
+            route: obs.route,
+            invocations: 1,
+            input: obs.input as u64,
+            output: obs.output as u64,
+            time: obs.time,
+        });
+    }
+}
+
+/// What one profiled step invocation measured: the kernel route it
+/// dispatched to, its context-set cardinalities, and its wall time
+/// (including predicate filtering, for predicated steps).
+pub(crate) struct StepObservation {
+    pub(crate) route: AxisRoute,
+    pub(crate) input: usize,
+    pub(crate) output: usize,
+    pub(crate) time: Duration,
+}
+
+/// Parses, rewrites (traced), compiles, and runs one instrumented
+/// MINCONTEXT evaluation of `source` at the document root.
+pub(crate) fn explain(
+    engine: &Engine,
+    doc: &Document,
+    source: &str,
+) -> Result<QueryProfile, EvalError> {
+    let t = Instant::now();
+    let query = parse_xpath(source)?;
+    let parse_time = t.elapsed();
+    let ir_before = render_expr(&query, query.root());
+
+    let optimizer = engine.optimizer();
+    let (compiled_query, trace, rewrite_time) = if optimizer {
+        let t = Instant::now();
+        let (q, trace) = rewrite_traced(&query);
+        (q, trace, t.elapsed())
+    } else {
+        (query.clone(), Default::default(), Duration::ZERO)
+    };
+    let ir_after = render_expr(&compiled_query, compiled_query.root());
+
+    let t = Instant::now();
+    let compiled = CompiledQuery::new(doc, &compiled_query);
+    let compile_time = t.elapsed();
+
+    let optimized = engine.strategy() == Strategy::OptMinContext;
+    let mut collector = ProfileCollector::default();
+    let mut scratch = Scratch::new();
+    let mut meter = engine.budget_config().meter();
+    let t = Instant::now();
+    let value = MinContext { optimized }.evaluate_profiled(
+        doc,
+        &compiled,
+        Context::document(doc),
+        &mut scratch,
+        &mut meter,
+        &mut collector,
+    )?;
+    let eval_time = t.elapsed();
+
+    // Outermost path first: the arena keeps children before parents, so
+    // descending path ids put the root path at the top.
+    let mut steps = collector.steps;
+    steps.sort_by(|a, b| b.path.cmp(&a.path).then(a.index.cmp(&b.index)));
+
+    Ok(QueryProfile {
+        source: source.to_string(),
+        strategy: engine.strategy(),
+        optimizer,
+        ir_before,
+        ir_after,
+        rewrite_passes: trace.passes,
+        fired_rules: trace.fired(),
+        steps,
+        memo_hits: collector.memo_hits,
+        memo_misses: collector.memo_misses,
+        backward_passes: collector.backward_passes,
+        fuel_spent: meter.spent(),
+        result: summarize(&value),
+        parse_time,
+        rewrite_time,
+        compile_time,
+        eval_time,
+    })
+}
+
+/// A deterministic one-line value summary: type and cardinality, never
+/// node contents (profiles may be logged).
+fn summarize(v: &Value) -> String {
+    match v {
+        Value::NodeSet(ns) => format!("node-set n={}", ns.len()),
+        Value::Number(n) => format!("number {n}"),
+        Value::String(s) => format!("string len={}", s.len()),
+        Value::Boolean(b) => format!("boolean {b}"),
+    }
+}
+
+/// Renders a lowered query arena back to unabbreviated XPath-ish text.
+/// The syntax crate's [`Step`] `Display` prints predicates as raw
+/// [`ExprId`]s; the IR summaries need their contents, so the profile
+/// walks the arena itself.
+pub(crate) fn render_expr(q: &Query, id: ExprId) -> String {
+    let mut s = String::new();
+    write_expr(q, id, &mut s);
+    s
+}
+
+fn write_expr(q: &Query, id: ExprId, out: &mut String) {
+    match q.node(id) {
+        Node::Or(a, b) => write_binary(q, *a, " or ", *b, out),
+        Node::And(a, b) => write_binary(q, *a, " and ", *b, out),
+        Node::Compare(op, a, b) => {
+            let (a, b) = (*a, *b);
+            out.push('(');
+            write_expr(q, a, out);
+            let _ = write!(out, " {op} ");
+            write_expr(q, b, out);
+            out.push(')');
+        }
+        Node::Arith(op, a, b) => {
+            let (a, b) = (*a, *b);
+            out.push('(');
+            write_expr(q, a, out);
+            let _ = write!(out, " {op} ");
+            write_expr(q, b, out);
+            out.push(')');
+        }
+        Node::Neg(a) => {
+            out.push_str("(-");
+            write_expr(q, *a, out);
+            out.push(')');
+        }
+        Node::Union(a, b) => write_binary(q, *a, " | ", *b, out),
+        Node::Call(func, args) => {
+            let _ = write!(out, "{func}(");
+            for (i, &a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(q, a, out);
+            }
+            out.push(')');
+        }
+        Node::Number(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Node::Literal(s) => {
+            let _ = write!(out, "'{s}'");
+        }
+        Node::Path(start, steps) => {
+            match start {
+                PathStart::Root => out.push('/'),
+                PathStart::Context => {
+                    if steps.is_empty() {
+                        out.push('.');
+                    }
+                }
+                PathStart::Filter {
+                    primary,
+                    predicates,
+                } => {
+                    write_expr(q, *primary, out);
+                    for &p in predicates {
+                        out.push('[');
+                        write_expr(q, p, out);
+                        out.push(']');
+                    }
+                    if !steps.is_empty() {
+                        out.push('/');
+                    }
+                }
+            }
+            for (i, st) in steps.iter().enumerate() {
+                if i > 0 {
+                    out.push('/');
+                }
+                let _ = write!(out, "{}::{}", st.axis, st.test);
+                for &p in &st.predicates {
+                    out.push('[');
+                    write_expr(q, p, out);
+                    out.push(']');
+                }
+            }
+        }
+    }
+}
+
+fn write_binary(q: &Query, a: ExprId, op: &str, b: ExprId, out: &mut String) {
+    out.push('(');
+    write_expr(q, a, out);
+    out.push_str(op);
+    write_expr(q, b, out);
+    out.push(')');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use minctx_xml::parse;
+
+    fn item_doc() -> Document {
+        parse(r#"<cat><item id="1"><n/></item><x><item id="2"/></x><item/><other/></cat>"#).unwrap()
+    }
+
+    #[test]
+    fn explain_reports_routing_rules_and_cardinalities() {
+        let doc = item_doc();
+        let e = Engine::new(Strategy::MinContext).with_optimizer(true);
+        let p = e.explain(&doc, "//item[@id]").unwrap();
+        // The rewrite fused `//` and the trace names it (lowering wraps
+        // bare node-set predicates in an explicit boolean()).
+        assert_eq!(p.ir_after, "/descendant::item[boolean(attribute::id)]");
+        assert_eq!(p.fired_rules, vec![(Rule::FuseDescendant, 1)]);
+        assert!(p.rewrite_passes >= 2);
+        // The descendant::item step took the postings fast path from the
+        // singleton root origin and saw all three <item>s.
+        let outer = &p.steps[0];
+        assert_eq!(outer.display, "descendant::item");
+        assert_eq!(outer.predicates, 1);
+        assert_eq!(outer.route, AxisRoute::Postings);
+        assert_eq!(outer.input, 1);
+        assert_eq!(outer.output, 2, "two items carry @id");
+        // The predicate path ran per candidate as a local attribute walk.
+        let pred = p
+            .steps
+            .iter()
+            .find(|s| s.display == "attribute::id")
+            .expect("predicate step profiled");
+        assert_eq!(pred.route, AxisRoute::Walk);
+        assert_eq!(pred.invocations, 3, "one walk per candidate item");
+        assert!(p.memo_misses > 0);
+        assert!(p.fuel_spent > 0);
+        assert_eq!(p.result, "node-set n=2");
+        // The deterministic plan text round-trips through Display.
+        assert!(p.to_string().contains(&p.plan_text()));
+        assert!(p.plan_text().contains("route=postings"));
+        assert!(p.plan_text().contains("fired=fuse-descendant:1"));
+    }
+
+    #[test]
+    fn explain_without_optimizer_keeps_the_ir_and_fires_nothing() {
+        let doc = item_doc();
+        let e = Engine::new(Strategy::MinContext).with_optimizer(false);
+        let p = e.explain(&doc, "//item[@id]").unwrap();
+        assert_eq!(p.ir_before, p.ir_after);
+        assert!(p.fired_rules.is_empty());
+        assert_eq!(p.rewrite_passes, 0);
+        assert_eq!(p.result, "node-set n=2");
+    }
+
+    #[test]
+    fn explain_counts_memo_hits_and_backward_passes() {
+        let doc = parse("<a><b><c>7</c></b><b><c>9</c></b><b/></a>").unwrap();
+        // OPTMINCONTEXT answers the predicate with one backward pass.
+        let p = Engine::new(Strategy::OptMinContext)
+            .explain(&doc, "/a/b[c = 7]")
+            .unwrap();
+        assert_eq!(p.backward_passes, 1);
+        assert_eq!(p.result, "node-set n=1");
+        // MINCONTEXT evaluates it forward: no backward pass, and the
+        // shared predicate machinery produces memo traffic.
+        let p = Engine::new(Strategy::MinContext)
+            .explain(&doc, "/a/b[c = 7]")
+            .unwrap();
+        assert_eq!(p.backward_passes, 0);
+        assert!(p.memo_misses > 0);
+    }
+
+    #[test]
+    fn explain_respects_the_engine_budget() {
+        let doc = item_doc();
+        let e = Engine::new(Strategy::MinContext).with_budget(1);
+        assert!(matches!(
+            e.explain(&doc, "//item[@id]"),
+            Err(EvalError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn renderer_covers_every_node_shape() {
+        for (src, want) in [
+            (
+                "//item[@id]",
+                "/descendant-or-self::node()/child::item[boolean(attribute::id)]",
+            ),
+            ("a or b", "(boolean(child::a) or boolean(child::b))"),
+            ("1 + -2", "(1 + (-2))"),
+            ("a | b", "(child::a | child::b)"),
+            (
+                "count(//x) > 2",
+                "(count(/descendant-or-self::node()/child::x) > 2)",
+            ),
+            ("'s'", "'s'"),
+            // `.` lowers to an explicit self step.
+            (".", "self::node()"),
+            (
+                "(//a)[1]/b",
+                "/descendant-or-self::node()/child::a[(position() = 1)]/child::b",
+            ),
+        ] {
+            let q = parse_xpath(src).unwrap();
+            assert_eq!(render_expr(&q, q.root()), want, "{src}");
+        }
+    }
+}

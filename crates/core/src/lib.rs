@@ -39,6 +39,7 @@ pub mod cache;
 pub mod compile;
 pub mod engine;
 pub mod error;
+pub mod explain;
 pub mod funcs;
 pub mod mincontext;
 pub mod naive;
@@ -51,7 +52,11 @@ pub use cache::LruCache;
 pub use compile::CompiledQuery;
 pub use engine::{Context, Engine, Evaluator, Strategy};
 pub use error::{EvalError, Exhausted};
+pub use explain::{QueryProfile, StepProfile};
 pub use mincontext::MinContext;
+// The kernel-route label `Engine::explain` reports per step, re-exported
+// so profile consumers match on it without a direct xml dependency.
+pub use minctx_xml::AxisRoute;
 // The persistent-index backend, re-exported so engine users reach
 // `open_snapshot`/`write_snapshot` (the serving pair behind
 // `Engine::evaluate_snapshot`) without a separate dependency.
@@ -60,7 +65,7 @@ pub use minctx_index::{
     write_snapshot, SnapshotError, SnapshotInfo,
 };
 pub use naive::Naive;
-pub use rewrite::rewrite;
+pub use rewrite::{rewrite, rewrite_traced, RewriteTrace, Rule};
 pub use tables::ContextValueTables;
 pub use value::Value;
 
@@ -76,4 +81,5 @@ const _: () = {
     assert_send_sync::<EvalError>();
     assert_send_sync::<Budget>();
     assert_send_sync::<BudgetMeter>();
+    assert_send_sync::<QueryProfile>();
 };

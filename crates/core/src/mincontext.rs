@@ -37,13 +37,17 @@ use crate::budget::BudgetMeter;
 use crate::compile::CompiledQuery;
 use crate::engine::{Context, Evaluator, Strategy};
 use crate::error::EvalError;
+use crate::explain::{ProfileCollector, StepObservation};
 use crate::funcs;
 use crate::naive::arith;
 use crate::value::{compare, node_scalar_compare, Value};
 use minctx_syntax::{ExprId, Func, Node, PathStart, Relev, Step};
-use minctx_xml::axes::{axis_image_into, axis_preimage_into, Axis};
+use minctx_xml::axes::{
+    axis_image_into, axis_preimage_into, classify_image_route, classify_single_route, Axis,
+};
 use minctx_xml::{Document, NodeId, NodeSet, Scratch};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// The MINCONTEXT evaluator; with `optimized` set, OPTMINCONTEXT.
 #[derive(Debug, Clone, Default)]
@@ -77,12 +81,43 @@ impl Evaluator for MinContext {
             backward: vec![None; query.query().len()],
             scratch,
             meter,
+            prof: None,
         };
         run.eval(query.query().root(), ctx)
     }
 }
 
-struct Run<'d, 'q, 's, 'm> {
+impl MinContext {
+    /// [`Evaluator::evaluate`] with a [`ProfileCollector`] attached: the
+    /// instrumented entry point behind [`Engine::explain`]. Identical
+    /// semantics and fuel accounting; the profiled run additionally reads
+    /// the clock once per path step.
+    ///
+    /// [`Engine::explain`]: crate::Engine::explain
+    pub(crate) fn evaluate_profiled(
+        &self,
+        doc: &Document,
+        query: &CompiledQuery,
+        ctx: Context,
+        scratch: &mut Scratch,
+        meter: &mut BudgetMeter,
+        prof: &mut ProfileCollector,
+    ) -> Result<Value, EvalError> {
+        let mut run = Run {
+            doc,
+            query,
+            opt: self.optimized,
+            memo: vec![HashMap::new(); query.query().len()],
+            backward: vec![None; query.query().len()],
+            scratch,
+            meter,
+            prof: Some(prof),
+        };
+        run.eval(query.query().root(), ctx)
+    }
+}
+
+struct Run<'d, 'q, 's, 'm, 'p> {
     doc: &'d Document,
     query: &'q CompiledQuery,
     opt: bool,
@@ -97,6 +132,9 @@ struct Run<'d, 'q, 's, 'm> {
     /// sweep (proportional to the context set), per candidate filtered,
     /// and per backward-propagation pass (proportional to the document).
     meter: &'m mut BudgetMeter,
+    /// EXPLAIN instrumentation; `None` (the common case) costs one branch
+    /// per hook and never reads the clock.
+    prof: Option<&'p mut ProfileCollector>,
 }
 
 /// Packs the *relevant* components of a context into a memo key; the
@@ -121,15 +159,21 @@ fn memo_key(relev: Relev, ctx: Context) -> u128 {
     key
 }
 
-impl<'q> Run<'_, 'q, '_, '_> {
+impl<'q> Run<'_, 'q, '_, '_, '_> {
     fn eval(&mut self, id: ExprId, ctx: Context) -> Result<Value, EvalError> {
         let key = memo_key(self.query.query().relev(id), ctx);
         if let Some(v) = self.memo[id.index()].get(&key) {
+            if let Some(p) = &mut self.prof {
+                p.memo_hit();
+            }
             return Ok(v.clone());
         }
         // Memo misses are the unit of work MINCONTEXT's complexity bound
         // counts; hits are free.
         self.meter.charge(1)?;
+        if let Some(p) = &mut self.prof {
+            p.memo_miss();
+        }
         let v = self.compute(id, ctx)?;
         self.memo[id.index()].insert(key, v.clone());
         Ok(v)
@@ -213,6 +257,11 @@ impl<'q> Run<'_, 'q, '_, '_> {
             let test = self.query.step_test(path_id, si);
             // An axis sweep touches at least the whole context set.
             self.meter.charge(cur.len() as u64 + 1)?;
+            // Only a profiled run reads the clock; the step's route and
+            // cardinalities are recorded after the kernel (and, for
+            // predicated steps, the predicate filtering) finish.
+            let timer = self.prof.is_some().then(Instant::now);
+            let input = cur.len();
             if step.predicates.is_empty() {
                 // Predicate-free step: one axis sweep for the whole
                 // context set, ping-ponging two reused buffers.
@@ -223,6 +272,15 @@ impl<'q> Run<'_, 'q, '_, '_> {
                 // track that work, not just the input size.
                 self.meter.charge(next.len() as u64)?;
                 std::mem::swap(&mut cur, &mut next);
+                if let Some(p) = &mut self.prof {
+                    let obs = StepObservation {
+                        route: classify_image_route(step.axis, test, input),
+                        input,
+                        output: cur.len(),
+                        time: timer.expect("profiled step has a timer").elapsed(),
+                    };
+                    p.record_step(path_id, si, step, obs);
+                }
             } else {
                 // Positional predicates need per-origin candidate lists in
                 // axis order; predicate values are memoized on Relev.
@@ -238,6 +296,15 @@ impl<'q> Run<'_, 'q, '_, '_> {
                     cands = kept;
                 }
                 cur = NodeSet::from_unsorted_with_capacity(self.doc.len(), acc);
+                if let Some(p) = &mut self.prof {
+                    let obs = StepObservation {
+                        route: classify_single_route(step.axis, test),
+                        input,
+                        output: cur.len(),
+                        time: timer.expect("profiled step has a timer").elapsed(),
+                    };
+                    p.record_step(path_id, si, step, obs);
+                }
             }
         }
         Ok(Value::NodeSet(cur))
@@ -273,6 +340,9 @@ impl<'q> Run<'_, 'q, '_, '_> {
             let Some(set) = self.build_backward(id)? else {
                 return Ok(None);
             };
+            if let Some(p) = &mut self.prof {
+                p.backward_pass();
+            }
             self.backward[id.index()] = Some(set);
         }
         Ok(self.backward[id.index()]
@@ -509,6 +579,7 @@ mod tests {
             backward: vec![None; q.len()],
             scratch: &mut scratch,
             meter: &mut meter,
+            prof: None,
         };
         let v = run.eval(q.root(), Context::document(&doc)).unwrap();
         assert_eq!(v.as_node_set().unwrap().len(), 2);

@@ -66,43 +66,175 @@ use std::sync::OnceLock;
 /// queries reach the fixpoint in two or three.
 const MAX_PASSES: usize = 8;
 
+/// The rewrite rules, as stable names the EXPLAIN/profile surface
+/// reports.  Each variant corresponds to one transformation site in the
+/// rewriter; [`RewriteTrace`] counts how often each fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Predicate-free `self::node()` steps dropped (the identity step).
+    DropSelfStep,
+    /// The 3-step spec expansion of `following`/`preceding` fused onto
+    /// one sliced-postings step.
+    FuseFollowingChain,
+    /// `following::node()/descendant-or-self::t` folded to `following::t`
+    /// (dually `preceding`).
+    FuseFollowingOrSelf,
+    /// `descendant-or-self::node()/child::t` → `descendant::t` — the `//`
+    /// fusion (and the following `descendant(-or-self)` variants).
+    FuseDescendant,
+    /// `child::t[p]/parent::node()` flipped to `self::node()[child::t[p]]`.
+    FlipChildParent,
+    /// Trailing total or-self steps dropped under existential contexts.
+    DropExistentialTail,
+    /// A trailing reverse step folded into an existence predicate.
+    FoldReverseTail,
+    /// A context-independent predicate hoisted to the first step.
+    HoistConstantPredicate,
+    /// A predicate that folded to literal `true()` dropped.
+    DropTruePredicate,
+    /// Constant folding: literal compare/arith/neg/call evaluation and
+    /// boolean absorption in `or`/`and`.
+    FoldConstant,
+    /// `count(π) RelOp c` existence shapes rewritten to `boolean(π)`.
+    CountExistence,
+    /// Structurally identical union branches collapsed to one.
+    DedupUnion,
+}
+
+impl Rule {
+    /// All rules, in the stable order EXPLAIN reports them.
+    pub const ALL: [Rule; 12] = [
+        Rule::DropSelfStep,
+        Rule::FuseFollowingChain,
+        Rule::FuseFollowingOrSelf,
+        Rule::FuseDescendant,
+        Rule::FlipChildParent,
+        Rule::DropExistentialTail,
+        Rule::FoldReverseTail,
+        Rule::HoistConstantPredicate,
+        Rule::DropTruePredicate,
+        Rule::FoldConstant,
+        Rule::CountExistence,
+        Rule::DedupUnion,
+    ];
+
+    /// A short stable kebab-case name (plan text, metrics labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rule::DropSelfStep => "drop-self-step",
+            Rule::FuseFollowingChain => "fuse-following-chain",
+            Rule::FuseFollowingOrSelf => "fuse-following-or-self",
+            Rule::FuseDescendant => "fuse-descendant",
+            Rule::FlipChildParent => "flip-child-parent",
+            Rule::DropExistentialTail => "drop-existential-tail",
+            Rule::FoldReverseTail => "fold-reverse-tail",
+            Rule::HoistConstantPredicate => "hoist-constant-predicate",
+            Rule::DropTruePredicate => "drop-true-predicate",
+            Rule::FoldConstant => "fold-constant",
+            Rule::CountExistence => "count-existence",
+            Rule::DedupUnion => "dedup-union",
+        }
+    }
+
+    fn index(self) -> usize {
+        Rule::ALL.iter().position(|&r| r == self).expect("in ALL")
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What a [`rewrite_traced`] run did: how many fixpoint passes ran and
+/// how often each [`Rule`] fired across them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RewriteTrace {
+    /// Arena rebuild passes run, including the final no-change pass that
+    /// detects the fixpoint.
+    pub passes: usize,
+    counts: [u32; Rule::ALL.len()],
+}
+
+impl RewriteTrace {
+    fn fire(&mut self, rule: Rule) {
+        self.counts[rule.index()] += 1;
+    }
+
+    /// How many times `rule` fired.
+    pub fn count(&self, rule: Rule) -> u32 {
+        self.counts[rule.index()]
+    }
+
+    /// The rules that fired at least once, with their counts, in the
+    /// stable [`Rule::ALL`] order.
+    pub fn fired(&self) -> Vec<(Rule, u32)> {
+        Rule::ALL
+            .into_iter()
+            .filter_map(|r| match self.count(r) {
+                0 => None,
+                n => Some((r, n)),
+            })
+            .collect()
+    }
+
+    /// Total firings across all rules.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+}
+
 /// Rewrites a query to its optimization fixpoint.  The result evaluates to
 /// the same [`Value`](crate::Value) as the input at every context, under
 /// every strategy — the differential and property suites assert exactly
 /// that.
 pub fn rewrite(query: &Query) -> Query {
-    let mut cur = rewrite_once(query);
+    rewrite_traced(query).0
+}
+
+/// [`rewrite`], also reporting which rules fired how often — the
+/// EXPLAIN/profile surface's view of the pipeline.  Tracing is a handful
+/// of array increments; `rewrite` itself is implemented on top of this.
+pub fn rewrite_traced(query: &Query) -> (Query, RewriteTrace) {
+    let mut trace = RewriteTrace::default();
+    let mut cur = rewrite_once(query, &mut trace);
+    trace.passes = 1;
     for _ in 1..MAX_PASSES {
-        let next = rewrite_once(&cur);
+        let next = rewrite_once(&cur, &mut trace);
+        trace.passes += 1;
         if next == cur {
             break;
         }
         cur = next;
     }
-    cur
+    (cur, trace)
 }
 
 /// One rebuild of the arena with all local transforms applied.
-fn rewrite_once(q: &Query) -> Query {
+fn rewrite_once(q: &Query, trace: &mut RewriteTrace) -> Query {
     let mut rw = Rewriter {
         q,
         b: QueryBuilder::new(),
         map: HashMap::new(),
+        trace,
     };
     let root = rw.rebuild(q.root());
     rw.b.finish(root)
 }
 
-struct Rewriter<'q> {
+struct Rewriter<'q, 't> {
     q: &'q Query,
     b: QueryBuilder,
     /// Old id → rebuilt id (non-existential rebuilds only; existential
     /// variants are rebuilt at their `boolean()` use sites and rely on the
     /// builder's interning for sharing).
     map: HashMap<ExprId, ExprId>,
+    /// Rule-firing counters for the EXPLAIN surface.
+    trace: &'t mut RewriteTrace,
 }
 
-impl Rewriter<'_> {
+impl Rewriter<'_, '_> {
     fn rebuild(&mut self, id: ExprId) -> ExprId {
         if let Some(&new) = self.map.get(&id) {
             return new;
@@ -122,13 +254,25 @@ impl Rewriter<'_> {
                 // untaken side can be dropped (or never rebuilt at all).
                 let absorbing = is_or; // `or` short-circuits on true, `and` on false
                 match self.literal_bool(a2) {
-                    Some(v) if v == absorbing => self.push_bool(absorbing),
-                    Some(_) => self.rebuild(b),
+                    Some(v) if v == absorbing => {
+                        self.trace.fire(Rule::FoldConstant);
+                        self.push_bool(absorbing)
+                    }
+                    Some(_) => {
+                        self.trace.fire(Rule::FoldConstant);
+                        self.rebuild(b)
+                    }
                     None => {
                         let b2 = self.rebuild(b);
                         match self.literal_bool(b2) {
-                            Some(v) if v == absorbing => self.push_bool(absorbing),
-                            Some(_) => a2,
+                            Some(v) if v == absorbing => {
+                                self.trace.fire(Rule::FoldConstant);
+                                self.push_bool(absorbing)
+                            }
+                            Some(_) => {
+                                self.trace.fire(Rule::FoldConstant);
+                                a2
+                            }
                             None if is_or => self.b.push(Node::Or(a2, b2)),
                             None => self.b.push(Node::And(a2, b2)),
                         }
@@ -146,7 +290,10 @@ impl Rewriter<'_> {
                     literal_value(self.b.node(a2)),
                     literal_value(self.b.node(b2)),
                 ) {
-                    (Some(va), Some(vb)) => self.push_bool(compare_scalars(op, &va, &vb)),
+                    (Some(va), Some(vb)) => {
+                        self.trace.fire(Rule::FoldConstant);
+                        self.push_bool(compare_scalars(op, &va, &vb))
+                    }
                     _ => self.b.push(Node::Compare(op, a2, b2)),
                 }
             }
@@ -157,6 +304,7 @@ impl Rewriter<'_> {
                 match (self.b.node(a2), self.b.node(b2)) {
                     (Node::Number(x), Node::Number(y)) => {
                         let v = arith(op, *x, *y);
+                        self.trace.fire(Rule::FoldConstant);
                         self.b.push(Node::Number(v))
                     }
                     _ => self.b.push(Node::Arith(op, a2, b2)),
@@ -167,6 +315,7 @@ impl Rewriter<'_> {
                 match self.b.node(a2) {
                     Node::Number(x) => {
                         let v = -*x;
+                        self.trace.fire(Rule::FoldConstant);
                         self.b.push(Node::Number(v))
                     }
                     _ => self.b.push(Node::Neg(a2)),
@@ -179,6 +328,7 @@ impl Rewriter<'_> {
                 if a2 == b2 {
                     // Set union is idempotent; interning already proved the
                     // branches identical.
+                    self.trace.fire(Rule::DedupUnion);
                     a2
                 } else {
                     self.b.push(Node::Union(a2, b2))
@@ -202,7 +352,10 @@ impl Rewriter<'_> {
                     })
                     .collect();
                 match self.fold_call(func, &new_args) {
-                    Some(folded) => self.b.push(folded),
+                    Some(folded) => {
+                        self.trace.fire(Rule::FoldConstant);
+                        self.b.push(folded)
+                    }
                     None => self.b.push(Node::Call(func, new_args)),
                 }
             }
@@ -256,7 +409,9 @@ impl Rewriter<'_> {
         let mut out = Vec::with_capacity(preds.len());
         for &p in preds {
             let p = self.rebuild(p);
-            if self.literal_bool(p) != Some(true) {
+            if self.literal_bool(p) == Some(true) {
+                self.trace.fire(Rule::DropTruePredicate);
+            } else {
                 out.push(p);
             }
         }
@@ -273,6 +428,7 @@ impl Rewriter<'_> {
                 s.axis == Axis::SelfAxis && s.test == NodeTest::AnyNode && s.predicates.is_empty()
             }) {
                 steps.remove(i);
+                self.trace.fire(Rule::DropSelfStep);
                 continue;
             }
             let mut changed = false;
@@ -313,6 +469,7 @@ impl Rewriter<'_> {
                             predicates: c.predicates.clone(),
                         };
                         steps.drain(i + 1..i + 3);
+                        self.trace.fire(Rule::FuseFollowingChain);
                         changed = true;
                         break;
                     }
@@ -335,6 +492,7 @@ impl Rewriter<'_> {
                         predicates: b.predicates.clone(),
                     };
                     steps.remove(i + 1);
+                    self.trace.fire(Rule::FuseFollowingOrSelf);
                     changed = true;
                     break;
                 }
@@ -362,6 +520,7 @@ impl Rewriter<'_> {
                         predicates: b.predicates.clone(),
                     };
                     steps.remove(i + 1);
+                    self.trace.fire(Rule::FuseDescendant);
                     changed = true;
                     break;
                 }
@@ -382,6 +541,7 @@ impl Rewriter<'_> {
                         predicates: vec![pred],
                     };
                     steps.remove(i + 1);
+                    self.trace.fire(Rule::FlipChildParent);
                     changed = true;
                     break;
                 }
@@ -409,6 +569,7 @@ impl Rewriter<'_> {
                 )
             {
                 steps.pop();
+                self.trace.fire(Rule::DropExistentialTail);
                 continue;
             }
             // `…/s[p]/ancestor::b` (existential) ≡ `…/s[p][ancestor::b]`:
@@ -431,6 +592,7 @@ impl Rewriter<'_> {
                     .expect("len >= 2 before pop")
                     .predicates
                     .push(pred);
+                self.trace.fire(Rule::FoldReverseTail);
                 continue;
             }
             break;
@@ -461,6 +623,9 @@ impl Rewriter<'_> {
         }
         if hoisted.is_empty() {
             return;
+        }
+        for _ in &hoisted {
+            self.trace.fire(Rule::HoistConstantPredicate);
         }
         hoisted.append(&mut steps[0].predicates);
         steps[0].predicates = hoisted;
@@ -557,6 +722,7 @@ impl Rewriter<'_> {
         } else {
             return None;
         };
+        self.trace.fire(Rule::CountExistence);
         let boolean = self.b.push(Node::Call(Func::Boolean, vec![arg]));
         Some(if exists {
             boolean
@@ -878,6 +1044,36 @@ mod tests {
             let twice = rewrite(&once);
             assert_eq!(once, twice, "{src:?} not idempotent");
         }
+    }
+
+    #[test]
+    fn rewrite_trace_reports_fired_rules() {
+        // The headline serving query: `//` fusion fires exactly once, and
+        // the trace names it; nothing else fires.
+        let (q, tr) = rewrite_traced(&parse_xpath("//item[@id]").unwrap());
+        assert_eq!(q, parse_xpath("/descendant::item[@id]").unwrap());
+        assert_eq!(tr.count(Rule::FuseDescendant), 1);
+        assert_eq!(tr.fired(), vec![(Rule::FuseDescendant, 1)]);
+        assert!(tr.passes >= 2, "fixpoint needs a confirming pass");
+        // A richer query fires several rules, reported in Rule::ALL order.
+        let (_, tr) = rewrite_traced(&parse_xpath("//x[count(a) > 0]/./b[true()]").unwrap());
+        let fired: Vec<Rule> = tr.fired().iter().map(|&(r, _)| r).collect();
+        assert!(fired.contains(&Rule::FuseDescendant));
+        assert!(fired.contains(&Rule::DropSelfStep));
+        assert!(fired.contains(&Rule::DropTruePredicate));
+        assert!(fired.contains(&Rule::CountExistence));
+        let order: Vec<usize> = fired
+            .iter()
+            .map(|r| Rule::ALL.iter().position(|a| a == r).unwrap())
+            .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "unstable order");
+        // A fixed-point query fires nothing at all.
+        let (_, tr) = rewrite_traced(&parse_xpath("child::a[b]").unwrap());
+        assert_eq!(tr.total(), 0);
+        assert!(tr.fired().is_empty());
+        // Every rule has a distinct stable name.
+        let names: std::collections::BTreeSet<_> = Rule::ALL.iter().map(|r| r.as_str()).collect();
+        assert_eq!(names.len(), Rule::ALL.len());
     }
 
     #[test]

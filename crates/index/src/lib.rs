@@ -287,6 +287,33 @@ pub struct SnapshotInfo {
     pub stamp: u64,
 }
 
+/// Process-wide registry cell for successfully written snapshots
+/// (`index/snapshots_written` in [`minctx_obs::global`]).
+fn snapshots_written_counter() -> &'static minctx_obs::Counter {
+    static C: std::sync::OnceLock<minctx_obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| minctx_obs::global().counter("index/snapshots_written"))
+}
+
+/// Process-wide count of snapshots successfully committed by
+/// [`write_snapshot`] — the increment happens only after the durable
+/// rename, so a crashed or failed write is not counted.
+pub fn snapshots_written() -> u64 {
+    snapshots_written_counter().get()
+}
+
+/// Process-wide registry cell for successfully opened snapshots
+/// (`index/snapshots_opened` in [`minctx_obs::global`]).
+fn snapshots_opened_counter() -> &'static minctx_obs::Counter {
+    static C: std::sync::OnceLock<minctx_obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| minctx_obs::global().counter("index/snapshots_opened"))
+}
+
+/// Process-wide count of snapshots that passed full validation in
+/// [`open_snapshot`]; rejected or quarantined files are not counted.
+pub fn snapshots_opened() -> u64 {
+    snapshots_opened_counter().get()
+}
+
 /// Serializes `doc` into the snapshot container at `path`.  The write is
 /// a single sequential pass; the header — including the content-derived
 /// stamp — is patched in afterwards.
@@ -312,7 +339,11 @@ pub fn write_snapshot(
     }
     #[cfg(target_endian = "little")]
     {
-        write_snapshot_le(doc, path.as_ref())
+        let r = write_snapshot_le(doc, path.as_ref());
+        if r.is_ok() {
+            snapshots_written_counter().inc();
+        }
+        r
     }
 }
 
@@ -329,7 +360,11 @@ pub fn open_snapshot(path: impl AsRef<Path>) -> Result<Document, SnapshotError> 
     }
     #[cfg(target_endian = "little")]
     {
-        open_snapshot_le(path.as_ref())
+        let r = open_snapshot_le(path.as_ref());
+        if r.is_ok() {
+            snapshots_opened_counter().inc();
+        }
+        r
     }
 }
 

@@ -1,0 +1,34 @@
+//! # minctx-obs — metrics, tracing and profiling substrate
+//!
+//! The workspace's zero-dependency observability core, sitting below
+//! every other crate (it depends on `std` alone):
+//!
+//! * [`registry`] — named [`Counter`]s, [`Gauge`]s and lock-free
+//!   fixed-bucket [`Histogram`]s behind a get-or-register [`Registry`],
+//!   with point-in-time snapshots, a Prometheus-style text exposition
+//!   renderer and a JSON renderer.  [`global()`] is the process-wide
+//!   registry (`minctx-xml` / `minctx-index` counters live there);
+//!   `minctx-serve` builds one registry per engine.
+//! * [`trace`] — the [`Recorder`]/[`Span`] API instrumented code emits
+//!   query-lifecycle phases through (parse → rewrite → compile →
+//!   evaluate/stream → serve).  Disabled recorders (the default
+//!   everywhere) cost one untaken branch per span; [`JsonLinesSink`]
+//!   with sampling is the serve request log, [`CollectSink`] the test
+//!   harness.
+//!
+//! The paper's claims are quantitative (context-set sizes, memo hit
+//! rates, per-step sweep volumes); this crate is how the rest of the
+//! workspace reports those numbers from the inside instead of inferring
+//! them from wall clocks.  See DESIGN.md's "Observability" section for
+//! the overhead budget and format stability promises.
+
+#![forbid(unsafe_code)]
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{
+    global, metrics_text, Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot,
+    HISTOGRAM_BUCKETS,
+};
+pub use trace::{AttrValue, CollectSink, JsonLinesSink, Phase, Recorder, Sink, Span, SpanRecord};

@@ -35,6 +35,7 @@ use minctx_core::{
     open_snapshot_or_quarantine, quarantine_snapshot, snapshot_stamp, Budget, CompiledQuery,
     Context, Engine, EvalError, Exhausted, SnapshotError, Strategy, Value,
 };
+use minctx_obs::{Counter, Histogram, Phase, Recorder, Registry};
 use minctx_syntax::parse_xpath;
 use minctx_xml::Document;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -243,20 +244,78 @@ pub struct ServeStats {
     pub max_queue_depth: u64,
     /// High-watermark queue wait (submission → worker pickup).
     pub max_queue_wait: Duration,
+    /// Median queue wait, from the `serve/queue_wait_us` histogram
+    /// (bucketed — exact to ~3%; [`Duration::ZERO`] before any pickup).
+    pub queue_wait_p50: Duration,
+    /// 99th-percentile queue wait, same source and precision.
+    pub queue_wait_p99: Duration,
 }
 
-#[derive(Default)]
-struct Counters {
-    requests: AtomicU64,
-    query_hits: AtomicU64,
-    query_misses: AtomicU64,
-    snapshot_hits: AtomicU64,
-    snapshot_misses: AtomicU64,
-    shed: AtomicU64,
-    panics: AtomicU64,
-    worker_respawns: AtomicU64,
+/// Per-engine metrics: every counter and histogram is a handle into the
+/// engine's *private* [`Registry`] (not the process-global one — two
+/// pools in one process must not mix their numbers), rendered by
+/// [`ServeEngine::metrics_text`].  The two high-watermark atomics stay
+/// exact alongside the bucketed histograms.
+struct Metrics {
+    registry: Registry,
+    requests: Counter,
+    query_hits: Counter,
+    query_misses: Counter,
+    snapshot_hits: Counter,
+    snapshot_misses: Counter,
+    shed: Counter,
+    panics: Counter,
+    worker_respawns: Counter,
+    /// Queue depth observed at each admission.
+    queue_depth: Histogram,
+    /// Submission → worker-pickup wait, in microseconds.
+    queue_wait_us: Histogram,
+    /// Submission → reply latency in microseconds, split by outcome.
+    latency_ok_us: Histogram,
+    latency_error_us: Histogram,
+    latency_budget_us: Histogram,
+    latency_panic_us: Histogram,
+    latency_shed_us: Histogram,
     max_queue_depth: AtomicU64,
     max_queue_wait_micros: AtomicU64,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        let registry = Registry::new();
+        Metrics {
+            requests: registry.counter("serve/requests"),
+            query_hits: registry.counter("serve/query_hits"),
+            query_misses: registry.counter("serve/query_misses"),
+            snapshot_hits: registry.counter("serve/snapshot_hits"),
+            snapshot_misses: registry.counter("serve/snapshot_misses"),
+            shed: registry.counter("serve/shed"),
+            panics: registry.counter("serve/panics"),
+            worker_respawns: registry.counter("serve/worker_respawns"),
+            queue_depth: registry.histogram("serve/queue_depth"),
+            queue_wait_us: registry.histogram("serve/queue_wait_us"),
+            latency_ok_us: registry.histogram("serve/latency_ok_us"),
+            latency_error_us: registry.histogram("serve/latency_error_us"),
+            latency_budget_us: registry.histogram("serve/latency_budget_exhausted_us"),
+            latency_panic_us: registry.histogram("serve/latency_panic_us"),
+            latency_shed_us: registry.histogram("serve/latency_shed_us"),
+            max_queue_depth: AtomicU64::new(0),
+            max_queue_wait_micros: AtomicU64::new(0),
+            registry,
+        }
+    }
+
+    /// The per-outcome latency histogram a finished request records into.
+    fn latency_for(&self, reply: &Result<Value, ServeError>) -> &Histogram {
+        match reply {
+            Ok(_) => &self.latency_ok_us,
+            Err(ServeError::Eval(EvalError::BudgetExhausted { .. })) => &self.latency_budget_us,
+            Err(ServeError::Eval(_)) => &self.latency_error_us,
+            Err(ServeError::WorkerPanicked { .. }) => &self.latency_panic_us,
+            Err(ServeError::Overloaded { .. }) => &self.latency_shed_us,
+            Err(ServeError::Disconnected) => &self.latency_error_us,
+        }
+    }
 }
 
 /// State every worker shares.
@@ -271,7 +330,10 @@ struct Shared {
     /// bakes in document name-codes, so the same XPath against a
     /// different document is a different entry.
     queries: ShardedLru<(Arc<str>, u64), Arc<CompiledQuery>>,
-    counters: Counters,
+    metrics: Metrics,
+    /// Request-lifecycle recorder ([`ServeBuilder::request_log`]): one
+    /// [`Phase::Serve`] span per served request.  Disabled by default.
+    recorder: Recorder,
     /// Threads currently in a worker loop — originals and respawns
     /// alike.  [`ServeEngine::drop`] spins this to zero so no worker
     /// (not even an unjoined respawn) outlives the engine's teardown
@@ -291,6 +353,7 @@ pub struct ServeBuilder {
     shards: usize,
     default_budget: Budget,
     queue_capacity: usize,
+    recorder: Recorder,
 }
 
 impl Default for ServeBuilder {
@@ -306,6 +369,7 @@ impl Default for ServeBuilder {
             shards: 8,
             default_budget: Budget::UNLIMITED,
             queue_capacity: 1024,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -364,13 +428,25 @@ impl ServeBuilder {
         self
     }
 
+    /// Attaches a request-log [`Recorder`]: every served request emits
+    /// one [`Phase::Serve`] span (query text, outcome, queue wait, fuel
+    /// budget) into the recorder's sink.  Pair with
+    /// [`minctx_obs::JsonLinesSink`] (optionally
+    /// [`with_sampling`](minctx_obs::JsonLinesSink::with_sampling)) for
+    /// a sampled JSON-lines request log.  Default: disabled, near-free.
+    pub fn request_log(mut self, recorder: Recorder) -> ServeBuilder {
+        self.recorder = recorder;
+        self
+    }
+
     /// Spawns the worker pool.
     pub fn build(self) -> ServeEngine {
         let shared = Arc::new(Shared {
             queue: Queue::bounded(self.queue_capacity),
             snapshots: ShardedLru::new(self.snapshot_cache_capacity, self.shards),
             queries: ShardedLru::new(self.query_cache_capacity, self.shards),
-            counters: Counters::default(),
+            metrics: Metrics::new(),
+            recorder: self.recorder,
             live_workers: LiveCount::new(),
         });
         let cfg = WorkerConfig {
@@ -444,10 +520,7 @@ struct RespawnSentry {
 impl Drop for RespawnSentry {
     fn drop(&mut self) {
         if thread::panicking() && !self.shared.queue.is_closed() {
-            self.shared
-                .counters
-                .worker_respawns
-                .fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.worker_respawns.inc();
             // Replacement first, own retire second ([`LiveCount::handoff`]):
             // the live count stays positive across the handoff.  The
             // replacement is detached; ServeEngine::drop waits on
@@ -471,17 +544,19 @@ fn worker_loop(shared: &Arc<Shared>, cfg: WorkerConfig) {
         // A panic here escapes the fence and kills the worker; the
         // sentry respawns it.  (Chaos site: Worker.)
         chaos::tick(chaos::Site::Worker);
-        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.requests.inc();
         let waited = job.submitted.elapsed();
+        shared.metrics.queue_wait_us.record_micros(waited);
         shared
-            .counters
+            .metrics
             .max_queue_wait_micros
             .fetch_max(waited.as_micros() as u64, Ordering::Relaxed);
+        let mut span = shared.recorder.span(Phase::Serve);
         let outcome = catch_unwind(AssertUnwindSafe(|| serve_one(&engine, shared, &job)));
         let reply = match outcome {
             Ok(r) => r.map_err(ServeError::Eval),
             Err(payload) => {
-                shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.panics.inc();
                 // The unwound engine's internal caches and scratch pool
                 // are in an unknown state; rebuild from config.
                 engine = cfg.fresh_engine();
@@ -490,8 +565,29 @@ fn worker_loop(shared: &Arc<Shared>, cfg: WorkerConfig) {
                 })
             }
         };
+        span.attr_str("query", || job.query.to_string());
+        span.attr_str("outcome", || outcome_name(&reply).to_string());
+        span.attr_u64("wait_us", waited.as_micros() as u64);
+        drop(span);
+        shared
+            .metrics
+            .latency_for(&reply)
+            .record_micros(job.submitted.elapsed());
         // A dropped Ticket just discards the answer.
         let _ = job.reply.send(reply);
+    }
+}
+
+/// A stable outcome label for request-log spans (matches the per-outcome
+/// latency histogram split).
+fn outcome_name(reply: &Result<Value, ServeError>) -> &'static str {
+    match reply {
+        Ok(_) => "ok",
+        Err(ServeError::Eval(EvalError::BudgetExhausted { .. })) => "budget_exhausted",
+        Err(ServeError::Eval(_)) => "error",
+        Err(ServeError::WorkerPanicked { .. }) => "panic",
+        Err(ServeError::Overloaded { .. }) => "shed",
+        Err(ServeError::Disconnected) => "disconnected",
     }
 }
 
@@ -530,17 +626,11 @@ fn serve_one(engine: &Engine, shared: &Shared, job: &Job) -> Result<Value, EvalE
             };
             match shared.snapshots.get(&stamp) {
                 Some(doc) => {
-                    shared
-                        .counters
-                        .snapshot_hits
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.snapshot_hits.inc();
                     doc
                 }
                 None => {
-                    shared
-                        .counters
-                        .snapshot_misses
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.snapshot_misses.inc();
                     let doc = Arc::new(
                         open_snapshot_or_quarantine(path)
                             .map_err(|e| EvalError::Snapshot(Arc::new(e)))?,
@@ -554,11 +644,11 @@ fn serve_one(engine: &Engine, shared: &Shared, job: &Job) -> Result<Value, EvalE
     let key = (Arc::clone(&job.query), doc.stamp());
     let compiled = match shared.queries.get(&key) {
         Some(c) => {
-            shared.counters.query_hits.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.query_hits.inc();
             c
         }
         None => {
-            shared.counters.query_misses.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.query_misses.inc();
             let query = parse_xpath(&job.query)?;
             let c = Arc::new(engine.compile_uncached(&doc, &query));
             shared.queries.insert(key, Arc::clone(&c));
@@ -618,13 +708,18 @@ impl ServeEngine {
         };
         match self.shared.queue.push(job) {
             Ok(depth) => {
+                self.shared.metrics.queue_depth.record(depth as u64);
                 self.shared
-                    .counters
+                    .metrics
                     .max_queue_depth
                     .fetch_max(depth as u64, Ordering::Relaxed);
             }
             Err(PushError::Full { item, capacity }) => {
-                self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.shed.inc();
+                self.shared
+                    .metrics
+                    .latency_shed_us
+                    .record_micros(item.submitted.elapsed());
                 let _ = item.reply.send(Err(ServeError::Overloaded { capacity }));
             }
             // Closed can only happen mid-drop; dropping the job drops
@@ -683,19 +778,35 @@ impl ServeEngine {
 
     /// A point-in-time copy of the service counters.
     pub fn stats(&self) -> ServeStats {
-        let c = &self.shared.counters;
+        let m = &self.shared.metrics;
+        let wait = m.queue_wait_us.snapshot();
         ServeStats {
-            requests: c.requests.load(Ordering::Relaxed),
-            query_hits: c.query_hits.load(Ordering::Relaxed),
-            query_misses: c.query_misses.load(Ordering::Relaxed),
-            snapshot_hits: c.snapshot_hits.load(Ordering::Relaxed),
-            snapshot_misses: c.snapshot_misses.load(Ordering::Relaxed),
-            shed: c.shed.load(Ordering::Relaxed),
-            panics: c.panics.load(Ordering::Relaxed),
-            worker_respawns: c.worker_respawns.load(Ordering::Relaxed),
-            max_queue_depth: c.max_queue_depth.load(Ordering::Relaxed),
-            max_queue_wait: Duration::from_micros(c.max_queue_wait_micros.load(Ordering::Relaxed)),
+            requests: m.requests.get(),
+            query_hits: m.query_hits.get(),
+            query_misses: m.query_misses.get(),
+            snapshot_hits: m.snapshot_hits.get(),
+            snapshot_misses: m.snapshot_misses.get(),
+            shed: m.shed.get(),
+            panics: m.panics.get(),
+            worker_respawns: m.worker_respawns.get(),
+            max_queue_depth: m.max_queue_depth.load(Ordering::Relaxed),
+            max_queue_wait: Duration::from_micros(m.max_queue_wait_micros.load(Ordering::Relaxed)),
+            queue_wait_p50: Duration::from_micros(wait.quantile(0.50).unwrap_or(0)),
+            queue_wait_p99: Duration::from_micros(wait.quantile(0.99).unwrap_or(0)),
         }
+    }
+
+    /// The pool's metrics in Prometheus text exposition format: every
+    /// `serve/*` counter and histogram (queue depth/wait, per-outcome
+    /// latency).  The registry is per-engine, so two pools in one
+    /// process each expose their own numbers.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.registry.render_prometheus()
+    }
+
+    /// [`ServeEngine::metrics_text`] as a JSON object (same registry).
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics.registry.render_json()
     }
 }
 

@@ -1,0 +1,95 @@
+//! The serving pool's observability surface: per-engine registry
+//! exposition, queue-wait quantiles in [`ServeStats`], per-outcome
+//! latency histograms, and the builder-attached request log.
+
+use minctx_obs::{AttrValue, CollectSink, Phase, Recorder};
+use minctx_serve::{Corpus, ServeEngine, ServeError};
+use std::sync::Arc;
+
+fn small_doc() -> Arc<minctx_xml::Document> {
+    Arc::new(minctx_xml::parse("<a><b/><b/><c/></a>").unwrap())
+}
+
+#[test]
+fn stats_and_exposition_track_requests_per_engine() {
+    let doc = small_doc();
+    let serve = ServeEngine::builder().workers(2).build();
+    for _ in 0..10 {
+        let v = serve
+            .query(Corpus::Document(Arc::clone(&doc)), "count(//b)")
+            .wait()
+            .unwrap();
+        assert_eq!(v, minctx_core::Value::Number(2.0));
+    }
+    // One failing request lands in the error latency histogram.
+    let err = serve
+        .query(Corpus::Document(Arc::clone(&doc)), "//b[")
+        .wait()
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Eval(_)));
+
+    let stats = serve.stats();
+    assert_eq!(stats.requests, 11);
+    assert_eq!(stats.shed, 0);
+    // Quantiles come from the bucketed queue-wait histogram; ordering
+    // must hold even when every wait rounds to the same bucket.
+    assert!(stats.queue_wait_p50 <= stats.queue_wait_p99);
+
+    let text = serve.metrics_text();
+    assert!(text.contains("# TYPE serve_requests counter"), "{text}");
+    assert!(text.contains("serve_requests 11"), "{text}");
+    assert!(text.contains("# TYPE serve_queue_wait_us histogram"));
+    assert!(text.contains("serve_latency_ok_us_count 10"), "{text}");
+    assert!(text.contains("serve_latency_error_us_count 1"), "{text}");
+
+    let json = serve.metrics_json();
+    assert!(json.contains("\"serve/requests\":11"), "{json}");
+    assert!(json.contains("\"serve/latency_ok_us\""), "{json}");
+
+    // A second pool's registry is independent: fresh counters.
+    let other = ServeEngine::builder().workers(1).build();
+    other
+        .query(Corpus::Document(doc), "count(//c)")
+        .wait()
+        .unwrap();
+    assert!(other.metrics_text().contains("serve_requests 1"));
+    assert!(serve.metrics_text().contains("serve_requests 11"));
+}
+
+#[test]
+fn request_log_emits_one_serve_span_per_request() {
+    let doc = small_doc();
+    let sink = Arc::new(CollectSink::new());
+    let serve = ServeEngine::builder()
+        .workers(1)
+        .request_log(Recorder::to_sink(sink.clone()))
+        .build();
+    for _ in 0..3 {
+        serve
+            .query(Corpus::Document(Arc::clone(&doc)), "count(//b)")
+            .wait()
+            .unwrap();
+    }
+    serve
+        .query(Corpus::Document(doc), "//b[")
+        .wait()
+        .unwrap_err();
+    let spans = sink.take();
+    assert_eq!(spans.len(), 4);
+    assert!(spans.iter().all(|s| s.phase == Phase::Serve));
+    let outcomes: Vec<_> = spans
+        .iter()
+        .filter_map(|s| match s.attr("outcome") {
+            Some(AttrValue::Str(o)) => Some(o.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(outcomes.iter().filter(|o| **o == "ok").count(), 3);
+    assert_eq!(outcomes.iter().filter(|o| **o == "error").count(), 1);
+    assert!(spans
+        .iter()
+        .all(|s| matches!(s.attr("wait_us"), Some(&AttrValue::U64(_)))));
+    assert!(spans
+        .iter()
+        .any(|s| { matches!(s.attr("query"), Some(AttrValue::Str(q)) if q == "count(//b)") }));
+}

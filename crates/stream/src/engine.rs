@@ -121,7 +121,8 @@ impl StreamingEngine for Engine {
             Ok(sq) => {
                 let mut tok = Tokenizer::from_reader(reader, opts.clone());
                 let mut meter = self.budget_config().meter();
-                Ok(StreamOutcome::Streamed(run(&sq, &mut tok, &mut meter)?))
+                let value = run_traced(self, &sq, &mut tok, &mut meter)?;
+                Ok(StreamOutcome::Streamed(value))
             }
             Err(reason) => {
                 let doc = Box::new(parse_reader_with_options(reader, opts)?);
@@ -141,7 +142,8 @@ impl StreamingEngine for Engine {
             Ok(sq) => {
                 let mut tok = Tokenizer::with_options(xml, opts.clone());
                 let mut meter = self.budget_config().meter();
-                Ok(StreamOutcome::Streamed(run(&sq, &mut tok, &mut meter)?))
+                let value = run_traced(self, &sq, &mut tok, &mut meter)?;
+                Ok(StreamOutcome::Streamed(value))
             }
             Err(reason) => {
                 let doc = Box::new(parse_with_options(xml, opts)?);
@@ -164,6 +166,23 @@ fn decide(engine: &Engine, query: &Query) -> Result<StreamQuery, &'static str> {
     } else {
         compile::compile(query)
     }
+}
+
+/// [`run`] under the engine's trace recorder: the one-pass evaluation is
+/// a [`Phase::Stream`] span (the arena fallback paths emit the usual
+/// parse/compile/evaluate spans through [`Engine::evaluate`] instead).
+/// Fuel spent is the event-weighted work metered by [`run`].
+fn run_traced(
+    engine: &Engine,
+    sq: &StreamQuery,
+    tok: &mut Tokenizer<'_>,
+    meter: &mut BudgetMeter,
+) -> Result<StreamValue, EvalError> {
+    let mut span = engine.recorder().span(minctx_obs::Phase::Stream);
+    let result = run(sq, tok, meter);
+    span.attr_u64("fuel", meter.spent());
+    span.attr_u64("ok", u64::from(result.is_ok()));
+    result
 }
 
 /// Drives the automaton over the event stream, mirroring the arena
@@ -393,6 +412,29 @@ mod tests {
             out.fallback_reason(),
             Some(crate::fragment::reason::REVERSE_AXIS)
         );
+    }
+
+    #[test]
+    fn streaming_pass_emits_a_stream_span() {
+        use minctx_obs::{AttrValue, CollectSink, Phase, Recorder};
+        let sink = std::sync::Arc::new(CollectSink::new());
+        let e = streaming().with_recorder(Recorder::to_sink(sink.clone()));
+        let q = parse_xpath("count(//b)").unwrap();
+        let out = e.evaluate_reader_str(&q, "<a><b/><b/></a>").unwrap();
+        assert!(out.is_streamed());
+        let spans = sink.take();
+        assert_eq!(spans.len(), 1, "one Stream span per one-pass run");
+        assert_eq!(spans[0].phase, Phase::Stream);
+        assert_eq!(spans[0].attr("ok"), Some(&AttrValue::U64(1)));
+        assert!(matches!(spans[0].attr("fuel"), Some(&AttrValue::U64(f)) if f > 0));
+        // The arena fallback traces through the engine's usual phases
+        // instead (parse of the *query string* is long past: Rewrite,
+        // Compile, Evaluate).
+        let q = parse_xpath("//b[position() = 2]").unwrap();
+        e.evaluate_reader_str(&q, "<a><b/><b/></a>").unwrap();
+        let phases: Vec<Phase> = sink.take().iter().map(|s| s.phase).collect();
+        assert!(!phases.contains(&Phase::Stream));
+        assert!(phases.contains(&Phase::Evaluate));
     }
 
     #[test]

@@ -721,6 +721,92 @@ fn name_image_fast(
     }
 }
 
+/// Which kernel family an axis call dispatches to — the EXPLAIN/profile
+/// surface reports this without re-running the sweep, so the classifiers
+/// below must mirror the real dispatch in [`axis_image_into`] and
+/// [`Document::axis_nodes_into`] exactly (a test pins the agreement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AxisRoute {
+    /// Sorted label-postings kernel (binary search / interval merge /
+    /// parent check): sublinear in `|D|` when the label is rare.
+    Postings,
+    /// Local traversal — the ordered single-node walk from a singleton
+    /// origin, or the `parent`/`ancestor` chain kernels — whose cost is
+    /// the touched chain/subtree, not the document.
+    Walk,
+    /// Generic document-order sweep over the arena: `O(|D|)`.
+    Sweep,
+}
+
+impl AxisRoute {
+    /// A short stable name (used in EXPLAIN plan text).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AxisRoute::Postings => "postings",
+            AxisRoute::Walk => "walk",
+            AxisRoute::Sweep => "sweep",
+        }
+    }
+}
+
+impl fmt::Display for AxisRoute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The route [`axis_image_into`] takes for an origin set of `origins`
+/// nodes under test `t`.  Mirrors `image_into`'s dispatch: singleton
+/// origins take the single-node walk (except the id axis and name-tested
+/// `following`/`preceding`, which prefer the set kernels), name tests
+/// route through [`name_image_fast`], everything else sweeps.
+pub fn classify_image_route(axis: Axis, t: ResolvedTest, origins: usize) -> AxisRoute {
+    if origins == 0 || t == ResolvedTest::NeverMatches {
+        // Constant-time empty short-circuit; no kernel runs at all.
+        return AxisRoute::Walk;
+    }
+    let name_test = matches!(t, ResolvedTest::Name(_));
+    if origins == 1 {
+        let sliced_name_test = matches!(axis, Axis::Following | Axis::Preceding) && name_test;
+        if axis != Axis::Id && !sliced_name_test {
+            return classify_single_route(axis, t);
+        }
+    }
+    if name_test {
+        return match axis {
+            Axis::Child
+            | Axis::Attribute
+            | Axis::Descendant
+            | Axis::DescendantOrSelf
+            | Axis::Following
+            | Axis::Preceding => AxisRoute::Postings,
+            // Chain kernels with a visited set: local, not postings.
+            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf => AxisRoute::Walk,
+            Axis::SelfAxis | Axis::FollowingSibling | Axis::PrecedingSibling | Axis::Id => {
+                AxisRoute::Sweep
+            }
+        };
+    }
+    AxisRoute::Sweep
+}
+
+/// The route [`Document::axis_nodes_into`] takes from one origin node —
+/// what each origin of a predicated step pays.  Name-tested
+/// `descendant(-or-self)` and `following` binary-search the postings;
+/// every other shape is the ordered local walk.
+pub fn classify_single_route(axis: Axis, t: ResolvedTest) -> AxisRoute {
+    if matches!(t, ResolvedTest::Name(_))
+        && matches!(
+            axis,
+            Axis::Descendant | Axis::DescendantOrSelf | Axis::Following
+        )
+    {
+        AxisRoute::Postings
+    } else {
+        AxisRoute::Walk
+    }
+}
+
 /// `χ⁻¹(Y) = {x ∈ dom | χ({x}) ∩ Y ≠ ∅}` (Definition 1), in `O(|D|)`.
 ///
 /// Exact for attribute nodes on *both* sides of the relation: attribute
@@ -1395,5 +1481,68 @@ mod tests {
             assert_eq!(Axis::from_str_opt(axis.as_str()), Some(axis));
         }
         assert_eq!(Axis::from_str_opt("sideways"), None);
+    }
+
+    #[test]
+    fn route_classification_mirrors_the_kernel_dispatch() {
+        let doc = doc1();
+        let name = NodeTest::name("c").resolve(&doc);
+        let any = NodeTest::AnyNode.resolve(&doc);
+        // Name tests over multi-node origin sets hit the postings kernels
+        // exactly for the axes name_image_fast accepts…
+        for axis in [
+            Axis::Child,
+            Axis::Attribute,
+            Axis::Descendant,
+            Axis::DescendantOrSelf,
+            Axis::Following,
+            Axis::Preceding,
+        ] {
+            assert_eq!(classify_image_route(axis, name, 3), AxisRoute::Postings);
+        }
+        // …chain kernels are local walks…
+        for axis in [Axis::Parent, Axis::Ancestor, Axis::AncestorOrSelf] {
+            assert_eq!(classify_image_route(axis, name, 3), AxisRoute::Walk);
+        }
+        // …and the rest fall through to the generic sweeps.
+        for axis in [Axis::SelfAxis, Axis::FollowingSibling, Axis::Id] {
+            assert_eq!(classify_image_route(axis, name, 3), AxisRoute::Sweep);
+        }
+        assert_eq!(classify_image_route(Axis::Child, any, 3), AxisRoute::Sweep);
+        // Singleton origins take the single-node walk, whose own postings
+        // fast paths cover name-tested descendant(-or-self)/following.
+        assert_eq!(
+            classify_image_route(Axis::Descendant, name, 1),
+            AxisRoute::Postings
+        );
+        assert_eq!(classify_image_route(Axis::Child, name, 1), AxisRoute::Walk);
+        assert_eq!(classify_image_route(Axis::Child, any, 1), AxisRoute::Walk);
+        // The singleton exceptions stay on the set kernels: id, and the
+        // sliced name-tested following/preceding postings.
+        assert_eq!(classify_image_route(Axis::Id, any, 1), AxisRoute::Sweep);
+        assert_eq!(
+            classify_image_route(Axis::Preceding, name, 1),
+            AxisRoute::Postings
+        );
+        // Empty origins and dead names never run a kernel at all.
+        assert_eq!(classify_image_route(Axis::Child, name, 0), AxisRoute::Walk);
+        assert_eq!(
+            classify_image_route(Axis::Descendant, ResolvedTest::NeverMatches, 9),
+            AxisRoute::Walk
+        );
+        // The per-origin classifier mirrors axis_nodes_into.
+        assert_eq!(
+            classify_single_route(Axis::Descendant, name),
+            AxisRoute::Postings
+        );
+        assert_eq!(
+            classify_single_route(Axis::Following, name),
+            AxisRoute::Postings
+        );
+        assert_eq!(
+            classify_single_route(Axis::Preceding, name),
+            AxisRoute::Walk
+        );
+        assert_eq!(classify_single_route(Axis::Child, any), AxisRoute::Walk);
     }
 }

@@ -17,6 +17,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Source of [`Document::stamp`] values; see [`Document::stamp`].
 static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
 
+/// The `xml/documents_built` counter in the process-wide metrics
+/// registry, resolved once.  Stamps still come from [`NEXT_STAMP`] (the
+/// registry cell must not double as the stamp source — stamps demand
+/// uniqueness, metrics only monotonicity).
+fn documents_built_counter() -> &'static minctx_obs::Counter {
+    static C: std::sync::OnceLock<minctx_obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| minctx_obs::global().counter("xml/documents_built"))
+}
+
 /// Number of [`Document`]s fully built process-wide (monotone).
 ///
 /// Diagnostics hook: the streaming allocation smoke asserts this is
@@ -24,8 +33,11 @@ static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
 /// proof that the one-pass path never materializes an arena — and the
 /// index smoke asserts the same across `open_snapshot` (reopening a
 /// snapshot never re-builds, just as it never re-lexes).
+///
+/// Thin shim over the `xml/documents_built` counter in
+/// [`minctx_obs::global`] (where exposition renderers pick it up).
 pub fn documents_built() -> u64 {
-    NEXT_STAMP.load(Ordering::Relaxed) - 1
+    documents_built_counter().get()
 }
 
 /// Builder stamps are plain counter values with the high bit clear;
@@ -287,6 +299,7 @@ impl DocumentBuilder {
             id_attrs: Col::owned(id_attrs),
             id_elems: Col::owned(id_elems),
         };
+        documents_built_counter().inc();
         Ok(Document {
             names: self.names,
             store,

@@ -44,7 +44,7 @@ pub mod serialize;
 pub mod store;
 pub mod token;
 
-pub use axes::{Axis, NodeTest, ResolvedTest, Scratch};
+pub use axes::{Axis, AxisRoute, NodeTest, ResolvedTest, Scratch};
 pub use builder::DocumentBuilder;
 pub use document::Document;
 pub use error::{XmlError, XmlErrorKind};

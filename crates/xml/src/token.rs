@@ -491,8 +491,12 @@ impl Source<'_> {
     }
 }
 
-/// Number of [`Tokenizer`]s ever constructed process-wide (monotone).
-static TOKENIZERS_CREATED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// The `xml/tokenizers_created` counter in the process-wide metrics
+/// registry, resolved once.
+fn tokenizers_counter() -> &'static minctx_obs::Counter {
+    static C: std::sync::OnceLock<minctx_obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| minctx_obs::global().counter("xml/tokenizers_created"))
+}
 
 /// How many [`Tokenizer`]s this process has constructed (monotone).
 ///
@@ -502,8 +506,11 @@ static TOKENIZERS_CREATED: std::sync::atomic::AtomicU64 = std::sync::atomic::Ato
 /// through exactly one `Tokenizer`, so the index smoke asserts this
 /// counter does not move across `open_snapshot` (a reopened snapshot is
 /// adopted column-for-column, never re-lexed).
+///
+/// Thin shim over the `xml/tokenizers_created` counter in
+/// [`minctx_obs::global`] (where exposition renderers pick it up).
 pub fn tokenizers_created() -> u64 {
-    TOKENIZERS_CREATED.load(std::sync::atomic::Ordering::Relaxed)
+    tokenizers_counter().get()
 }
 
 /// The pull tokenizer.  Obtain events with [`Tokenizer::next_event`] until
@@ -560,7 +567,7 @@ impl<'a> Tokenizer<'a> {
     }
 
     fn build(src: Source<'a>, opts: ParseOptions) -> Tokenizer<'a> {
-        TOKENIZERS_CREATED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        tokenizers_counter().inc();
         Tokenizer {
             src,
             opts,

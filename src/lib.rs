@@ -12,6 +12,9 @@
 //!
 //! The workspace is layered; this facade crate re-exports all of it:
 //!
+//! * [`obs`] — the observability substrate below everything else:
+//!   a zero-dependency metrics registry and the query-lifecycle
+//!   tracing/EXPLAIN machinery (see "Observability" below).
 //! * [`xml`] — the data substrate: an arena [`Document`](xml::Document)
 //!   whose [`NodeId`](xml::NodeId)s are pre-order indices (document order
 //!   is integer comparison, subtrees are contiguous ranges), a from-scratch
@@ -207,6 +210,36 @@
 //! `crates/serve/tests/chaos.rs`, the crash-simulation half of
 //! `crates/index/tests/corrupt.rs`, and the `chaos_smoke` binary.
 //!
+//! ## Observability
+//!
+//! [`obs`] is the zero-dependency substrate the rest of the workspace
+//! reports through: a metrics [`Registry`](obs::Registry) (counters,
+//! gauges, lock-free histograms; Prometheus-text and JSON exposition)
+//! and a query-lifecycle [`Recorder`](obs::Recorder) whose RAII spans
+//! cover parse → rewrite → compile → evaluate/stream → serve.  The
+//! default recorder is disabled and costs one untaken branch per span;
+//! attach one via [`Engine::with_recorder`](engine::Engine::with_recorder)
+//! or a serving request log via
+//! [`ServeBuilder::request_log`](serve::ServeBuilder::request_log), and
+//! read a pool's numbers with
+//! [`ServeEngine::metrics_text`](serve::ServeEngine::metrics_text).
+//!
+//! [`Engine::explain`](engine::Engine::explain) answers "what will this
+//! query actually do": the IR before/after the rewrite pipeline, which
+//! rules fired, and per-step rows with the kernel route taken
+//! (postings / walk / sweep) and input/output cardinalities:
+//!
+//! ```
+//! use minctx::prelude::*;
+//!
+//! let doc = minctx::xml::parse(r#"<a><item id="1"/><item/></a>"#).unwrap();
+//! let engine = Engine::new(Strategy::MinContext);
+//! let profile = engine.explain(&doc, "//item[@id]").unwrap();
+//! assert_eq!(profile.result, "node-set n=1");
+//! assert!(profile.plan_text().contains("fired=fuse-descendant:1"));
+//! assert!(profile.plan_text().contains("route="));
+//! ```
+//!
 //! ## Benchmarks
 //!
 //! `cargo run --release -p minctx-bench --bin tables` prints the paper's
@@ -218,6 +251,7 @@
 
 pub use minctx_core as engine;
 pub use minctx_index as index;
+pub use minctx_obs as obs;
 pub use minctx_serve as serve;
 pub use minctx_stream as stream;
 pub use minctx_syntax as syntax;
@@ -226,12 +260,14 @@ pub use minctx_xml as xml;
 /// The most common imports, bundled.
 pub mod prelude {
     pub use minctx_core::{
-        Budget, CompiledQuery, Context, Engine, EvalError, Evaluator, Strategy, Value,
+        Budget, CompiledQuery, Context, Engine, EvalError, Evaluator, QueryProfile, StepProfile,
+        Strategy, Value,
     };
     pub use minctx_index::{
         open_snapshot, open_snapshot_or_quarantine, snapshot_stamp, write_snapshot, SnapshotError,
         SnapshotInfo,
     };
+    pub use minctx_obs::{metrics_text, Recorder};
     pub use minctx_serve::{Corpus, RetryPolicy, ServeEngine, ServeError, Ticket};
     pub use minctx_stream::{
         classify, StreamMatch, StreamOutcome, StreamValue, Streamability, StreamingEngine,
