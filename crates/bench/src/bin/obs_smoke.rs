@@ -97,7 +97,10 @@ fn overhead_check(doc: &minctx_xml::Document) {
     // rewritten IR so both sides evaluate identical plans.
     let rewritten = minctx_core::rewrite(&parsed);
     let compiled = CompiledQuery::new(doc, &rewritten);
-    let evaluator = MinContext { optimized: false };
+    let evaluator = MinContext {
+        optimized: false,
+        parallel: None,
+    };
     let mut scratch = Scratch::new();
 
     let engine = Engine::new(Strategy::MinContext);

@@ -1,0 +1,153 @@
+//! Parallel-evaluation smoke: proves the threads knob is agreeing and
+//! free when off.
+//!
+//! ```text
+//! cargo run --release -p minctx-bench --bin par_smoke [elements]
+//! ```
+//!
+//! Builds the XMark-style corpus (10⁵ elements by default) and asserts:
+//!
+//! * `Engine::with_threads(4)` produces **identical** values to
+//!   `with_threads(1)` on every smoke query at real (default) split
+//!   thresholds, under both serving strategies — and the run is not
+//!   vacuous: the `par/*` counters must show chunked regions actually
+//!   dispatched;
+//! * a `with_threads(1)` engine stays within 1% of the default-built
+//!   engine — threads=1 constructs no pool and must *be* the pre-knob
+//!   sequential code path, not a gated version of it;
+//! * for the record it prints the measured t=4 vs t=1 wall times (not
+//!   asserted: CI containers are often pinned to one core, where the
+//!   pool can only break even at best — see DESIGN.md "Parallel
+//!   evaluation").
+//!
+//! The CI `par-smoke` job runs this binary.
+
+use minctx_bench::{values_agree, xmark_doc, XmarkConfig};
+use minctx_core::{Engine, Strategy};
+use std::time::{Duration, Instant};
+
+/// Queries spanning the parallel surfaces: postings sweeps (fused
+/// descendant), wide child steps, predicate fan-out over large context
+/// sets, reverse axes, and a scalar aggregate.
+const QUERIES: &[&str] = &[
+    "//item",
+    "//item[@id]",
+    "/site/*/*",
+    "//item[bid]/seller",
+    "//keyword/ancestor::item",
+    "//bid[position() mod 7 = 0]",
+    "count(//item[@id]) + count(//person)",
+    "sum(//@v)",
+];
+
+/// Evaluations per timing sample; bound asserted on the minimum over
+/// interleaved rounds (one-sided noise — see obs_smoke).
+const ITERS: u32 = 8;
+const ROUNDS: usize = 40;
+
+/// Absolute slack absorbing timer granularity on top of the 1% bound.
+const SLACK: Duration = Duration::from_micros(20);
+
+fn main() {
+    let elements: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("elements must be an integer"))
+        .unwrap_or(100_000);
+    let doc = xmark_doc(&XmarkConfig::sized(elements));
+    println!(
+        "corpus: {} nodes ({} elements)",
+        doc.len(),
+        doc.element_count()
+    );
+
+    agreement_check(&doc);
+    overhead_check(&doc);
+    println!("par smoke OK");
+}
+
+/// threads=4 must agree with threads=1, value for value (node-sets
+/// compare by pre-order ordinal), at the engine's *default* thresholds
+/// — the production gating, not a forced-down test geometry.
+fn agreement_check(doc: &minctx_xml::Document) {
+    let chunks_before = minctx_xml::par::par_chunks_dispatched();
+    for strategy in [Strategy::MinContext, Strategy::OptMinContext] {
+        let seq = Engine::new(strategy).with_threads(1);
+        let par = Engine::new(strategy).with_threads(4);
+        for q in QUERIES {
+            let a = seq.evaluate_str(doc, q).unwrap();
+            let b = par.evaluate_str(doc, q).unwrap();
+            assert!(
+                values_agree(&a, &b),
+                "{strategy} / {q}: threads=1 {a:?} != threads=4 {b:?}"
+            );
+        }
+    }
+    let dispatched = minctx_xml::par::par_chunks_dispatched() - chunks_before;
+    assert!(
+        dispatched > 0,
+        "no chunks dispatched at 10^5 scale — the agreement check is vacuous"
+    );
+    println!(
+        "  agreement: {} queries x 2 strategies identical at t=4 \
+         ({dispatched} chunks dispatched, {} bypasses)",
+        QUERIES.len(),
+        minctx_xml::par::par_bypasses(),
+    );
+}
+
+/// One timing sample: the per-call mean over [`ITERS`] back-to-back
+/// calls.
+fn sample<R>(mut f: impl FnMut() -> R) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(f());
+    }
+    t0.elapsed() / ITERS
+}
+
+/// threads=1 vs the default-built engine: both must be the same
+/// sequential code path (`with_threads(1)` spawns no pool), so the
+/// knob's mere existence costs the sequential user nothing.
+fn overhead_check(doc: &minctx_xml::Document) {
+    const QUERY: &str = "//item[@id]";
+    let base_engine = Engine::new(Strategy::MinContext);
+    let knob_engine = Engine::new(Strategy::MinContext).with_threads(1);
+    let par_engine = Engine::new(Strategy::MinContext).with_threads(4);
+    let parsed = minctx_syntax::parse_xpath(QUERY).unwrap();
+    let want = base_engine.evaluate(doc, &parsed).unwrap();
+    assert_eq!(knob_engine.evaluate(doc, &parsed).unwrap(), want);
+
+    // Three attempts: a genuine regression fails all of them, an
+    // unlucky scheduling phase at most one or two (same protocol as
+    // obs_smoke's recorder bound).
+    let mut verdict = Err(String::new());
+    for attempt in 1..=3 {
+        let mut base = Duration::MAX;
+        let mut knob = Duration::MAX;
+        let mut par4 = Duration::MAX;
+        for _ in 0..ROUNDS {
+            base = base.min(sample(|| base_engine.evaluate(doc, &parsed).unwrap()));
+            knob = knob.min(sample(|| knob_engine.evaluate(doc, &parsed).unwrap()));
+            par4 = par4.min(sample(|| par_engine.evaluate(doc, &parsed).unwrap()));
+        }
+        let pct = (knob.as_secs_f64() / base.as_secs_f64() - 1.0) * 100.0;
+        println!(
+            "  eval {QUERY} (attempt {attempt}): default {:.4} ms, \
+             threads=1 {:+.2}%, threads=4 {:.4} ms (informational)",
+            base.as_secs_f64() * 1e3,
+            pct,
+            par4.as_secs_f64() * 1e3,
+        );
+        if knob > base + base / 100 + SLACK {
+            verdict = Err(format!(
+                "threads=1 runs {pct:+.2}% over the default sequential engine (bound: +1%)"
+            ));
+            continue;
+        }
+        verdict = Ok(());
+        break;
+    }
+    if let Err(msg) = verdict {
+        panic!("{msg} on all attempts");
+    }
+}

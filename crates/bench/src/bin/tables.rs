@@ -19,10 +19,12 @@
 //! tiers), the `serve/*` rows (worker-pool qps and p50/p99 latency
 //! at 1/2/4/8 workers over a shared snapshot, plus a
 //! pathological-query injection run whose tail is bounded by the
-//! request deadline), and the `obs/*` rows (engine evaluation with the
+//! request deadline), the `obs/*` rows (engine evaluation with the
 //! default disabled recorder vs. a recorder draining to a discarding
-//! sink, `Engine::explain`, and Prometheus exposition rendering) —
-//! writing machine-diffable JSON to `PATH`.
+//! sink, `Engine::explain`, and Prometheus exposition rendering), and
+//! the `par/*` rows (`Engine::with_threads` wall time and speedup at
+//! threads 1/2/4 plus a split-threshold sweep) — writing
+//! machine-diffable JSON to `PATH`.
 //! `BENCH_baseline.json` at the repo root is one such committed
 //! snapshot; regenerate and diff against it before landing kernel,
 //! streaming or snapshot-format changes.
@@ -76,6 +78,8 @@ fn main() {
         entries.extend(serve_snapshot(stream_compare));
         entries.extend(serve_snapshot(stream_scale));
         entries.extend(obs_snapshot(&doc, snapshot_runs));
+        entries.extend(par_snapshot(stream_compare, snapshot_runs));
+        entries.extend(par_snapshot(stream_scale, snapshot_runs));
         print_snapshot(&doc, &entries);
         std::fs::write(&path, snapshot_json(&cfg, &doc, &entries))
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
@@ -166,6 +170,59 @@ fn main() {
     for (key, v) in &obs_snapshot(&doc, snapshot_runs) {
         println!("  {key:<52} {v:>10.4}");
     }
+
+    banner("Parallel evaluation (threads knob / threshold sweep)");
+    for elements in [stream_compare, stream_scale] {
+        for (key, v) in &par_snapshot(elements, snapshot_runs) {
+            println!("  {key:<52} {v:>10.4}");
+        }
+    }
+}
+
+/// The `par/*` rows: what `Engine::with_threads` buys (or costs) on
+/// this machine.  For each tier, evaluation wall time of two
+/// parallel-eligible queries at threads 1/2/4 with a derived
+/// `speedup/tN` ratio (t1 / tN, so >1 means the pool helped), plus a
+/// sweep of the split threshold at threads=4 showing where the
+/// chunk-coordination cost crosses the split benefit.  On a single-core
+/// container the speedups sit at ~1.0 — the rows then record that the
+/// coordination overhead stays in the noise, not a speedup (see
+/// DESIGN.md "Parallel evaluation").
+fn par_snapshot(elements: usize, runs: usize) -> Vec<(String, f64)> {
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let tag = format!("{}k", elements / 1000);
+    let doc = xmark_doc(&XmarkConfig::sized(elements));
+    let mut out: Vec<(String, f64)> = Vec::new();
+    for q in ["//item[@id]", "/site/*/*"] {
+        let query = minctx_syntax::parse_xpath(q).unwrap();
+        let mut t1_ms = 0.0;
+        for threads in [1usize, 2, 4] {
+            let engine = Engine::new(Strategy::MinContext).with_threads(threads);
+            engine.evaluate(&doc, &query).unwrap(); // warm compile + pool
+            let t = ms(time(runs, || engine.evaluate(&doc, &query).unwrap()));
+            out.push((format!("par/{tag}/eval-ms/t{threads}/{q}"), t));
+            if threads == 1 {
+                t1_ms = t;
+            } else {
+                out.push((format!("par/{tag}/speedup/t{threads}/{q}"), t1_ms / t));
+            }
+        }
+    }
+    // Threshold sweep at threads=4 on the fused-descendant query: low
+    // thresholds chunk nearly every step, high ones bypass all but the
+    // biggest sweeps.
+    let query = minctx_syntax::parse_xpath("//item[@id]").unwrap();
+    for threshold in [512usize, 4096, 32768, 262_144] {
+        let engine = Engine::new(Strategy::MinContext)
+            .with_threads(4)
+            .with_par_threshold(threshold);
+        engine.evaluate(&doc, &query).unwrap();
+        out.push((
+            format!("par/{tag}/eval-ms/t4-thr{threshold}"),
+            ms(time(runs, || engine.evaluate(&doc, &query).unwrap())),
+        ));
+    }
+    out
 }
 
 /// The `serve/*` rows: saturation throughput and latency of the

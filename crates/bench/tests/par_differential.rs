@@ -1,0 +1,124 @@
+//! Parallel-evaluation differential suite: the full cross-suite corpus
+//! must produce **identical** results at `threads ∈ {1, 2, 4}` — query
+//! for query, ordinal for ordinal (node-set values compare by `NodeId`,
+//! which *is* the pre-order ordinal) — against the plain sequential
+//! engine, under all four arena strategies.
+//!
+//! This is the acceptance gate for the chunk-and-merge kernels and the
+//! per-context fan-out: chunks are disjoint ascending index ranges
+//! merged in chunk order, so a threaded engine is required to be
+//! bit-identical to the sequential one, not merely set-equal.  The
+//! thresholds are forced far below their defaults so the corpus's small
+//! documents actually cross the parallel gates instead of vacuously
+//! bypassing them.
+
+use minctx_bench::{corpus, values_agree, xmark_doc, xorshift, XmarkConfig};
+use minctx_core::{Engine, Strategy, Value};
+use minctx_xml::Document;
+
+/// Corpus documents plus an XMark-style generated document so the
+/// postings fast paths split realistic column slices.
+fn documents() -> Vec<(String, Document)> {
+    let mut docs = corpus::documents();
+    docs.push((
+        "xmark-2k".to_string(),
+        xmark_doc(&XmarkConfig::sized(2_000)),
+    ));
+    docs
+}
+
+fn check(
+    tag: &str,
+    seq: &Result<Value, minctx_core::EvalError>,
+    par: Result<Value, minctx_core::EvalError>,
+) {
+    match (seq, &par) {
+        (Ok(va), Ok(vb)) => assert!(
+            values_agree(va, vb),
+            "{tag}: sequential {va:?} != parallel {vb:?}"
+        ),
+        (Err(ea), Err(eb)) => assert_eq!(ea.to_string(), eb.to_string(), "{tag}: errors diverge"),
+        _ => panic!("{tag}: sequential {seq:?} vs parallel {par:?}"),
+    }
+}
+
+#[test]
+#[cfg_attr(
+    miri,
+    ignore = "full corpus x strategy x thread sweep is minutes-long under the interpreter"
+)]
+fn corpus_agrees_across_thread_counts_and_strategies() {
+    for (name, doc) in &documents() {
+        // All four strategies on the hand-written documents; the
+        // generated document is past the cubic CVT evaluator's practical
+        // size (and pointlessly slow under the metered naive one), so it
+        // runs the two serving evaluators — only those two route through
+        // the parallel kernels anyway.
+        let strategies: &[Strategy] = if doc.len() > 650 {
+            &[Strategy::MinContext, Strategy::OptMinContext]
+        } else {
+            &Strategy::ALL
+        };
+        for &strategy in strategies {
+            let baseline = Engine::new(strategy);
+            let threaded: Vec<(usize, Engine)> = [2, 4]
+                .into_iter()
+                .map(|t| {
+                    (
+                        t,
+                        Engine::new(strategy)
+                            .with_threads(t)
+                            .with_par_threshold(8)
+                            .with_par_chunk_min(2),
+                    )
+                })
+                .collect();
+            // threads(1) must be the literal sequential engine.
+            assert_eq!(Engine::new(strategy).with_threads(1).threads(), 1);
+            for query in corpus::QUERIES {
+                let seq = baseline.evaluate_str(doc, query);
+                for (t, engine) in &threaded {
+                    let par = engine.evaluate_str(doc, query);
+                    check(&format!("{name} / {strategy} / t={t} / {query}"), &seq, par);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(
+    miri,
+    ignore = "randomized corpus sweep is minutes-long under the interpreter"
+)]
+fn randomized_chunk_geometry_never_changes_results() {
+    // Seeded property test: random split geometry (threshold, minimum
+    // chunk size, thread count) must never change any answer.  Chunk
+    // boundaries land at arbitrary offsets inside the postings columns
+    // and context sets, so this sweeps merge seams the fixed-geometry
+    // test cannot.
+    let doc = xmark_doc(&XmarkConfig::sized(1_500));
+    let baseline = Engine::new(Strategy::OptMinContext);
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+    for round in 0..12 {
+        let threads = 2 + (xorshift(&mut rng) as usize % 4); // 2..=5
+        let threshold = 1 + (xorshift(&mut rng) as usize % 64); // 1..=64
+        let min_chunk = 1 + (xorshift(&mut rng) as usize % 32); // 1..=32
+        let engine = Engine::new(Strategy::OptMinContext)
+            .with_threads(threads)
+            .with_par_threshold(threshold)
+            .with_par_chunk_min(min_chunk);
+        for query in corpus::QUERIES
+            .iter()
+            .filter(|_| xorshift(&mut rng) % 3 == 0)
+        {
+            let seq = baseline.evaluate_str(&doc, query);
+            let par = engine.evaluate_str(&doc, query);
+            check(
+                &format!("round {round} (t={threads} thr={threshold} min={min_chunk}) / {query}"),
+                &seq,
+                par,
+            );
+        }
+    }
+}

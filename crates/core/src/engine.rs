@@ -17,13 +17,13 @@ use crate::cache::LruCache;
 use crate::compile::CompiledQuery;
 use crate::error::EvalError;
 use crate::explain::QueryProfile;
-use crate::mincontext::MinContext;
+use crate::mincontext::{MinContext, ParSettings};
 use crate::naive::Naive;
 use crate::tables::ContextValueTables;
 use crate::value::Value;
 use minctx_obs::{Phase, Recorder};
 use minctx_syntax::{parse_xpath, Query};
-use minctx_xml::{Document, NodeId, Scratch};
+use minctx_xml::{Document, NodeId, ParConfig, Scratch, WorkerPool};
 use std::fmt;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -190,6 +190,15 @@ pub struct Engine {
     /// the parse/rewrite/compile/evaluate paths then cost one branch each
     /// and never read the clock (see [`Engine::with_recorder`]).
     recorder: Recorder,
+    /// Worker count for parallel evaluation; 1 (the default) means fully
+    /// sequential — no pool exists and the MINCONTEXT evaluators run the
+    /// exact pre-parallelism code path.
+    threads: usize,
+    /// Size gating for the chunked kernels (see [`ParConfig`]).
+    par: ParConfig,
+    /// The work-splitting pool, present iff `threads > 1`.  Clones share
+    /// it (the pool serializes concurrent regions internally).
+    pool: Option<Arc<WorkerPool>>,
 }
 
 /// Scratch arenas retained in the pool; beyond this, returning scratches
@@ -204,6 +213,7 @@ impl fmt::Debug for Engine {
             .field("optimize", &self.optimize)
             .field("cached_queries", &self.cached_queries())
             .field("recorder", &self.recorder)
+            .field("threads", &self.threads)
             .finish()
     }
 }
@@ -220,6 +230,10 @@ impl Clone for Engine {
             // Clones share the sink: a cloned serving engine keeps tracing
             // into the same stream.
             recorder: self.recorder.clone(),
+            threads: self.threads,
+            par: self.par,
+            // Clones share the pool; regions are serialized inside it.
+            pool: self.pool.clone(),
         }
     }
 }
@@ -244,6 +258,56 @@ impl Engine {
             cache: Mutex::new(LruCache::new(DEFAULT_CACHE_CAPACITY)),
             scratch_pool: Mutex::new(Vec::new()),
             recorder: Recorder::disabled(),
+            threads: 1,
+            par: ParConfig::default(),
+            pool: None,
+        }
+    }
+
+    /// Sets the worker count for parallel evaluation.  With `n > 1` the
+    /// MINCONTEXT/OPTMINCONTEXT evaluators split large axis sweeps and
+    /// predicate fan-outs across a pool of `n` workers (chunks merged by
+    /// pre-order ordinal, so results are **bit-identical** to sequential
+    /// evaluation).  The default — and `n = 1` — keeps evaluation fully
+    /// sequential on the exact pre-parallelism code path; small inputs
+    /// stay sequential regardless, gated by a size threshold.
+    pub fn with_threads(mut self, n: usize) -> Engine {
+        let n = n.max(1);
+        self.threads = n;
+        self.pool = (n > 1).then(|| Arc::new(WorkerPool::new(n)));
+        self
+    }
+
+    /// The configured worker count (1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Overrides the minimum scanned-item count above which the chunked
+    /// parallel kernels engage (default 4096).  Exposed chiefly so tests
+    /// and benchmarks can force or sweep the gating; the default keeps
+    /// small steps off the pool.
+    pub fn with_par_threshold(mut self, threshold: usize) -> Engine {
+        self.par.threshold = threshold;
+        self
+    }
+
+    /// Overrides the minimum chunk size for the parallel kernels
+    /// (default 1024).
+    pub fn with_par_chunk_min(mut self, min_chunk: usize) -> Engine {
+        self.par.min_chunk = min_chunk;
+        self
+    }
+
+    /// The MINCONTEXT evaluator configured for this engine: optimized or
+    /// not, with the parallel settings attached iff a pool exists.
+    pub(crate) fn mincontext(&self, optimized: bool) -> MinContext {
+        MinContext {
+            optimized,
+            parallel: self.pool.as_ref().map(|pool| ParSettings {
+                pool: Arc::clone(pool),
+                config: self.par,
+            }),
         }
     }
 
@@ -340,8 +404,8 @@ impl Engine {
             // MINCONTEXT — the same evaluator the streaming differential
             // suite uses as its oracle — so `evaluate_reader`'s arena
             // fallback and a direct `evaluate` agree by construction.
-            Strategy::MinContext | Strategy::Streaming => Box::new(MinContext { optimized: false }),
-            Strategy::OptMinContext => Box::new(MinContext { optimized: true }),
+            Strategy::MinContext | Strategy::Streaming => Box::new(self.mincontext(false)),
+            Strategy::OptMinContext => Box::new(self.mincontext(true)),
         }
     }
 
@@ -612,6 +676,77 @@ mod tests {
                 .with_cache_capacity(7)
                 .cache_capacity(),
             7
+        );
+    }
+
+    #[test]
+    fn threaded_engines_agree_with_sequential_evaluation() {
+        // A document wide enough to clear forced-down parallel gates:
+        // 600 <item> children (half carrying @id) under one root.
+        let mut xml = String::from("<root>");
+        for i in 0..600 {
+            if i % 2 == 0 {
+                xml.push_str(&format!("<item id=\"{i}\"><sub/></item>"));
+            } else {
+                xml.push_str("<item><sub/></item>");
+            }
+        }
+        xml.push_str("</root>");
+        let doc = parse(&xml).unwrap();
+
+        let queries = [
+            "/root/item",
+            "//sub",
+            "//item[@id]",
+            "count(//item[sub])",
+            "/root/item[position() mod 2 = 1]/sub",
+        ];
+        for strategy in [Strategy::MinContext, Strategy::OptMinContext] {
+            let seq = Engine::new(strategy);
+            let par = Engine::new(strategy)
+                .with_threads(4)
+                .with_par_threshold(8)
+                .with_par_chunk_min(2);
+            assert_eq!(par.threads(), 4);
+            for q in queries {
+                assert_eq!(
+                    seq.evaluate_str(&doc, q).unwrap(),
+                    par.evaluate_str(&doc, q).unwrap(),
+                    "{strategy} {q}"
+                );
+            }
+        }
+
+        // threads(1) keeps the purely sequential engine: no pool at all.
+        assert_eq!(
+            Engine::new(Strategy::MinContext).with_threads(1).threads(),
+            1
+        );
+        assert_eq!(
+            Engine::new(Strategy::MinContext).with_threads(0).threads(),
+            1
+        );
+
+        // EXPLAIN on a threaded engine attributes chunked steps (the
+        // child::sub step sweeps from 600 context items; `//sub` would
+        // take the singleton-root shortcut and stay sequential); the
+        // sequential plan stays in the pre-parallel format.
+        let par = Engine::new(Strategy::MinContext)
+            .with_threads(4)
+            .with_par_threshold(8)
+            .with_par_chunk_min(2);
+        let plan = par.explain(&doc, "/root/item/sub").unwrap().plan_text();
+        assert!(
+            plan.contains(" par="),
+            "threaded plan attributes chunks:\n{plan}"
+        );
+        let seq_plan = Engine::new(Strategy::MinContext)
+            .explain(&doc, "/root/item/sub")
+            .unwrap()
+            .plan_text();
+        assert!(
+            !seq_plan.contains(" par="),
+            "sequential plan unchanged:\n{seq_plan}"
         );
     }
 

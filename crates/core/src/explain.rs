@@ -28,7 +28,6 @@
 use crate::compile::CompiledQuery;
 use crate::engine::{Context, Engine, Strategy};
 use crate::error::EvalError;
-use crate::mincontext::MinContext;
 use crate::rewrite::{rewrite_traced, Rule};
 use crate::value::Value;
 use minctx_syntax::{parse_xpath, ExprId, Node, PathStart, Query, Step};
@@ -59,6 +58,10 @@ pub struct StepProfile {
     pub output: u64,
     /// Wall time across invocations, inclusive of predicate filtering.
     pub time: Duration,
+    /// Parallel chunks dispatched across invocations (0 when the step ran
+    /// sequentially — the default on a 1-thread engine or below the
+    /// parallel size threshold).
+    pub par_chunks: u64,
 }
 
 /// The result of [`Engine::explain`](crate::Engine::explain): what one
@@ -132,9 +135,17 @@ impl QueryProfile {
             } else {
                 String::new()
             };
+            // ` par=K` appears only when chunked work was actually
+            // dispatched, keeping 1-thread plans byte-identical to the
+            // pre-parallel format the goldens pin.
+            let par = if st.par_chunks > 0 {
+                format!(" par={}", st.par_chunks)
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 s,
-                "  [#{} step {}] {}{preds} route={} calls={} in={} out={}",
+                "  [#{} step {}] {}{preds} route={} calls={} in={} out={}{par}",
                 st.path, st.index, st.display, st.route, st.invocations, st.input, st.output
             );
         }
@@ -201,6 +212,7 @@ impl ProfileCollector {
             s.input += obs.input as u64;
             s.output += obs.output as u64;
             s.time += obs.time;
+            s.par_chunks += obs.chunks as u64;
             return;
         }
         self.steps.push(StepProfile {
@@ -213,6 +225,7 @@ impl ProfileCollector {
             input: obs.input as u64,
             output: obs.output as u64,
             time: obs.time,
+            par_chunks: obs.chunks as u64,
         });
     }
 }
@@ -225,6 +238,7 @@ pub(crate) struct StepObservation {
     pub(crate) input: usize,
     pub(crate) output: usize,
     pub(crate) time: Duration,
+    pub(crate) chunks: usize,
 }
 
 /// Parses, rewrites (traced), compiles, and runs one instrumented
@@ -258,7 +272,7 @@ pub(crate) fn explain(
     let mut scratch = Scratch::new();
     let mut meter = engine.budget_config().meter();
     let t = Instant::now();
-    let value = MinContext { optimized }.evaluate_profiled(
+    let value = engine.mincontext(optimized).evaluate_profiled(
         doc,
         &compiled,
         Context::document(doc),

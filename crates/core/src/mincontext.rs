@@ -43,17 +43,48 @@ use crate::naive::arith;
 use crate::value::{compare, node_scalar_compare, Value};
 use minctx_syntax::{ExprId, Func, Node, PathStart, Relev, Step};
 use minctx_xml::axes::{
-    axis_image_into, axis_preimage_into, classify_image_route, classify_single_route, Axis,
+    axis_image_into, axis_image_into_par, axis_nodes_into_par, axis_preimage_into,
+    axis_preimage_into_par, classify_image_route, classify_single_route, Axis, ResolvedTest,
 };
-use minctx_xml::{Document, NodeId, NodeSet, Scratch};
+use minctx_xml::par::chunk_bounds;
+use minctx_xml::{Document, NodeId, NodeSet, ParConfig, Scratch, WorkerPool};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
+
+/// Parallel-evaluation settings threaded from the engine
+/// ([`Engine::with_threads`](crate::Engine::with_threads)): the shared
+/// work-splitting pool plus the size gating for the chunked kernels and
+/// the per-context fan-out.
+#[derive(Debug, Clone)]
+pub struct ParSettings {
+    /// The engine's worker pool (shared across engine clones; regions are
+    /// serialized inside the pool).
+    pub pool: Arc<WorkerPool>,
+    /// When the chunked paths engage and how finely they split.
+    pub config: ParConfig,
+}
+
+fn fanout_counter() -> &'static minctx_obs::Counter {
+    static C: OnceLock<minctx_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| minctx_obs::global().counter("par/fanout_regions"))
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The MINCONTEXT evaluator; with `optimized` set, OPTMINCONTEXT.
 #[derive(Debug, Clone, Default)]
 pub struct MinContext {
     /// Enables the Section-4 backward-propagation optimizations.
     pub optimized: bool,
+    /// With parallel settings attached, large axis sweeps run on the
+    /// chunked kernels and predicated steps fan the context set out
+    /// across the pool — results stay bit-identical to sequential
+    /// evaluation (chunks merge by pre-order ordinal).  `None` (the
+    /// default) is the exact sequential code path.
+    pub parallel: Option<ParSettings>,
 }
 
 impl Evaluator for MinContext {
@@ -82,6 +113,7 @@ impl Evaluator for MinContext {
             scratch,
             meter,
             prof: None,
+            par: self.parallel.clone(),
         };
         run.eval(query.query().root(), ctx)
     }
@@ -112,6 +144,7 @@ impl MinContext {
             scratch,
             meter,
             prof: Some(prof),
+            par: self.parallel.clone(),
         };
         run.eval(query.query().root(), ctx)
     }
@@ -135,6 +168,22 @@ struct Run<'d, 'q, 's, 'm, 'p> {
     /// EXPLAIN instrumentation; `None` (the common case) costs one branch
     /// per hook and never reads the clock.
     prof: Option<&'p mut ProfileCollector>,
+    /// Parallel settings; `None` keeps every kernel and loop on the exact
+    /// sequential path.  Fan-out workers always run with `None` — nested
+    /// regions would serialize on the pool's region lock for no benefit.
+    par: Option<ParSettings>,
+}
+
+/// What one fan-out chunk hands back to the parent run.
+struct ChunkOutcome {
+    /// Kept candidates, concatenated in origin order.
+    acc: Vec<NodeId>,
+    /// The worker's memo tables, merged back after the region.
+    memo: Vec<HashMap<u128, Value>>,
+    /// The worker's backward sets (OPTMINCONTEXT), merged back likewise.
+    backward: Vec<Option<NodeSet>>,
+    /// The first evaluation error the worker hit, if any.
+    err: Option<EvalError>,
 }
 
 /// Packs the *relevant* components of a context into a memo key; the
@@ -264,8 +313,25 @@ impl<'q> Run<'_, 'q, '_, '_, '_> {
             let input = cur.len();
             if step.predicates.is_empty() {
                 // Predicate-free step: one axis sweep for the whole
-                // context set, ping-ponging two reused buffers.
-                axis_image_into(self.doc, step.axis, &cur, test, self.scratch, &mut next);
+                // context set, ping-ponging two reused buffers.  With
+                // parallel settings attached, large sweeps run on the
+                // chunked kernels (same output, merged by ordinal).
+                let chunks = match &self.par {
+                    Some(ps) => axis_image_into_par(
+                        self.doc,
+                        step.axis,
+                        &cur,
+                        test,
+                        self.scratch,
+                        &mut next,
+                        &ps.pool,
+                        ps.config,
+                    ),
+                    None => {
+                        axis_image_into(self.doc, step.axis, &cur, test, self.scratch, &mut next);
+                        0
+                    }
+                };
                 // Charge the sweep's output too: from a singleton
                 // context, `preceding::*` can touch most of the
                 // document, and deadline polling granularity must
@@ -278,23 +344,50 @@ impl<'q> Run<'_, 'q, '_, '_, '_> {
                         input,
                         output: cur.len(),
                         time: timer.expect("profiled step has a timer").elapsed(),
+                        chunks,
                     };
                     p.record_step(path_id, si, step, obs);
                 }
             } else {
                 // Positional predicates need per-origin candidate lists in
                 // axis order; predicate values are memoized on Relev.
-                let mut acc = Vec::new();
-                let mut cands = Vec::new();
-                for x in cur.iter() {
-                    self.doc.axis_nodes_into(step.axis, x, test, &mut cands);
-                    let mut kept = std::mem::take(&mut cands);
-                    for &p in &step.predicates {
-                        kept = self.filter_candidates(p, kept)?;
+                // Above the size threshold the context set fans out
+                // across the pool — each worker handles a contiguous
+                // origin range with its own memo table and fuel
+                // sub-allowance, and per-origin results concatenate in
+                // origin order, identical to this sequential loop.
+                let fanout = self
+                    .par
+                    .as_ref()
+                    .map_or(0, |ps| ps.config.chunks_for(&ps.pool, cur.len()));
+                let (acc, chunks) = if fanout >= 2 {
+                    (self.fan_out_predicates(step, test, &cur, fanout)?, fanout)
+                } else {
+                    let mut acc = Vec::new();
+                    let mut cands = Vec::new();
+                    let mut chunks = 0usize;
+                    for x in cur.iter() {
+                        // A large single-origin arena scan (`preceding`,
+                        // `following`) can still chunk even when the
+                        // context set is too small to fan out.
+                        chunks += match &self.par {
+                            Some(ps) => axis_nodes_into_par(
+                                self.doc, step.axis, x, test, &mut cands, &ps.pool, ps.config,
+                            ),
+                            None => {
+                                self.doc.axis_nodes_into(step.axis, x, test, &mut cands);
+                                0
+                            }
+                        };
+                        let mut kept = std::mem::take(&mut cands);
+                        for &p in &step.predicates {
+                            kept = self.filter_candidates(p, kept)?;
+                        }
+                        acc.extend_from_slice(&kept);
+                        cands = kept;
                     }
-                    acc.extend_from_slice(&kept);
-                    cands = kept;
-                }
+                    (acc, chunks)
+                };
                 cur = NodeSet::from_unsorted_with_capacity(self.doc.len(), acc);
                 if let Some(p) = &mut self.prof {
                     let obs = StepObservation {
@@ -302,12 +395,133 @@ impl<'q> Run<'_, 'q, '_, '_, '_> {
                         input,
                         output: cur.len(),
                         time: timer.expect("profiled step has a timer").elapsed(),
+                        chunks,
                     };
                     p.record_step(path_id, si, step, obs);
                 }
             }
         }
         Ok(Value::NodeSet(cur))
+    }
+
+    /// Fans a predicated step's context set out across the pool: each of
+    /// the `k` chunks is a contiguous origin range evaluated by a fresh
+    /// sub-[`Run`] (own memo table, own backward slots, a pool-stashed
+    /// scratch, and a fuel sub-allowance from
+    /// [`BudgetMeter::split`]).  Per-origin results concatenate in chunk =
+    /// origin order, so the accumulated candidate list is exactly what
+    /// the sequential loop builds; worker memo tables merge back
+    /// (first-write-wins — values are deterministic, so order is moot)
+    /// and unspent fuel is absorbed.
+    ///
+    /// On failure the earliest chunk's error is returned — deterministic,
+    /// though a tight fuel cap may trip at a different point than
+    /// sequential evaluation would (see DESIGN.md "Parallel evaluation").
+    fn fan_out_predicates(
+        &mut self,
+        step: &Step,
+        test: ResolvedTest,
+        origins: &NodeSet,
+        k: usize,
+    ) -> Result<Vec<NodeId>, EvalError> {
+        let ps = self
+            .par
+            .clone()
+            .expect("fan-out requires parallel settings");
+        fanout_counter().inc();
+        let doc = self.doc;
+        let query = self.query;
+        let opt = self.opt;
+        let exprs = query.query().len();
+        let origins = origins.as_slice();
+        let axis = step.axis;
+        let predicates = &step.predicates;
+        let meters: Vec<Mutex<Option<BudgetMeter>>> = self
+            .meter
+            .split(k)
+            .into_iter()
+            .map(|m| Mutex::new(Some(m)))
+            .collect();
+        let slots: Vec<Mutex<Option<ChunkOutcome>>> = (0..k).map(|_| Mutex::new(None)).collect();
+        ps.pool.run(k, &|i| {
+            let (s, e) = chunk_bounds(origins.len(), k, i);
+            let mut meter = lock(&meters[i]).take().expect("meter prepared per chunk");
+            let mut scratch = ps.pool.take_scratch();
+            let mut sub = Run {
+                doc,
+                query,
+                opt,
+                memo: vec![HashMap::new(); exprs],
+                backward: vec![None; exprs],
+                scratch: &mut scratch,
+                meter: &mut meter,
+                prof: None,
+                // Workers never open nested regions.
+                par: None,
+            };
+            let mut acc = Vec::new();
+            let mut cands = Vec::new();
+            let mut err = None;
+            'origins: for &x in &origins[s..e] {
+                doc.axis_nodes_into(axis, x, test, &mut cands);
+                let mut kept = std::mem::take(&mut cands);
+                for &p in predicates {
+                    match sub.filter_candidates(p, kept) {
+                        Ok(v) => kept = v,
+                        Err(failure) => {
+                            err = Some(failure);
+                            break 'origins;
+                        }
+                    }
+                }
+                acc.extend_from_slice(&kept);
+                cands = kept;
+            }
+            let Run { memo, backward, .. } = sub;
+            ps.pool.put_scratch(scratch);
+            *lock(&meters[i]) = Some(meter);
+            *lock(&slots[i]) = Some(ChunkOutcome {
+                acc,
+                memo,
+                backward,
+                err,
+            });
+        });
+        for m in &meters {
+            let child = lock(m).take().expect("every chunk returns its meter");
+            self.meter.absorb(child);
+        }
+        let mut first_err: Option<EvalError> = None;
+        let mut acc = Vec::new();
+        for slot in slots {
+            let out = lock(&slot).take().expect("every chunk completes");
+            if let Some(e) = out.err {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+                continue;
+            }
+            if first_err.is_some() {
+                continue;
+            }
+            acc.extend(out.acc);
+            // Worker memo entries stay useful for later steps of this
+            // evaluation; merge them back (values are deterministic).
+            for (dst, src) in self.memo.iter_mut().zip(out.memo) {
+                for (key, val) in src {
+                    dst.entry(key).or_insert(val);
+                }
+            }
+            for (dst, src) in self.backward.iter_mut().zip(out.backward) {
+                if dst.is_none() {
+                    *dst = src;
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(acc),
+        }
     }
 
     fn filter_candidates(
@@ -428,7 +642,20 @@ impl<'q> Run<'_, 'q, '_, '_, '_> {
                 };
                 attr_ok && test.matches(self.doc, step.axis, y)
             });
-            axis_preimage_into(self.doc, step.axis, &set, self.scratch, &mut pre);
+            match &self.par {
+                Some(ps) => {
+                    axis_preimage_into_par(
+                        self.doc,
+                        step.axis,
+                        &set,
+                        self.scratch,
+                        &mut pre,
+                        &ps.pool,
+                        ps.config,
+                    );
+                }
+                None => axis_preimage_into(self.doc, step.axis, &set, self.scratch, &mut pre),
+            }
             std::mem::swap(&mut set, &mut pre);
         }
         Ok(set)
@@ -475,9 +702,12 @@ mod tests {
         let cq = CompiledQuery::new(doc, &q);
         let mut scratch = Scratch::new();
         let mut meter = BudgetMeter::unlimited();
-        MinContext { optimized }
-            .evaluate(doc, &cq, Context::document(doc), &mut scratch, &mut meter)
-            .unwrap()
+        MinContext {
+            optimized,
+            parallel: None,
+        }
+        .evaluate(doc, &cq, Context::document(doc), &mut scratch, &mut meter)
+        .unwrap()
     }
 
     fn eval_both(xml: &str, query: &str) -> (Value, Value) {
@@ -580,6 +810,7 @@ mod tests {
             scratch: &mut scratch,
             meter: &mut meter,
             prof: None,
+            par: None,
         };
         let v = run.eval(q.root(), Context::document(&doc)).unwrap();
         assert_eq!(v.as_node_set().unwrap().len(), 2);

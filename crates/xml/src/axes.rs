@@ -37,7 +37,9 @@ use crate::document::{Document, NONE};
 use crate::name::Name;
 use crate::node::{NodeId, NodeKind};
 use crate::nodeset::{DenseSet, NodeSet};
+use crate::par::{chunk_bounds, note_bypass, ParConfig, WorkerPool};
 use std::fmt;
+use std::sync::{Mutex, PoisonError};
 
 /// The XPath axes of the paper (Section 2.1) plus the `attribute` extension
 /// and the `id` pseudo-axis of Section 4.
@@ -718,6 +720,607 @@ fn name_image_fast(
         }
         // Sibling walks and the remaining axes use the generic sweeps.
         Axis::SelfAxis | Axis::FollowingSibling | Axis::PrecedingSibling | Axis::Id => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel chunk-and-merge kernels.
+//
+// The dominant cost of every eligible kernel above is a single ascending
+// scan — over the arena (`0..n`) or over a sorted postings slice.  Chunking
+// that scan at index boundaries yields per-chunk outputs that are sorted and
+// disjoint, and concatenating them in chunk order reproduces the sequential
+// output *bit for bit* (the differential suites enforce this).  Any shared
+// mark/flag bitmaps are built sequentially before the region starts and read
+// immutably inside it.
+//
+// Kernels whose scans are interleaved with state updates (sibling sweeps),
+// bounded by the origin chain (parent/ancestor walks), or already memcpys
+// (name-tested `following`) stay sequential; the `*_par` entry points
+// delegate and return 0 chunks.  Size gating (`ParConfig`) keeps small
+// calls off the pool entirely.
+
+/// Runs `fill(start, end, buf)` for each chunk of `0..len` on the pool and
+/// returns the per-chunk buffers in chunk order.
+fn fill_chunks<F>(pool: &WorkerPool, len: usize, chunks: usize, fill: F) -> Vec<Vec<NodeId>>
+where
+    F: Fn(usize, usize, &mut Vec<NodeId>) + Sync,
+{
+    let slots: Vec<Mutex<Vec<NodeId>>> = (0..chunks).map(|_| Mutex::new(Vec::new())).collect();
+    pool.run(chunks, &|i| {
+        let (s, e) = chunk_bounds(len, chunks, i);
+        // Uncontended: each chunk index is claimed exactly once, so the
+        // lock only fences the buffer hand-off back to the merge loop.
+        let mut buf = slots[i].lock().unwrap_or_else(PoisonError::into_inner);
+        fill(s, e, &mut buf);
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap_or_else(PoisonError::into_inner))
+        .collect()
+}
+
+/// Chunk-and-merge driver: per-chunk outputs (ascending within each chunk)
+/// are concatenated in chunk order into `out` — exactly the sequential
+/// scan's output, since the chunks partition `0..len` in ascending order.
+fn run_chunked<F>(pool: &WorkerPool, len: usize, chunks: usize, out: &mut NodeSet, fill: F)
+where
+    F: Fn(usize, usize, &mut Vec<NodeId>) + Sync,
+{
+    let o = out.vec_mut();
+    for buf in fill_chunks(pool, len, chunks, fill) {
+        o.extend_from_slice(&buf);
+    }
+}
+
+/// Parallel variant of [`axis_image_into`]: identical output, but the
+/// dominant scan of eligible kernels is split into index-range chunks
+/// executed on `pool` and merged by pre-order ordinal.  Returns the number
+/// of chunks used; `0` means the call ran on the sequential kernels
+/// (ineligible shape, or below `cfg.threshold`).
+#[allow(clippy::too_many_arguments)]
+pub fn axis_image_into_par(
+    doc: &Document,
+    axis: Axis,
+    x: &NodeSet,
+    t: ResolvedTest,
+    scratch: &mut Scratch,
+    out: &mut NodeSet,
+    pool: &WorkerPool,
+    cfg: ParConfig,
+) -> usize {
+    image_into_par(doc, axis, x.as_slice(), t, scratch, out, pool, cfg)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn image_into_par(
+    doc: &Document,
+    axis: Axis,
+    x: &[NodeId],
+    t: ResolvedTest,
+    scratch: &mut Scratch,
+    out: &mut NodeSet,
+    pool: &WorkerPool,
+    cfg: ParConfig,
+) -> usize {
+    out.clear();
+    if x.is_empty() || t == ResolvedTest::NeverMatches {
+        return 0;
+    }
+    // Same singleton shortcut as the sequential kernel: the local walk is
+    // cheaper than any region could be.
+    if x.len() == 1 {
+        let sliced_name_test =
+            matches!(axis, Axis::Following | Axis::Preceding) && matches!(t, ResolvedTest::Name(_));
+        if axis != Axis::Id && !sliced_name_test {
+            image_into(doc, axis, x, t, scratch, out);
+            return 0;
+        }
+    }
+    scratch.grow(doc.len());
+    if let ResolvedTest::Name(nm) = t {
+        name_image_par(doc, axis, x, nm, scratch, out, pool, cfg)
+    } else {
+        generic_image_par(doc, axis, x, t, scratch, out, pool, cfg)
+    }
+}
+
+/// Postings-backed name-test kernels, chunked over the (sliced) postings.
+#[allow(clippy::too_many_arguments)]
+fn name_image_par(
+    doc: &Document,
+    axis: Axis,
+    x: &[NodeId],
+    nm: Name,
+    scratch: &mut Scratch,
+    out: &mut NodeSet,
+    pool: &WorkerPool,
+    cfg: ParConfig,
+) -> usize {
+    let t = ResolvedTest::Name(nm);
+    match axis {
+        Axis::Child | Axis::Attribute => {
+            let posts = if axis == Axis::Child {
+                doc.element_postings(nm)
+            } else {
+                doc.attribute_postings(nm)
+            };
+            let chunks = cfg.chunks_for(pool, posts.len());
+            if chunks == 0 {
+                note_bypass();
+                image_into(doc, axis, x, t, scratch, out);
+                return 0;
+            }
+            let marked = &mut scratch.marked;
+            mark(marked, x);
+            let marked = &*marked;
+            let parent = doc.parent_raw();
+            run_chunked(pool, posts.len(), chunks, out, |s, e, buf| {
+                for &p in &posts[s..e] {
+                    let par = parent[p.index()];
+                    if par != NONE && marked.contains(NodeId(par)) {
+                        buf.push(p);
+                    }
+                }
+            });
+            chunks
+        }
+        Axis::Descendant | Axis::DescendantOrSelf => {
+            // Merge the subtree intervals of X exactly as the sequential
+            // kernel does, then test each posting against the merged
+            // ranges by binary search instead of merging linearly.
+            let or_self = axis == Axis::DescendantOrSelf;
+            scratch.ranges.clear();
+            for &m in x {
+                let s = (m.index() + usize::from(!or_self)) as u32;
+                let e = doc.subtree_end(m) as u32;
+                if s >= e {
+                    continue;
+                }
+                match scratch.ranges.last_mut() {
+                    Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                    _ => scratch.ranges.push((s, e)),
+                }
+            }
+            let (first, last) = match (scratch.ranges.first(), scratch.ranges.last()) {
+                (Some(&f), Some(&l)) => (f, l),
+                _ => return 0, // no ranges ⇒ empty output
+            };
+            let all = doc.element_postings(nm);
+            let lo = all.partition_point(|p| (p.index() as u32) < first.0);
+            let hi = lo + all[lo..].partition_point(|p| (p.index() as u32) < last.1);
+            let posts = &all[lo..hi];
+            let chunks = cfg.chunks_for(pool, posts.len());
+            if chunks == 0 {
+                note_bypass();
+                image_into(doc, axis, x, t, scratch, out);
+                return 0;
+            }
+            let ranges = &scratch.ranges;
+            run_chunked(pool, posts.len(), chunks, out, |s, e, buf| {
+                for &p in &posts[s..e] {
+                    let pi = p.index() as u32;
+                    // Ranges are sorted and disjoint: the only candidate
+                    // is the last one starting at or before `pi`.
+                    let idx = ranges.partition_point(|&(rs, _)| rs <= pi);
+                    if idx > 0 && pi < ranges[idx - 1].1 {
+                        buf.push(p);
+                    }
+                }
+            });
+            chunks
+        }
+        Axis::Preceding => {
+            let m = x.iter().map(|v| v.index()).max().expect("x non-empty");
+            let all = doc.element_postings(nm);
+            let posts = &all[..all.partition_point(|p| p.index() < m)];
+            let chunks = cfg.chunks_for(pool, posts.len());
+            if chunks == 0 {
+                note_bypass();
+                image_into(doc, axis, x, t, scratch, out);
+                return 0;
+            }
+            run_chunked(pool, posts.len(), chunks, out, |s, e, buf| {
+                for &p in &posts[s..e] {
+                    if doc.subtree_end(p) <= m {
+                        buf.push(p);
+                    }
+                }
+            });
+            chunks
+        }
+        // Name-tested `following` is a postings memcpy, `parent`/`ancestor`
+        // are chain walks, and the rest fall through to sweeps the
+        // sequential kernel handles — none benefit from chunking.
+        _ => {
+            image_into(doc, axis, x, t, scratch, out);
+            0
+        }
+    }
+}
+
+/// Generic arena sweeps with the output scan chunked; mark/flag bitmaps
+/// are built sequentially first (identically to [`image_into`]) and read
+/// immutably inside the region.
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::needless_range_loop)] // index-driven pre-order sweeps; the index is the NodeId
+fn generic_image_par(
+    doc: &Document,
+    axis: Axis,
+    x: &[NodeId],
+    t: ResolvedTest,
+    scratch: &mut Scratch,
+    out: &mut NodeSet,
+    pool: &WorkerPool,
+    cfg: ParConfig,
+) -> usize {
+    let n = doc.len();
+    let keep = move |node: NodeId| t.matches(doc, axis, node);
+    let parallel = matches!(
+        axis,
+        Axis::Child
+            | Axis::Parent
+            | Axis::Descendant
+            | Axis::DescendantOrSelf
+            | Axis::Ancestor
+            | Axis::AncestorOrSelf
+            | Axis::Following
+            | Axis::Preceding
+            | Axis::Attribute
+    );
+    if !parallel {
+        // Sibling sweeps interleave flag updates with output, `self` is
+        // O(|X|), and `id` re-sorts anyway: sequential.
+        image_into(doc, axis, x, t, scratch, out);
+        return 0;
+    }
+    let chunks = cfg.chunks_for(pool, n);
+    if chunks == 0 {
+        note_bypass();
+        image_into(doc, axis, x, t, scratch, out);
+        return 0;
+    }
+    let Scratch { marked, flag, .. } = scratch;
+    match axis {
+        Axis::Child => {
+            mark(marked, x);
+            let marked = &*marked;
+            let parent = doc.parent_raw();
+            run_chunked(pool, n, chunks, out, |s, e, buf| {
+                for i in s..e {
+                    let y = NodeId::from_index(i);
+                    let p = parent[i];
+                    if p != NONE
+                        && marked.contains(NodeId(p))
+                        && !doc.kind(y).is_attribute()
+                        && keep(y)
+                    {
+                        buf.push(y);
+                    }
+                }
+            });
+        }
+        Axis::Parent => {
+            flag.clear();
+            let parent = doc.parent_raw();
+            for &m in x {
+                let p = parent[m.index()];
+                if p != NONE {
+                    flag.insert(NodeId(p));
+                }
+            }
+            let flag = &*flag;
+            run_chunked(pool, n, chunks, out, |s, e, buf| {
+                for i in s..e {
+                    let y = NodeId::from_index(i);
+                    if flag.contains(y) && keep(y) {
+                        buf.push(y);
+                    }
+                }
+            });
+        }
+        Axis::Descendant | Axis::DescendantOrSelf => {
+            mark(marked, x);
+            flag.clear();
+            let parent = doc.parent_raw();
+            for i in 1..n {
+                let p = NodeId(parent[i]);
+                if marked.contains(p) || flag.contains(p) {
+                    flag.insert(NodeId::from_index(i));
+                }
+            }
+            let or_self = axis == Axis::DescendantOrSelf;
+            let (marked, flag) = (&*marked, &*flag);
+            run_chunked(pool, n, chunks, out, |s, e, buf| {
+                for i in s..e {
+                    let y = NodeId::from_index(i);
+                    if ((flag.contains(y) && !doc.kind(y).is_attribute())
+                        || (or_self && marked.contains(y)))
+                        && keep(y)
+                    {
+                        buf.push(y);
+                    }
+                }
+            });
+        }
+        Axis::Ancestor | Axis::AncestorOrSelf => {
+            mark(marked, x);
+            flag.clear();
+            let parent = doc.parent_raw();
+            for i in (1..n).rev() {
+                let y = NodeId::from_index(i);
+                if marked.contains(y) || flag.contains(y) {
+                    flag.insert(NodeId(parent[i]));
+                }
+            }
+            let or_self = axis == Axis::AncestorOrSelf;
+            let (marked, flag) = (&*marked, &*flag);
+            run_chunked(pool, n, chunks, out, |s, e, buf| {
+                for i in s..e {
+                    let y = NodeId::from_index(i);
+                    if (flag.contains(y) || (or_self && marked.contains(y))) && keep(y) {
+                        buf.push(y);
+                    }
+                }
+            });
+        }
+        Axis::Following => {
+            let m = x
+                .iter()
+                .map(|&v| doc.subtree_end(v))
+                .min()
+                .expect("x non-empty");
+            run_chunked(pool, n - m, chunks, out, |s, e, buf| {
+                for i in m + s..m + e {
+                    let y = NodeId::from_index(i);
+                    if !doc.kind(y).is_attribute() && keep(y) {
+                        buf.push(y);
+                    }
+                }
+            });
+        }
+        Axis::Preceding => {
+            let m = x.iter().map(|v| v.index()).max().expect("x non-empty");
+            // subtree_end(y) > pre(y), so only indices below m qualify.
+            run_chunked(pool, m, chunks, out, |s, e, buf| {
+                for i in s..e {
+                    let y = NodeId::from_index(i);
+                    if doc.subtree_end(y) <= m && !doc.kind(y).is_attribute() && keep(y) {
+                        buf.push(y);
+                    }
+                }
+            });
+        }
+        Axis::Attribute => {
+            mark(marked, x);
+            let marked = &*marked;
+            let parent = doc.parent_raw();
+            run_chunked(pool, n, chunks, out, |s, e, buf| {
+                for i in s..e {
+                    let y = NodeId::from_index(i);
+                    let p = parent[i];
+                    if doc.kind(y).is_attribute()
+                        && p != NONE
+                        && marked.contains(NodeId(p))
+                        && keep(y)
+                    {
+                        buf.push(y);
+                    }
+                }
+            });
+        }
+        _ => unreachable!("gated by `parallel` above"),
+    }
+    chunks
+}
+
+/// Parallel variant of [`axis_preimage_into`]: identical output, with the
+/// mirror-image cases routed through [`axis_image_into_par`] and the
+/// direct `ancestor`/`following` arena scans chunked.  Returns the number
+/// of chunks used (`0` = sequential).
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::needless_range_loop)] // index-driven pre-order sweeps; the index is the NodeId
+pub fn axis_preimage_into_par(
+    doc: &Document,
+    axis: Axis,
+    y: &NodeSet,
+    scratch: &mut Scratch,
+    out: &mut NodeSet,
+    pool: &WorkerPool,
+    cfg: ParConfig,
+) -> usize {
+    out.clear();
+    if y.is_empty() {
+        return 0;
+    }
+    let n = doc.len();
+    scratch.grow(n);
+    match axis {
+        Axis::Child | Axis::Descendant | Axis::DescendantOrSelf => {
+            // Mirror through the parallel image, with the same attribute
+            // filtering as the sequential kernel.
+            let mut filt = std::mem::take(&mut scratch.tmp2);
+            filt.clear();
+            filt.extend(y.iter().filter(|&m| !doc.kind(m).is_attribute()));
+            let mirror = match axis {
+                Axis::Child => Axis::Parent,
+                Axis::Descendant => Axis::Ancestor,
+                _ => Axis::AncestorOrSelf,
+            };
+            let chunks = image_into_par(
+                doc,
+                mirror,
+                &filt,
+                ResolvedTest::AnyNode,
+                scratch,
+                out,
+                pool,
+                cfg,
+            );
+            scratch.tmp2 = filt;
+            if axis == Axis::DescendantOrSelf {
+                let o = out.vec_mut();
+                o.extend(y.iter().filter(|&m| doc.kind(m).is_attribute()));
+                o.sort_unstable();
+                o.dedup();
+            }
+            chunks
+        }
+        Axis::Parent => {
+            let chunks = image_into_par(
+                doc,
+                Axis::Child,
+                y.as_slice(),
+                ResolvedTest::AnyNode,
+                scratch,
+                out,
+                pool,
+                cfg,
+            );
+            let o = out.vec_mut();
+            for m in y.iter() {
+                if doc.kind(m).is_element() {
+                    o.extend(doc.attributes(m));
+                }
+            }
+            o.sort_unstable();
+            o.dedup();
+            chunks
+        }
+        Axis::Ancestor | Axis::AncestorOrSelf => {
+            let chunks = cfg.chunks_for(pool, n);
+            if chunks == 0 {
+                note_bypass();
+                axis_preimage_into(doc, axis, y, scratch, out);
+                return 0;
+            }
+            let or_self = axis == Axis::AncestorOrSelf;
+            let Scratch { marked, flag, .. } = scratch;
+            mark(marked, y.as_slice());
+            flag.clear();
+            let parent = doc.parent_raw();
+            for i in 1..n {
+                let p = NodeId(parent[i]);
+                if marked.contains(p) || flag.contains(p) {
+                    flag.insert(NodeId::from_index(i));
+                }
+            }
+            let (marked, flag) = (&*marked, &*flag);
+            run_chunked(pool, n, chunks, out, |s, e, buf| {
+                for i in s..e {
+                    let id = NodeId::from_index(i);
+                    if flag.contains(id) || (or_self && marked.contains(id)) {
+                        buf.push(id);
+                    }
+                }
+            });
+            chunks
+        }
+        Axis::Following => {
+            let Some(m) = y
+                .iter()
+                .filter(|&v| !doc.kind(v).is_attribute())
+                .map(|v| v.index())
+                .max()
+            else {
+                return 0;
+            };
+            let chunks = cfg.chunks_for(pool, n);
+            if chunks == 0 {
+                note_bypass();
+                axis_preimage_into(doc, axis, y, scratch, out);
+                return 0;
+            }
+            run_chunked(pool, n, chunks, out, |s, e, buf| {
+                for i in s..e {
+                    let v = NodeId::from_index(i);
+                    if doc.subtree_end(v) <= m {
+                        buf.push(v);
+                    }
+                }
+            });
+            chunks
+        }
+        // `preceding` is a pure index-range push (memcpy-shaped), and the
+        // remaining axes are small or sibling-shaped: sequential.
+        _ => {
+            axis_preimage_into(doc, axis, y, scratch, out);
+            0
+        }
+    }
+}
+
+/// Parallel variant of [`Document::axis_nodes_into`] for the single-origin
+/// axes whose cost is an arena scan — `following` and `preceding` under
+/// non-name tests.  Everything else (local walks, postings binary
+/// searches) delegates.  Output order is the axis order `<doc,χ`, exactly
+/// as the sequential walk produces it.  Returns chunks used (`0` =
+/// sequential).
+pub fn axis_nodes_into_par(
+    doc: &Document,
+    axis: Axis,
+    from: NodeId,
+    t: ResolvedTest,
+    out: &mut Vec<NodeId>,
+    pool: &WorkerPool,
+    cfg: ParConfig,
+) -> usize {
+    let name_test = matches!(t, ResolvedTest::Name(_));
+    match axis {
+        Axis::Following if !name_test && t != ResolvedTest::NeverMatches => {
+            let start = doc.subtree_end(from);
+            let n = doc.len();
+            let chunks = cfg.chunks_for(pool, n - start);
+            if chunks == 0 {
+                note_bypass();
+                doc.axis_nodes_into(axis, from, t, out);
+                return 0;
+            }
+            out.clear();
+            let bufs = fill_chunks(pool, n - start, chunks, |s, e, buf| {
+                for i in start + s..start + e {
+                    let y = NodeId::from_index(i);
+                    if !doc.kind(y).is_attribute() && t.matches(doc, axis, y) {
+                        buf.push(y);
+                    }
+                }
+            });
+            for buf in bufs {
+                out.extend_from_slice(&buf);
+            }
+            chunks
+        }
+        Axis::Preceding if !name_test && t != ResolvedTest::NeverMatches => {
+            let m = from.index();
+            let chunks = cfg.chunks_for(pool, m);
+            if chunks == 0 {
+                note_bypass();
+                doc.axis_nodes_into(axis, from, t, out);
+                return 0;
+            }
+            out.clear();
+            let bufs = fill_chunks(pool, m, chunks, |s, e, buf| {
+                for i in s..e {
+                    let y = NodeId::from_index(i);
+                    if doc.subtree_end(y) <= m
+                        && !doc.kind(y).is_attribute()
+                        && t.matches(doc, axis, y)
+                    {
+                        buf.push(y);
+                    }
+                }
+            });
+            // Reverse document order: reverse both the chunk order and
+            // each chunk's ascending contents.
+            for buf in bufs.iter().rev() {
+                out.extend(buf.iter().rev());
+            }
+            chunks
+        }
+        _ => {
+            doc.axis_nodes_into(axis, from, t, out);
+            0
+        }
     }
 }
 
@@ -1481,6 +2084,114 @@ mod tests {
             assert_eq!(Axis::from_str_opt(axis.as_str()), Some(axis));
         }
         assert_eq!(Axis::from_str_opt("sideways"), None);
+    }
+
+    #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full axis x test x origin pool sweep is minutes-long under the interpreter"
+    )]
+    fn parallel_kernels_match_sequential_bit_for_bit() {
+        // Tiny thresholds force the chunked paths even on these small
+        // documents; every axis × test × origin-set combination must agree
+        // with the sequential kernels exactly (ordinals included).
+        let pool = WorkerPool::new(3);
+        let cfg = ParConfig {
+            threshold: 2,
+            min_chunk: 1,
+        };
+        for doc in [doc1(), doc2()] {
+            let everything: NodeSet = doc.all_nodes().collect();
+            let elems = all_elements(&doc);
+            let single = NodeSet::singleton(doc.document_element());
+            let tests = [
+                NodeTest::AnyNode,
+                NodeTest::Wildcard,
+                NodeTest::Text,
+                NodeTest::name("b"),
+                NodeTest::name("c"),
+                NodeTest::name("q"),
+                NodeTest::name("zzz"),
+            ];
+            let mut scratch = Scratch::new();
+            for axis in Axis::ALL {
+                for test in &tests {
+                    let t = test.resolve(&doc);
+                    for set in [&elems, &everything, &single] {
+                        let mut seq = NodeSet::new();
+                        axis_image_into(&doc, axis, set, t, &mut scratch, &mut seq);
+                        let mut par = NodeSet::new();
+                        axis_image_into_par(&doc, axis, set, t, &mut scratch, &mut par, &pool, cfg);
+                        assert_eq!(par, seq, "image axis {axis} test {test}");
+                    }
+                    let mut seq = NodeSet::new();
+                    axis_preimage_into(&doc, axis, &everything, &mut scratch, &mut seq);
+                    let mut par = NodeSet::new();
+                    axis_preimage_into_par(
+                        &doc,
+                        axis,
+                        &everything,
+                        &mut scratch,
+                        &mut par,
+                        &pool,
+                        cfg,
+                    );
+                    assert_eq!(par, seq, "preimage axis {axis}");
+                    for from in everything.iter() {
+                        let mut seq = Vec::new();
+                        doc.axis_nodes_into(axis, from, t, &mut seq);
+                        let mut par = Vec::new();
+                        axis_nodes_into_par(&doc, axis, from, t, &mut par, &pool, cfg);
+                        assert_eq!(par, seq, "axis_nodes axis {axis} test {test} from {from}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "4000-element chunked sweep is minutes-long under the interpreter"
+    )]
+    fn parallel_kernels_engage_above_threshold() {
+        // A wide flat document large enough that the chunked paths really
+        // run (non-zero chunk counts), still agreeing with sequential.
+        let mut xml = String::from("<r>");
+        for i in 0..4000 {
+            if i % 3 == 0 {
+                xml.push_str("<a><b/></a>");
+            } else {
+                xml.push_str("<c/>");
+            }
+        }
+        xml.push_str("</r>");
+        let doc = parse(&xml).unwrap();
+        let pool = WorkerPool::new(4);
+        let cfg = ParConfig {
+            threshold: 64,
+            min_chunk: 16,
+        };
+        let elems = all_elements(&doc);
+        let mut scratch = Scratch::new();
+        let mut ran_parallel = 0usize;
+        for (axis, test) in [
+            (Axis::Child, NodeTest::name("b")),
+            (Axis::Descendant, NodeTest::name("a")),
+            (Axis::Child, NodeTest::AnyNode),
+            (Axis::Preceding, NodeTest::Wildcard),
+            (Axis::Following, NodeTest::AnyNode),
+        ] {
+            let t = test.resolve(&doc);
+            let mut seq = NodeSet::new();
+            axis_image_into(&doc, axis, &elems, t, &mut scratch, &mut seq);
+            let mut par = NodeSet::new();
+            let chunks =
+                axis_image_into_par(&doc, axis, &elems, t, &mut scratch, &mut par, &pool, cfg);
+            assert_eq!(par, seq, "axis {axis} test {test}");
+            ran_parallel += usize::from(chunks > 0);
+        }
+        assert!(ran_parallel >= 4, "expected the chunked kernels to engage");
     }
 
     #[test]

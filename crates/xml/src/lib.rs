@@ -39,6 +39,7 @@ pub mod error;
 pub mod name;
 pub mod node;
 pub mod nodeset;
+pub mod par;
 pub mod parser;
 pub mod serialize;
 pub mod store;
@@ -51,6 +52,7 @@ pub use error::{XmlError, XmlErrorKind};
 pub use name::{Name, NameTable};
 pub use node::{NodeId, NodeKind};
 pub use nodeset::{DenseSet, NodeSet};
+pub use par::{ParConfig, WorkerPool};
 pub use parser::{
     parse, parse_reader, parse_reader_with_options, parse_with_options, ParseOptions,
 };

@@ -1,0 +1,521 @@
+//! A small zero-dependency scoped work-splitting pool — the substrate of
+//! the parallel axis kernels and MINCONTEXT's per-context fan-out (see
+//! DESIGN.md "Parallel evaluation").
+//!
+//! A [`WorkerPool`] owns `threads − 1` parked OS threads; the caller of
+//! [`WorkerPool::run`] is the remaining worker.  A parallel *region*
+//! publishes one task — a `Fn(usize)` run once per chunk index — and
+//! every participant claims chunk indices off a shared counter until the
+//! region drains.  `run` returns only after **all** chunks completed, so
+//! borrowed task state (documents, mark bitmaps, output slots) stays
+//! valid for exactly the region's duration; that blocking discipline is
+//! what makes the one lifetime-erasing `unsafe` below sound.
+//!
+//! Determinism contract: chunks are *index-range* shaped by construction
+//! (see [`chunk_bounds`]) and callers merge per-chunk outputs in chunk
+//! order, so results are bit-identical to a sequential run regardless of
+//! which thread claims which chunk — the differential suites run the
+//! whole corpus both ways to enforce this.
+//!
+//! A panic inside a chunk is caught on the worker, the region still
+//! drains (remaining chunks run), and the first payload is re-raised on
+//! the calling thread — mirroring sequential panic behavior.
+//!
+//! Observability: the process-global registry gains `par/regions`,
+//! `par/chunks`, `par/steals` (chunks executed by pool workers rather
+//! than the caller) and `par/bypass` (would-be parallel calls that ran
+//! sequentially below the size threshold).
+
+use crate::axes::Scratch;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+
+fn regions_counter() -> &'static minctx_obs::Counter {
+    static C: OnceLock<minctx_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| minctx_obs::global().counter("par/regions"))
+}
+
+fn chunks_counter() -> &'static minctx_obs::Counter {
+    static C: OnceLock<minctx_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| minctx_obs::global().counter("par/chunks"))
+}
+
+fn steals_counter() -> &'static minctx_obs::Counter {
+    static C: OnceLock<minctx_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| minctx_obs::global().counter("par/steals"))
+}
+
+fn bypass_counter() -> &'static minctx_obs::Counter {
+    static C: OnceLock<minctx_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| minctx_obs::global().counter("par/bypass"))
+}
+
+/// Chunks a parallel region dispatched (counter accessor for tests).
+pub fn par_chunks_dispatched() -> u64 {
+    chunks_counter().get()
+}
+
+/// Parallel regions executed so far (counter accessor for tests).
+pub fn par_regions_run() -> u64 {
+    regions_counter().get()
+}
+
+/// Threshold bypasses recorded so far (counter accessor for tests).
+pub fn par_bypasses() -> u64 {
+    bypass_counter().get()
+}
+
+/// Records that a parallel-capable call stayed sequential (input below
+/// the size threshold, or a single chunk's worth of work).
+pub fn note_bypass() {
+    bypass_counter().inc();
+}
+
+/// Size gating for the parallel kernels: how much scanned work justifies
+/// a region, and how small chunks may get.  Defaults keep small queries
+/// on the sequential path so they never pay coordination cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParConfig {
+    /// Minimum number of scanned items (postings, arena nodes, context
+    /// origins) before the chunked variant engages.
+    pub threshold: usize,
+    /// Minimum items per chunk; more chunks than `threads` (up to
+    /// [`CHUNKS_PER_THREAD`] each) keep uneven chunks load-balanced.
+    pub min_chunk: usize,
+}
+
+/// Default engagement threshold: below ~4k scanned items a region's
+/// wake/claim/merge overhead rivals the scan itself.
+pub const DEFAULT_PAR_THRESHOLD: usize = 4096;
+
+/// Default minimum chunk size.
+pub const DEFAULT_MIN_CHUNK: usize = 1024;
+
+/// Chunk-count cap per worker: enough slack that one slow chunk does not
+/// serialize the region, not so many that claiming dominates.
+pub const CHUNKS_PER_THREAD: usize = 4;
+
+impl Default for ParConfig {
+    fn default() -> ParConfig {
+        ParConfig {
+            threshold: DEFAULT_PAR_THRESHOLD,
+            min_chunk: DEFAULT_MIN_CHUNK,
+        }
+    }
+}
+
+impl ParConfig {
+    /// How many chunks to split `items` into for `pool`, honoring
+    /// `min_chunk`; `0` means "stay sequential" (below threshold or not
+    /// enough work for two chunks).
+    pub fn chunks_for(&self, pool: &WorkerPool, items: usize) -> usize {
+        if items < self.threshold.max(2) {
+            return 0;
+        }
+        let by_size = items / self.min_chunk.max(1);
+        let cap = pool.threads() * CHUNKS_PER_THREAD;
+        let chunks = by_size.min(cap);
+        if chunks < 2 {
+            0
+        } else {
+            chunks
+        }
+    }
+}
+
+/// The contiguous index range `[start, end)` of chunk `i` out of
+/// `chunks` over `len` items.  Ranges are ascending and disjoint and
+/// cover `0..len`, so per-chunk outputs produced in index order
+/// concatenate (in chunk order) to exactly the sequential output.
+pub fn chunk_bounds(len: usize, chunks: usize, i: usize) -> (usize, usize) {
+    debug_assert!(i < chunks);
+    (i * len / chunks, (i + 1) * len / chunks)
+}
+
+/// The task pointer published to the workers for one region: a
+/// lifetime-erased borrow of the caller's closure.
+struct TaskRef(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from any thread are fine),
+// and the pointer is only dereferenced between a region's publication and
+// its completion — `WorkerPool::run` blocks until `completed == total`
+// before the erased borrow ends, so no worker can observe a dangling task.
+unsafe impl Send for TaskRef {}
+
+struct State {
+    /// The active region's task; `None` between regions.
+    task: Option<TaskRef>,
+    /// Chunk count of the active region.
+    total: usize,
+    /// Next unclaimed chunk index (the claim counter).
+    next: usize,
+    /// Chunks whose closure call has returned.
+    completed: usize,
+    /// First panic payload caught in a chunk, re-raised by the caller.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Set by `Drop`; workers exit at the next wakeup.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between regions.
+    work: Condvar,
+    /// The caller parks here once its own claims dry up.
+    done: Condvar,
+}
+
+impl Shared {
+    /// Lock recovering from poisoning: the protocol state is consistent
+    /// at every unlock (panicking closures run *outside* the lock and
+    /// are caught), so a poisoned mutex only means some unrelated thread
+    /// died mid-claim bookkeeping — the counters themselves are valid.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Runs chunk `i` of the published task and does the completion
+    /// bookkeeping.  `task` must be the region's published closure.
+    fn run_chunk(&self, task: &(dyn Fn(usize) + Sync), i: usize) {
+        let result = catch_unwind(AssertUnwindSafe(|| task(i)));
+        let mut st = self.lock();
+        if let Err(payload) = result {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.completed += 1;
+        if st.completed == st.total {
+            self.done.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let mut st = shared.lock();
+    loop {
+        if st.shutdown {
+            return;
+        }
+        let claim = match &st.task {
+            Some(t) if st.next < st.total => Some((t.0, st.next)),
+            _ => None,
+        };
+        if claim.is_some() {
+            st.next += 1;
+        }
+        match claim {
+            Some((ptr, i)) => {
+                drop(st);
+                steals_counter().inc();
+                // SAFETY: `ptr` was published by the `run` currently
+                // blocked in this region; `run` cannot return (ending the
+                // erased borrow) before `completed == total`, and this
+                // chunk counts toward `completed` only after the call
+                // returns inside `run_chunk`.
+                let task: &(dyn Fn(usize) + Sync) = unsafe { &*ptr };
+                shared.run_chunk(task, i);
+                st = shared.lock();
+            }
+            None => {
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+}
+
+/// A fixed set of parked worker threads executing chunked index-range
+/// tasks — see the module docs for the protocol and its invariants.
+///
+/// Engines attach one via `Engine::with_threads(n)`; a pool with
+/// `threads == 1` spawns nothing and runs every region inline.  One pool
+/// runs one region at a time (concurrent `run` calls from clones of an
+/// engine serialize on an internal region lock).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serializes regions: `run` publishes exactly one task at a time.
+    region: Mutex<()>,
+    /// Per-thread [`Scratch`] arenas for fan-out evaluation workers.
+    scratch: Mutex<Vec<Scratch>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool of `threads` workers total (the caller of [`run`] counts as
+    /// one, so `threads − 1` OS threads are spawned and parked).
+    ///
+    /// [`run`]: WorkerPool::run
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                task: None,
+                total: 0,
+                next: 0,
+                completed: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("minctx-par-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            region: Mutex::new(()),
+            scratch: Mutex::new(Vec::new()),
+            threads,
+        }
+    }
+
+    /// Total worker count, caller included.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `task(i)` once for every `i in 0..chunks`, distributing
+    /// chunks across the pool, and returns once all chunks completed.
+    /// The caller participates, so a single-threaded pool (or a
+    /// single-chunk region) degenerates to a plain sequential loop.
+    ///
+    /// If any chunk panics, the remaining chunks still run and the first
+    /// payload is re-raised here.
+    pub fn run(&self, chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+        if chunks == 0 {
+            return;
+        }
+        if chunks == 1 || self.threads == 1 || self.handles.is_empty() {
+            for i in 0..chunks {
+                task(i);
+            }
+            return;
+        }
+        regions_counter().inc();
+        chunks_counter().add(chunks as u64);
+        let _region = self.region.lock().unwrap_or_else(PoisonError::into_inner);
+        let raw: *const (dyn Fn(usize) + Sync) = task;
+        // SAFETY: only the trait object's implicit lifetime is erased;
+        // the pointee is untouched.  The pointer is cleared from the
+        // shared state and all uses have completed before this function
+        // returns (the wait below), so the erased borrow never outlives
+        // the real one.  (A plain `as` cast cannot widen a trait
+        // object's lifetime — rust-lang/rust#141402 — so the clippy
+        // suggestion does not compile and the transmute stays.)
+        #[allow(clippy::transmute_ptr_to_ptr)]
+        let raw: *const (dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(raw) };
+        {
+            let mut st = self.shared.lock();
+            debug_assert!(st.task.is_none(), "regions are serialized");
+            st.task = Some(TaskRef(raw));
+            st.total = chunks;
+            st.next = 0;
+            st.completed = 0;
+            self.shared.work.notify_all();
+        }
+        // The caller claims chunks like any worker…
+        loop {
+            let i = {
+                let mut st = self.shared.lock();
+                if st.next >= st.total {
+                    break;
+                }
+                let i = st.next;
+                st.next += 1;
+                i
+            };
+            self.shared.run_chunk(task, i);
+        }
+        // …then waits for the stragglers and retires the region.
+        let panic = {
+            let mut st = self.shared.lock();
+            while st.completed < st.total {
+                st = self
+                    .shared
+                    .done
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            st.task = None;
+            st.panic.take()
+        };
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Pops a per-thread [`Scratch`] arena for a fan-out evaluation
+    /// worker (fresh if the stash is empty; buffers size on first use).
+    pub fn take_scratch(&self) -> Scratch {
+        self.scratch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a scratch to the stash (bounded at one per thread).
+    pub fn put_scratch(&self, s: Scratch) {
+        let mut stash = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
+        if stash.len() < self.threads {
+            stash.push(s);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn every_chunk_runs_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for chunks in [1, 2, 3, 7, 64, 257] {
+            let counts: Vec<AtomicUsize> = (0..chunks).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(chunks, &|i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "chunks={chunks}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_sum_matches_sequential() {
+        let pool = WorkerPool::new(3);
+        let items: Vec<u64> = (0..100_000).collect();
+        let total = AtomicU64::new(0);
+        let chunks = 16;
+        pool.run(chunks, &|i| {
+            let (s, e) = chunk_bounds(items.len(), chunks, i);
+            let part: u64 = items[s..e].iter().sum();
+            total.fetch_add(part, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), items.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn chunk_bounds_cover_and_are_disjoint() {
+        for len in [0usize, 1, 5, 64, 1000, 1001] {
+            for chunks in [1usize, 2, 3, 7, 16] {
+                let mut expected_start = 0;
+                for i in 0..chunks {
+                    let (s, e) = chunk_bounds(len, chunks, i);
+                    assert_eq!(s, expected_start, "len={len} chunks={chunks} i={i}");
+                    assert!(e >= s);
+                    expected_start = e;
+                }
+                assert_eq!(expected_start, len);
+            }
+        }
+    }
+
+    #[test]
+    fn single_threaded_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let count = AtomicUsize::new(0);
+        pool.run(8, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller_and_the_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 3 {
+                    panic!("chunk 3 exploded");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The region drained fully despite the panic…
+        assert_eq!(ran.load(Ordering::Relaxed), 8);
+        // …and the pool keeps working afterwards.
+        let count = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn consecutive_regions_reuse_the_pool() {
+        let pool = WorkerPool::new(2);
+        for round in 1..=20 {
+            let count = AtomicUsize::new(0);
+            pool.run(round, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), round);
+        }
+    }
+
+    #[test]
+    fn scratch_stash_round_trips() {
+        let pool = WorkerPool::new(2);
+        let s = pool.take_scratch();
+        pool.put_scratch(s);
+        let _ = pool.take_scratch();
+    }
+
+    #[test]
+    fn chunks_for_gates_on_threshold_and_min_chunk() {
+        let pool = WorkerPool::new(4);
+        let cfg = ParConfig {
+            threshold: 100,
+            min_chunk: 10,
+        };
+        assert_eq!(cfg.chunks_for(&pool, 0), 0);
+        assert_eq!(cfg.chunks_for(&pool, 99), 0, "below threshold");
+        let c = cfg.chunks_for(&pool, 100);
+        assert!(c >= 2, "at threshold the region engages");
+        assert!(cfg.chunks_for(&pool, 1_000_000) <= pool.threads() * CHUNKS_PER_THREAD);
+        // min_chunk dominates for barely-eligible sizes.
+        let tight = ParConfig {
+            threshold: 2,
+            min_chunk: 1000,
+        };
+        assert_eq!(tight.chunks_for(&pool, 1999), 0, "one chunk's worth");
+        assert_eq!(tight.chunks_for(&pool, 2000), 2);
+    }
+}

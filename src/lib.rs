@@ -240,6 +240,38 @@
 //! assert!(profile.plan_text().contains("route="));
 //! ```
 //!
+//! ## Parallel evaluation
+//!
+//! [`Engine::with_threads`](engine::Engine::with_threads) turns on
+//! intra-query data parallelism: large axis sweeps split the flat
+//! postings/arena columns into index-range chunks across a scoped
+//! worker pool, and predicated steps fan their context sets out with
+//! per-worker fuel sub-allowances — results are **bit-identical** to
+//! sequential evaluation, ordinals included (chunks are disjoint
+//! ascending ranges merged in chunk order; the differential corpus runs
+//! at threads 1/2/4 to hold the line).  The default of 1 constructs no
+//! pool at all and *is* the sequential path; small steps below the
+//! split threshold (tunable via
+//! [`Engine::with_par_threshold`](engine::Engine::with_par_threshold))
+//! never pay coordination cost.  In the service, set
+//! [`ServeBuilder::threads`](serve::ServeBuilder::threads) per worker
+//! engine — total thread pressure is roughly `workers × threads`.
+//! EXPLAIN step rows report dispatched chunk counts
+//! ([`StepProfile::par_chunks`](engine::StepProfile), rendered as
+//! ` par=K`), and the global registry carries `par/*` counters:
+//!
+//! ```
+//! use minctx::prelude::*;
+//!
+//! let doc = minctx::xml::parse("<a><b/><b/></a>").unwrap();
+//! let threaded = Engine::new(Strategy::OptMinContext).with_threads(4);
+//! let sequential = Engine::new(Strategy::OptMinContext);
+//! assert_eq!(
+//!     threaded.evaluate_str(&doc, "//b").unwrap(),
+//!     sequential.evaluate_str(&doc, "//b").unwrap(),
+//! );
+//! ```
+//!
 //! ## Benchmarks
 //!
 //! `cargo run --release -p minctx-bench --bin tables` prints the paper's
@@ -257,11 +289,13 @@ pub use minctx_stream as stream;
 pub use minctx_syntax as syntax;
 pub use minctx_xml as xml;
 
-/// The most common imports, bundled.
+/// The most common imports, bundled.  (`ParConfig` rides along for
+/// tuning `Engine::with_threads` split thresholds; the knob itself is a
+/// method on `Engine`.)
 pub mod prelude {
     pub use minctx_core::{
-        Budget, CompiledQuery, Context, Engine, EvalError, Evaluator, QueryProfile, StepProfile,
-        Strategy, Value,
+        Budget, CompiledQuery, Context, Engine, EvalError, Evaluator, ParConfig, QueryProfile,
+        StepProfile, Strategy, Value,
     };
     pub use minctx_index::{
         open_snapshot, open_snapshot_or_quarantine, snapshot_stamp, write_snapshot, SnapshotError,
